@@ -1,0 +1,60 @@
+// Shared helpers for the table/figure reproduction binaries.
+//
+// Every bench prints a "paper vs measured" section; PASS/CHECK markers are
+// qualitative (shape) checks, not absolute-number assertions - the paper's
+// absolute values came from 2012-era hardware and real browsers, ours from
+// the calibrated testbed simulator.
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "report/boxplot_render.h"
+#include "report/cdf_render.h"
+#include "report/table.h"
+
+namespace bnm::benchutil {
+
+/// Default repetition count (the paper's "we run it for 50 times").
+inline constexpr int kRuns = 50;
+
+/// Banner for a table/figure section.
+inline void banner(const std::string& title) {
+  std::printf("\n============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("============================================================\n");
+}
+
+inline void shape_check(bool ok, const std::string& what) {
+  std::printf("  [%s] %s\n", ok ? "OK" : "DEVIATES", what.c_str());
+}
+
+/// Run one case and return the series (prints a progress dot).
+inline core::OverheadSeries run_case(browser::BrowserId b, browser::OsId os,
+                                     methods::ProbeKind kind,
+                                     int runs = kRuns,
+                                     bool java_nanotime = false,
+                                     bool appletviewer = false) {
+  core::ExperimentConfig cfg;
+  cfg.browser = b;
+  cfg.os = os;
+  cfg.kind = kind;
+  cfg.runs = runs;
+  cfg.java_use_nanotime = java_nanotime;
+  cfg.java_via_appletviewer = appletviewer;
+  std::fflush(stdout);
+  return core::run_experiment(cfg);
+}
+
+/// Box-plot rows ("<label> d1" / "<label> d2") for one series.
+inline void add_box_rows(std::vector<report::BoxRow>& rows,
+                         const core::OverheadSeries& s) {
+  if (s.samples.empty()) return;
+  rows.push_back({s.case_label + " d1", s.d1_box()});
+  rows.push_back({s.case_label + " d2", s.d2_box()});
+}
+
+}  // namespace bnm::benchutil

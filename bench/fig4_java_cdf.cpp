@@ -1,0 +1,77 @@
+// Figure 4 reproduction: CDFs of Δd1 and Δd2 for the Java applet TCP
+// socket method on Windows - (a) launched in the five browsers, (b)
+// launched with the JDK appletviewer (no browser, no Java Plug-in).
+//
+// The signature the paper discovered: discrete Δd levels ~16 ms apart,
+// caused by Date.getTime()'s 15.625 ms granularity regime; the same levels
+// appear under appletviewer, exonerating the browsers and indicting the
+// JRE/OS timer.
+#include "bench_util.h"
+
+using namespace bnm;
+using benchutil::banner;
+using benchutil::shape_check;
+
+int main() {
+  banner("Figure 4(a): CDFs of delta-d, Java applet socket in Windows browsers");
+
+  std::vector<report::CdfSeries> curves;
+  bool any_two_levels = false;
+  double observed_gap = 0;
+
+  const browser::BrowserId browsers[] = {
+      browser::BrowserId::kChrome, browser::BrowserId::kFirefox,
+      browser::BrowserId::kIe, browser::BrowserId::kOpera,
+      browser::BrowserId::kSafari};
+  for (const auto b : browsers) {
+    const auto series = benchutil::run_case(b, browser::OsId::kWindows7,
+                                            methods::ProbeKind::kJavaSocket);
+    if (series.samples.empty()) continue;
+    const std::string initial = browser::browser_initial(b);
+    curves.push_back({"d1," + initial, stats::EmpiricalCdf{series.d1()}});
+    curves.push_back({"d2," + initial, stats::EmpiricalCdf{series.d2()}});
+
+    // Two discrete levels ~16 ms apart? (tolerance 1 ms clusters, >= 6%
+    // of mass each - the paper's visual "two discrete levels"). A middle
+    // cluster near 0 from 1 ms-regime runs may also appear; the gap check
+    // looks for the quantization pair.
+    const auto levels = curves[curves.size() - 2].cdf.mass_levels(1.0, 0.06);
+    if (levels.size() >= 2) any_two_levels = true;
+    for (std::size_t i = 0; i < levels.size(); ++i) {
+      for (std::size_t j = i + 1; j < levels.size(); ++j) {
+        const double gap = levels[j] - levels[i];
+        if (gap > 13.0 && gap < 18.0) observed_gap = gap;
+      }
+    }
+  }
+
+  report::CdfRenderer renderer{report::CdfRenderer::Options{70, 20, -16, 21}};
+  std::printf("%s\n", renderer.render(curves).c_str());
+
+  shape_check(any_two_levels,
+              "at least one browser shows >= 2 discrete delta-d1 levels");
+  shape_check(observed_gap > 13.0 && observed_gap < 18.0,
+              "gap between the two significant levels ~ 16 ms (measured " +
+                  report::TextTable::fmt(observed_gap, 1) + " ms)");
+
+  banner("Figure 4(b): same applet launched with appletviewer (no browser)");
+  const auto av =
+      benchutil::run_case(browser::BrowserId::kChrome, browser::OsId::kWindows7,
+                          methods::ProbeKind::kJavaSocket, benchutil::kRuns,
+                          /*java_nanotime=*/false, /*appletviewer=*/true);
+  std::vector<report::CdfSeries> av_curves;
+  av_curves.push_back({"d1", stats::EmpiricalCdf{av.d1()}});
+  av_curves.push_back({"d2", stats::EmpiricalCdf{av.d2()}});
+  std::printf("%s\n", renderer.render(av_curves).c_str());
+
+  const auto av_levels = av_curves.front().cdf.mass_levels(1.0, 0.15);
+  shape_check(av_levels.size() >= 2 ||
+                  (av_levels.size() == 1 && std::abs(av_levels[0]) < 1.0),
+              "discrete levels persist without any browser/plug-in -> the "
+              "JRE timer, not the browsers, causes them");
+  std::printf(
+      "\nconclusion (paper 4.2): the coarse, unstable timestamp granularity\n"
+      "of Date.getTime()/currentTimeMillis() on Windows causes the bizarre\n"
+      "delta-d distributions; browsers and Java Plug-ins are ruled out.\n");
+  return 0;
+}

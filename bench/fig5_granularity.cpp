@@ -1,0 +1,91 @@
+// Figure 5 / Section 4.2 reproduction: measure the actual granularity of
+// Date.getTime() by busy-polling until the returned value changes (the
+// paper's Java snippet), repeated over tens of minutes.
+//
+// Expected on Windows 7: the measured granularity is NOT constant - it is
+// 1 ms or ~15.6 ms, and each value persists for a stretch of minutes
+// before flipping. On Ubuntu: constant 1 ms. System.nanoTime() has no such
+// pathology.
+#include "bench_util.h"
+#include "browser/clock_set.h"
+#include "core/granularity.h"
+#include "stats/histogram.h"
+
+using namespace bnm;
+using benchutil::banner;
+using benchutil::shape_check;
+
+namespace {
+
+void probe_os(browser::OsId os) {
+  banner(std::string{"Figure 5 probe loop on "} + browser::os_name(os));
+
+  sim::Rng rng{os == browser::OsId::kWindows7 ? 2026u : 7070u};
+  browser::ClockSet clocks{os, rng};
+
+  // Sample every 10 s for 30 minutes of machine time.
+  const auto series = core::GranularityProber::probe_series(
+      clocks.java_date(), sim::TimePoint::epoch() + sim::Duration::seconds(3),
+      sim::Duration::seconds(10), 180);
+
+  stats::Histogram hist{0.0, 20.0, 20};
+  for (const auto& p : series) hist.add(p.measured.ms_f());
+  std::printf("measured granularity histogram (ms):\n%s\n",
+              hist.render(40).c_str());
+
+  const auto levels = core::GranularityProber::distinct_levels(series);
+  std::printf("distinct levels:");
+  for (const auto& l : levels) std::printf(" %s", l.to_string().c_str());
+  std::printf("\n");
+
+  // Longest stretch of consecutive samples at the same level, in samples
+  // (x10 s) - the paper: "each possible value will last for a period of
+  // time (several minutes)".
+  std::size_t longest = 1, cur = 1;
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    const double a = series[i].measured.ms_f();
+    const double b = series[i - 1].measured.ms_f();
+    if (std::abs(a - b) < 0.5) {
+      ++cur;
+    } else {
+      cur = 1;
+    }
+    longest = std::max(longest, cur);
+  }
+  std::printf("longest same-granularity stretch: %zu samples (~%zu s)\n",
+              longest, longest * 10);
+
+  if (os == browser::OsId::kWindows7) {
+    shape_check(levels.size() == 2, "two granularity levels on Windows");
+    shape_check(!levels.empty() && std::abs(levels.front().ms_f() - 1.0) < 0.2,
+                "low level = 1 ms");
+    shape_check(levels.size() > 1 &&
+                    std::abs(levels.back().ms_f() - 15.625) < 1.0,
+                "high level ~ 15.6 ms");
+    shape_check(longest * 10 >= 60,
+                "each regime persists for minutes before flipping");
+  } else {
+    shape_check(levels.size() == 1 &&
+                    std::abs(levels.front().ms_f() - 1.0) < 0.2,
+                "constant 1 ms granularity on Ubuntu");
+  }
+}
+
+}  // namespace
+
+int main() {
+  probe_os(browser::OsId::kWindows7);
+  probe_os(browser::OsId::kUbuntu);
+
+  banner("System.nanoTime() comparison");
+  sim::Rng rng{99};
+  browser::ClockSet clocks{browser::OsId::kWindows7, rng};
+  const auto probe = core::GranularityProber::probe_once(
+      clocks.java_nano(), sim::TimePoint::epoch() + sim::Duration::seconds(1));
+  std::printf("nanoTime measured granularity: %s after %llu calls\n",
+              probe.measured.to_string().c_str(),
+              static_cast<unsigned long long>(probe.api_calls));
+  shape_check(probe.measured < sim::Duration::micros(2),
+              "nanoTime resolves well below 1 ms (no quantization trap)");
+  return 0;
+}

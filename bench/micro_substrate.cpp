@@ -1,0 +1,105 @@
+// Substrate micro-benchmarks (google-benchmark): the cost of the building
+// blocks everything above runs on. Useful for regression-tracking the
+// simulator itself.
+#include <benchmark/benchmark.h>
+
+#include "core/experiment.h"
+#include "http/parser.h"
+#include "sim/scheduler.h"
+#include "stats/boxplot.h"
+#include "ws/frame.h"
+#include "ws/sha1.h"
+
+using namespace bnm;
+
+namespace {
+
+void BM_SchedulerScheduleRun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    std::uint64_t sink = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      sched.schedule_after(sim::Duration::micros(static_cast<std::int64_t>(i % 997)),
+                           [&sink] { ++sink; });
+    }
+    sched.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SchedulerScheduleRun)->Arg(1000)->Arg(10000);
+
+void BM_HttpParseRequest(benchmark::State& state) {
+  const std::string wire =
+      http::HttpRequest{"GET", "/echo?r=1", "HTTP/1.1", {}, ""}.serialize();
+  for (auto _ : state) {
+    http::RequestParser parser;
+    parser.feed(wire);
+    auto req = parser.take();
+    benchmark::DoNotOptimize(req);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(wire.size()));
+}
+BENCHMARK(BM_HttpParseRequest);
+
+void BM_WsFrameRoundtrip(benchmark::State& state) {
+  ws::Frame frame;
+  frame.opcode = ws::Opcode::kBinary;
+  frame.masked = true;
+  frame.masking_key = 0xDEADBEEF;
+  frame.payload.assign(static_cast<std::size_t>(state.range(0)), 0x42);
+  for (auto _ : state) {
+    const std::string wire = frame.encode();
+    ws::FrameDecoder decoder;
+    decoder.feed(wire);
+    auto out = decoder.take();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_WsFrameRoundtrip)->Arg(16)->Arg(1460)->Arg(64 * 1024);
+
+void BM_Sha1(benchmark::State& state) {
+  const std::string data(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    auto digest = ws::sha1(data);
+    benchmark::DoNotOptimize(digest);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha1)->Arg(64)->Arg(4096);
+
+void BM_BoxStats(benchmark::State& state) {
+  std::vector<double> xs;
+  sim::Rng rng{5};
+  for (int i = 0; i < state.range(0); ++i) xs.push_back(rng.normal(10, 3));
+  for (auto _ : state) {
+    auto b = stats::box_stats(xs);
+    benchmark::DoNotOptimize(b);
+  }
+}
+BENCHMARK(BM_BoxStats)->Arg(50)->Arg(5000);
+
+// One full two-phase WebSocket measurement through the whole stack:
+// testbed + browser + RFC6455 + TCP + switch + capture.
+void BM_EndToEndProbe(benchmark::State& state) {
+  for (auto _ : state) {
+    core::ExperimentConfig cfg;
+    cfg.kind = methods::ProbeKind::kWebSocket;
+    cfg.browser = browser::BrowserId::kChrome;
+    cfg.os = browser::OsId::kUbuntu;
+    cfg.runs = 1;
+    auto series = core::run_experiment(cfg);
+    benchmark::DoNotOptimize(series);
+  }
+}
+BENCHMARK(BM_EndToEndProbe)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

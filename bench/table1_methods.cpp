@@ -1,0 +1,65 @@
+// Table 1 reproduction: the browser-based network measurement methods and
+// the tools/services that use them, generated from the method registry's
+// metadata (so the table can never drift from the implementation).
+#include "bench_util.h"
+#include "core/appraisal.h"
+#include "methods/registry.h"
+
+using namespace bnm;
+using benchutil::banner;
+using benchutil::shape_check;
+
+int main() {
+  banner("Table 1: browser-based network measurement methods (from registry)");
+
+  report::TextTable table({"Approach", "Technology", "Availability", "Method",
+                           "Same-origin?", "Metrics", "Tools / Services"});
+  const auto methods = methods::all_methods();
+  std::string last_approach;
+  for (const auto& m : methods) {
+    const auto& i = m->info();
+    std::string tools;
+    for (const auto& t : i.example_tools) {
+      if (!tools.empty()) tools += ", ";
+      tools += t;
+    }
+    if (!last_approach.empty() && i.approach != last_approach) table.add_rule();
+    last_approach = i.approach;
+    table.add_row({i.approach, i.technology, i.availability, i.verb,
+                   i.same_origin_text(), i.metrics_text(), tools});
+  }
+  std::printf("%s\nNote: \"Yes*\" = the same-origin policy can be bypassed "
+              "(Flash cross-domain policy / signed applet).\n\n",
+              table.render().c_str());
+
+  // Structural checks against the paper's Table 1.
+  int http = 0, socket = 0, native = 0, plugin = 0, loss_capable = 0;
+  for (const auto& m : methods) {
+    const auto& i = m->info();
+    if (i.approach == "HTTP-based") ++http;
+    if (i.approach == "Socket-based") ++socket;
+    if (i.availability == "Native") ++native;
+    if (i.availability == "Plug-in") ++plugin;
+    if (i.measures_loss) ++loss_capable;
+  }
+  shape_check(http == 7, "seven HTTP-based methods");
+  shape_check(socket == 4, "four socket-based methods (incl. Java UDP)");
+  shape_check(native == 4, "native methods: XHR GET/POST, DOM, WebSocket");
+  shape_check(plugin == 7, "plug-in methods: Flash x3, Java x4");
+  shape_check(loss_capable == 1, "only the UDP method measures loss");
+
+  banner("Section 5 recommendations (codified)");
+  for (const auto os : {browser::OsId::kWindows7, browser::OsId::kUbuntu}) {
+    for (const bool plugins : {true, false}) {
+      core::Platform p;
+      p.os = os;
+      p.plugins_available = plugins;
+      const auto rec = core::recommend(p);
+      std::printf("%s, plugins=%s -> %s on %s\n  %s\n", browser::os_name(os),
+                  plugins ? "yes" : "no ", browser::probe_kind_name(rec.method),
+                  browser::browser_name(rec.preferred_browser),
+                  rec.rationale.c_str());
+    }
+  }
+  return 0;
+}

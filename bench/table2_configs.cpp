@@ -1,0 +1,48 @@
+// Table 2 reproduction: configurations of the browsers and systems used in
+// the experiments, generated from the profile tables.
+#include "bench_util.h"
+
+using namespace bnm;
+using benchutil::banner;
+using benchutil::shape_check;
+
+int main() {
+  banner("Table 2: browser/system configurations (from profiles)");
+
+  report::TextTable table(
+      {"OS", "Browser", "Version", "Flash", "Java applet", "WebSocket"});
+  std::string last_os;
+  int ws_supported = 0;
+  for (const auto& c : browser::paper_cases()) {
+    const auto p = browser::make_profile(c.browser, c.os);
+    const std::string os = browser::os_name(c.os);
+    if (!last_os.empty() && os != last_os) table.add_rule();
+    last_os = os;
+    table.add_row({os, browser::browser_name(c.browser), p.browser_version,
+                   p.flash_version, p.java_version,
+                   p.supports_websocket ? "yes" : "no"});
+    if (p.supports_websocket) ++ws_supported;
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  shape_check(browser::paper_cases().size() == 8,
+              "eight browser-OS cases (5 on Windows, 3 on Ubuntu)");
+  shape_check(ws_supported == 6,
+              "IE 9 and Safari 5 lack WebSocket; the other six support it");
+  shape_check(!browser::case_supported(browser::BrowserId::kIe,
+                                       browser::OsId::kUbuntu) &&
+                  !browser::case_supported(browser::BrowserId::kSafari,
+                                           browser::OsId::kUbuntu),
+              "IE/Safari are not available on Ubuntu");
+
+  banner("Testbed (Figure 2)");
+  core::Testbed::Config cfg;
+  std::printf(
+      "two machines <-> 100 Mbps switched Ethernet (configured %.0f Mbps)\n"
+      "server-side netem delay: %s (without it the <1 ms link RTT is too\n"
+      "small to sample); client runs WinDump/tcpdump equivalent capture\n"
+      "with %s timestamp jitter.\n",
+      cfg.bandwidth_bps / 1e6, cfg.server_delay.to_string().c_str(),
+      cfg.capture_jitter.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,106 @@
+// calibrate: build a per-method overhead calibration table for a platform,
+// save it as CSV, and verify it against an independent measurement round.
+//
+// This is what a careful speedtest operator would ship alongside their
+// tool: per-(browser, OS, method) corrections - and the honest answer for
+// which methods such corrections actually work (Section 4's consistency
+// concern).
+//
+//   $ calibrate [browser] [os] [output.csv]
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "core/calibration.h"
+#include "report/table.h"
+
+using namespace bnm;
+using T = report::TextTable;
+
+namespace {
+
+browser::BrowserId parse_browser(const std::string& s) {
+  using B = browser::BrowserId;
+  if (s == "firefox") return B::kFirefox;
+  if (s == "ie") return B::kIe;
+  if (s == "opera") return B::kOpera;
+  if (s == "safari") return B::kSafari;
+  return B::kChrome;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  browser::BrowserId b = browser::BrowserId::kFirefox;
+  browser::OsId os = browser::OsId::kWindows7;
+  std::string out_path = "calibration.csv";
+  if (argc > 1) b = parse_browser(argv[1]);
+  if (argc > 2 && std::string{argv[2]} == "ubuntu") os = browser::OsId::kUbuntu;
+  if (argc > 3) out_path = argv[3];
+  if (!browser::case_supported(b, os)) {
+    std::fprintf(stderr, "unsupported browser/OS pair (Table 2)\n");
+    return 2;
+  }
+
+  std::printf("calibrating %s on %s (50 runs per method)...\n\n",
+              browser::browser_name(b), browser::os_name(os));
+
+  const methods::ProbeKind kinds[] = {
+      methods::ProbeKind::kXhrGet,      methods::ProbeKind::kXhrPost,
+      methods::ProbeKind::kDom,         methods::ProbeKind::kWebSocket,
+      methods::ProbeKind::kFlashGet,    methods::ProbeKind::kFlashSocket,
+      methods::ProbeKind::kJavaGet,     methods::ProbeKind::kJavaSocket};
+
+  core::CalibrationTable table;
+  for (const auto kind : kinds) {
+    core::ExperimentConfig cfg;
+    cfg.kind = kind;
+    cfg.browser = b;
+    cfg.os = os;
+    cfg.runs = 50;
+    const auto series = core::run_experiment(cfg);
+    if (series.samples.empty()) {
+      std::printf("  %-24s unavailable (%s)\n", probe_kind_name(kind),
+                  series.first_error.c_str());
+      continue;
+    }
+    table.learn(series);
+    const auto rec = table.lookup(series.case_label, kind);
+    std::printf("  %-24s correction %+7.2f ms (IQR %.2f)\n",
+                probe_kind_name(kind), rec->median_overhead_ms, rec->iqr_ms);
+  }
+
+  std::ofstream out{out_path};
+  out << table.to_csv();
+  out.close();
+  std::printf("\nwrote %zu records to %s\n", table.size(), out_path.c_str());
+
+  // Verification round: reload the CSV and measure residuals on fresh,
+  // independently-seeded experiments.
+  std::ifstream in{out_path};
+  std::string csv{std::istreambuf_iterator<char>{in},
+                  std::istreambuf_iterator<char>{}};
+  const auto reloaded = core::CalibrationTable::from_csv(csv);
+
+  std::printf("\nverification (independent round, corrections applied):\n");
+  report::TextTable verify({"method", "raw |overhead| (ms)",
+                            "residual (ms)", "calibratable?"});
+  for (const auto kind : kinds) {
+    core::ExperimentConfig cfg;
+    cfg.kind = kind;
+    cfg.browser = b;
+    cfg.os = os;
+    cfg.runs = 30;
+    cfg.seed = 31337;
+    const auto fresh = core::run_experiment(cfg);
+    if (fresh.samples.empty()) continue;
+    const double raw = std::abs(fresh.d2_box().median);
+    const double residual = reloaded.residual_ms(fresh);
+    verify.add_row({probe_kind_name(kind), T::fmt(raw, 2), T::fmt(residual, 2),
+                    residual < 1.5 ? "yes" : residual < 5 ? "marginal" : "NO"});
+  }
+  std::printf("%s", verify.render().c_str());
+  std::printf("\nrule of thumb (paper Section 4): a correction is only as\n"
+              "good as the method's consistency - Flash HTTP stays broken.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// granularity_probe: the paper's Figure 5 experiment as a standalone tool.
+// Busy-polls Date.getTime() until the value changes, repeatedly, on a
+// simulated Windows 7 and Ubuntu machine - exposing the non-constant
+// granularity the paper discovered (1 ms or ~15.6 ms, flipping every few
+// minutes on Windows).
+//
+//   $ granularity_probe [minutes]
+#include <cstdio>
+#include <cstdlib>
+
+#include "browser/clock_set.h"
+#include "core/granularity.h"
+
+using namespace bnm;
+
+namespace {
+
+void probe(const char* label, browser::OsId os, int minutes) {
+  std::printf("\n== %s: sampling Date.getTime() granularity every 10 s for "
+              "%d min ==\n", label, minutes);
+  sim::Rng rng{os == browser::OsId::kWindows7 ? 424242u : 171717u};
+  browser::ClockSet clocks{os, rng};
+
+  const auto series = core::GranularityProber::probe_series(
+      clocks.java_date(), sim::TimePoint::epoch() + sim::Duration::seconds(1),
+      sim::Duration::seconds(10), static_cast<std::size_t>(minutes * 6));
+
+  // Timeline strip: one character per sample ('.' = 1 ms, '#' = coarse).
+  std::printf("timeline: ");
+  for (const auto& p : series) {
+    std::printf("%c", p.measured.ms_f() < 2.0 ? '.' : '#');
+  }
+  std::printf("\n          ('.' = 1 ms regime, '#' = ~15.6 ms regime)\n");
+
+  const auto levels = core::GranularityProber::distinct_levels(series);
+  std::printf("observed granularity level(s):");
+  for (const auto& l : levels) std::printf(" %s", l.to_string().c_str());
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int minutes = argc > 1 ? std::atoi(argv[1]) : 20;
+
+  std::printf("Reproducing the paper's Figure 5 probe loop:\n"
+              "  start = Date.getTime();\n"
+              "  while ((current = Date.getTime()) == start) {}\n"
+              "  print(current - start);\n");
+
+  probe("Windows 7", browser::OsId::kWindows7, minutes);
+  probe("Ubuntu 12.04", browser::OsId::kUbuntu, minutes);
+
+  std::printf("\n== System.nanoTime() for comparison ==\n");
+  sim::Rng rng{1};
+  browser::ClockSet clocks{browser::OsId::kWindows7, rng};
+  const auto p = core::GranularityProber::probe_once(
+      clocks.java_nano(), sim::TimePoint::epoch() + sim::Duration::seconds(1));
+  std::printf("nanoTime tick observed after %llu calls: %s\n",
+              static_cast<unsigned long long>(p.api_calls),
+              p.measured.to_string().c_str());
+  std::printf("\nconclusion: never compute RTTs from "
+              "Date.getTime()/currentTimeMillis() on Windows - the clock\n"
+              "may only tick every ~15.6 ms, swallowing or inventing up to "
+              "one granule per measurement.\n");
+  return 0;
+}

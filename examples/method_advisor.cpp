@@ -1,0 +1,96 @@
+// method_advisor: Section 5 of the paper as a tool. Describe the platform
+// you must measure from; get the recommended measurement method, browser,
+// and the list of accuracy traps to avoid - each backed by a quick
+// calibration experiment run on the simulated testbed.
+//
+//   $ method_advisor [--os windows|ubuntu] [--no-plugins] [--no-websocket]
+//                    [--no-nanotime] [--calibrate]
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/appraisal.h"
+#include "core/experiment.h"
+#include "report/table.h"
+
+using namespace bnm;
+using T = report::TextTable;
+
+int main(int argc, char** argv) {
+  core::Platform platform;
+  bool calibrate = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--os" && i + 1 < argc) {
+      platform.os = std::string{argv[++i]} == "windows"
+                        ? browser::OsId::kWindows7
+                        : browser::OsId::kUbuntu;
+    } else if (arg == "--no-plugins") {
+      platform.plugins_available = false;
+    } else if (arg == "--no-websocket") {
+      platform.websocket_available = false;
+    } else if (arg == "--no-nanotime") {
+      platform.can_use_nanotime = false;
+    } else if (arg == "--calibrate") {
+      calibrate = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--os windows|ubuntu] [--no-plugins] "
+                   "[--no-websocket] [--no-nanotime] [--calibrate]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  std::printf("platform: %s, plugins=%s, websocket=%s, nanotime=%s\n\n",
+              browser::os_name(platform.os),
+              platform.plugins_available ? "yes" : "no",
+              platform.websocket_available ? "yes" : "no",
+              platform.can_use_nanotime ? "yes" : "no");
+
+  const auto rec = core::recommend(platform);
+  std::printf("RECOMMENDED METHOD : %s\n", probe_kind_name(rec.method));
+  std::printf("PREFERRED BROWSER  : %s\n",
+              browser::browser_name(rec.preferred_browser));
+  std::printf("WHY                : %s\n\n", rec.rationale.c_str());
+  std::printf("accuracy traps to avoid:\n");
+  for (const auto& c : rec.cautions) {
+    std::printf("  * %s\n", c.c_str());
+  }
+
+  if (!calibrate) {
+    std::printf("\n(run with --calibrate to verify the recommendation "
+                "against the simulated testbed)\n");
+    return 0;
+  }
+
+  std::printf("\n-- calibration: overhead of each candidate on this platform --\n");
+  report::TextTable table(
+      {"method", "median overhead (ms)", "IQR (ms)", "verdict"});
+  const methods::ProbeKind candidates[] = {
+      methods::ProbeKind::kJavaSocket, methods::ProbeKind::kWebSocket,
+      methods::ProbeKind::kDom, methods::ProbeKind::kXhrGet,
+      methods::ProbeKind::kFlashGet};
+  for (const auto kind : candidates) {
+    core::ExperimentConfig cfg;
+    cfg.kind = kind;
+    cfg.browser = rec.preferred_browser;
+    cfg.os = platform.os;
+    cfg.runs = 30;
+    cfg.java_use_nanotime = platform.can_use_nanotime;
+    const auto series = core::run_experiment(cfg);
+    if (series.samples.empty()) {
+      table.add_row({probe_kind_name(kind), "n/a", "n/a",
+                     series.first_error});
+      continue;
+    }
+    const auto box = series.d2_box();
+    const char* verdict = std::abs(box.median) < 1.0   ? "excellent"
+                          : std::abs(box.median) < 5.0 ? "usable"
+                                                       : "avoid";
+    table.add_row({probe_kind_name(kind), T::fmt(box.median, 2),
+                   T::fmt(box.iqr(), 2), verdict});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,206 @@
+// netalyzr_lite: a Netalyzr/HMN-style diagnostic battery built on the
+// library - the kind of tool the paper appraises. Runs, from one simulated
+// browser session's point of view:
+//
+//   1. RTT via three methods (and shows their disagreement),
+//   2. clock sanity (the Figure 5 granularity probe),
+//   3. loss and reordering via UDP probes,
+//   4. download throughput,
+//   5. a packet-level trace of one measurement (why the numbers differ).
+//
+//   $ netalyzr_lite [browser] [os] [--impaired]
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/experiment.h"
+#include "core/granularity.h"
+#include "core/knockon.h"
+#include "core/loss_experiment.h"
+#include "net/dns.h"
+#include "report/sequence_render.h"
+#include "report/table.h"
+#include "stats/descriptive.h"
+
+using namespace bnm;
+using T = report::TextTable;
+
+namespace {
+
+browser::BrowserId parse_browser(const std::string& s) {
+  using B = browser::BrowserId;
+  if (s == "firefox") return B::kFirefox;
+  if (s == "ie") return B::kIe;
+  if (s == "opera") return B::kOpera;
+  if (s == "safari") return B::kSafari;
+  return B::kChrome;
+}
+
+void section(const char* name) { std::printf("\n### %s\n", name); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  browser::BrowserId b = browser::BrowserId::kChrome;
+  browser::OsId os = browser::OsId::kWindows7;
+  bool impaired = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--impaired") {
+      impaired = true;
+    } else if (arg == "ubuntu") {
+      os = browser::OsId::kUbuntu;
+    } else if (arg == "windows") {
+      os = browser::OsId::kWindows7;
+    } else {
+      b = parse_browser(arg);
+    }
+  }
+  if (!browser::case_supported(b, os)) {
+    std::fprintf(stderr, "unsupported browser/OS pair (Table 2)\n");
+    return 2;
+  }
+
+  std::printf("netalyzr_lite: diagnosing the network from %s on %s%s\n",
+              browser::browser_name(b), browser::os_name(os),
+              impaired ? " (impaired network: 2% loss, reordering)" : "");
+
+  // ------------------------------------------------------------ 1. RTT
+  section("1. round-trip time (three in-browser opinions)");
+  report::TextTable rtt({"method", "RTT median (ms)", "spread (IQR, ms)",
+                         "trust"});
+  for (const auto kind : {methods::ProbeKind::kJavaSocket,
+                          methods::ProbeKind::kWebSocket,
+                          methods::ProbeKind::kXhrGet}) {
+    core::ExperimentConfig cfg;
+    cfg.kind = kind;
+    cfg.browser = b;
+    cfg.os = os;
+    cfg.runs = 25;
+    cfg.java_use_nanotime = true;  // this tool read Section 5
+    const auto series = core::run_experiment(cfg);
+    if (series.samples.empty()) {
+      rtt.add_row({probe_kind_name(kind), "n/a", "", series.first_error});
+      continue;
+    }
+    std::vector<double> reported;
+    for (const auto& s : series.samples) reported.push_back(s.browser_rtt2_ms);
+    const double overhead = series.d2_box().median;
+    rtt.add_row({probe_kind_name(kind), T::fmt(stats::median(reported), 1),
+                 T::fmt(series.d2_box().iqr(), 2),
+                 std::abs(overhead) < 1 ? "high (socket)" : "biased (+HTTP)"});
+  }
+  std::printf("%s", rtt.render().c_str());
+
+  // --------------------------------------------------------- 2. clock
+  section("2. timing-API sanity (Date.getTime granularity)");
+  {
+    sim::Rng rng{2024};
+    browser::ClockSet clocks{os, rng};
+    const auto series = core::GranularityProber::probe_series(
+        clocks.java_date(), sim::TimePoint::epoch() + sim::Duration::seconds(1),
+        sim::Duration::seconds(15), 60);
+    const auto levels = core::GranularityProber::distinct_levels(series);
+    std::printf("observed granularity level(s):");
+    for (const auto& l : levels) std::printf(" %s", l.to_string().c_str());
+    std::printf("\nverdict: %s\n",
+                levels.size() > 1 || levels.front() > sim::Duration::millis(2)
+                    ? "UNSAFE for millisecond timing - use System.nanoTime()"
+                    : "1 ms granularity, adequate for coarse RTTs");
+  }
+
+  // ------------------------------------------------- 3. loss/reordering
+  section("3. packet loss & reordering (UDP probe train)");
+  {
+    core::LossReorderingExperiment::Config cfg;
+    cfg.browser = b;
+    cfg.os = os;
+    cfg.probes = 200;
+    if (impaired) {
+      cfg.testbed.link_loss_probability = 0.02;
+      cfg.testbed.server_jitter = sim::Duration::millis(20);
+      cfg.testbed.allow_reorder = true;
+    }
+    core::LossReorderingExperiment exp{cfg};
+    const auto r = exp.run();
+    std::printf("sent %d probes: %.1f%% lost, %d reordered "
+                "(capture agrees within %.2fpp)\n",
+                r.probes_sent, r.browser_loss_rate() * 100,
+                r.browser_reordered, r.loss_rate_error() * 100);
+  }
+
+  // ----------------------------------------------------------- 3b. DNS
+  section("3b. DNS resolution (Netalyzr measures this too)");
+  {
+    core::Testbed::Config tcfg;
+    tcfg.client_os = os;
+    core::Testbed testbed{tcfg};
+    net::DnsServer dns{testbed.server(), 53};
+    dns.add_record("server.bnm.test", testbed.http_endpoint().ip);
+    net::DnsResolver resolver{testbed.client(),
+                              net::Endpoint{testbed.http_endpoint().ip, 53}};
+    const sim::TimePoint t0 = testbed.sim().now();
+    sim::TimePoint done;
+    std::optional<net::IpAddress> addr;
+    resolver.resolve("server.bnm.test", [&](std::optional<net::IpAddress> a) {
+      addr = a;
+      done = testbed.sim().now();
+    });
+    testbed.sim().scheduler().run();
+    if (addr) {
+      std::printf("server.bnm.test -> %s in %.1f ms (cold cache)\n",
+                  addr->to_string().c_str(), (done - t0).ms_f());
+      std::printf("note: this lookup rides the same delayed path - a "
+                  "hostname-addressed probe's first RTT includes it.\n");
+    } else {
+      std::printf("resolution failed\n");
+    }
+  }
+
+  // ---------------------------------------------------- 4. throughput
+  section("4. download throughput (XHR)");
+  {
+    core::ThroughputExperiment::Config cfg;
+    cfg.browser = b;
+    cfg.os = os;
+    cfg.payload_sizes = {100 * 1024, 1024 * 1024};
+    core::ThroughputExperiment exp{cfg};
+    for (const auto& s : exp.run()) {
+      std::printf("%7zu KiB: %.1f Mbps reported (true %.1f Mbps)\n",
+                  s.payload_bytes / 1024, s.browser_tput_mbps,
+                  s.net_tput_mbps);
+    }
+  }
+
+  // --------------------------------------------------------- 5. trace
+  section("5. packet-level view of one WebSocket probe");
+  {
+    core::Testbed::Config tcfg;
+    tcfg.client_os = os;
+    core::Testbed testbed{tcfg};
+    auto session = testbed.launch_browser(browser::make_profile(
+        browser::case_supported(b, os) &&
+                browser::make_profile(b, os).supports_websocket
+            ? b
+            : browser::BrowserId::kChrome,
+        os), 0);
+    methods::MethodContext ctx;
+    ctx.browser = session.get();
+    ctx.http_server = testbed.http_endpoint();
+    ctx.ws_server = testbed.ws_endpoint();
+    auto method = methods::make_method(methods::ProbeKind::kWebSocket);
+    bool done = false;
+    method->run(ctx, [&](methods::MethodRunResult) { done = true; });
+    testbed.sim().scheduler().run();
+    if (done) {
+      report::SequenceRenderer::Options opts;
+      opts.hide_pure_acks = true;
+      opts.limit = 18;
+      report::SequenceRenderer renderer{opts};
+      std::printf("%s", renderer.render(testbed.client().capture()).c_str());
+    }
+  }
+
+  std::printf("\ndiagnosis complete.\n");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Quickstart: measure the delay overhead of one browser-based RTT
+// measurement method on the simulated Figure-2 testbed.
+//
+//   $ quickstart [method] [browser] [os] [runs]
+//   $ quickstart websocket chrome ubuntu 50
+//
+// Prints the Δd1/Δd2 box statistics for the chosen case - the building
+// block behind every figure in the paper.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/experiment.h"
+#include "report/table.h"
+
+namespace {
+
+using namespace bnm;
+
+methods::ProbeKind parse_method(const std::string& s) {
+  using K = methods::ProbeKind;
+  if (s == "xhr_get") return K::kXhrGet;
+  if (s == "xhr_post") return K::kXhrPost;
+  if (s == "dom") return K::kDom;
+  if (s == "flash_get") return K::kFlashGet;
+  if (s == "flash_post") return K::kFlashPost;
+  if (s == "flash_socket") return K::kFlashSocket;
+  if (s == "java_get") return K::kJavaGet;
+  if (s == "java_post") return K::kJavaPost;
+  if (s == "java_socket") return K::kJavaSocket;
+  if (s == "java_udp") return K::kJavaUdp;
+  if (s == "websocket") return K::kWebSocket;
+  std::fprintf(stderr, "unknown method '%s'\n", s.c_str());
+  std::exit(2);
+}
+
+browser::BrowserId parse_browser(const std::string& s) {
+  using B = browser::BrowserId;
+  if (s == "chrome") return B::kChrome;
+  if (s == "firefox") return B::kFirefox;
+  if (s == "ie") return B::kIe;
+  if (s == "opera") return B::kOpera;
+  if (s == "safari") return B::kSafari;
+  std::fprintf(stderr, "unknown browser '%s'\n", s.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::ExperimentConfig cfg;
+  cfg.kind = methods::ProbeKind::kWebSocket;
+  cfg.browser = browser::BrowserId::kChrome;
+  cfg.os = browser::OsId::kUbuntu;
+  cfg.runs = 50;
+
+  if (argc > 1) cfg.kind = parse_method(argv[1]);
+  if (argc > 2) cfg.browser = parse_browser(argv[2]);
+  if (argc > 3) {
+    cfg.os = std::string{argv[3]} == "windows" ? browser::OsId::kWindows7
+                                               : browser::OsId::kUbuntu;
+  }
+  if (argc > 4) cfg.runs = std::atoi(argv[4]);
+
+  if (!browser::case_supported(cfg.browser, cfg.os)) {
+    std::fprintf(stderr, "that browser/OS pair is outside the Table 2 matrix\n");
+    return 2;
+  }
+
+  std::printf("bnm quickstart: %s on %s / %s, %d runs\n",
+              probe_kind_name(cfg.kind), browser_name(cfg.browser),
+              os_name(cfg.os), cfg.runs);
+  std::printf("testbed: 100 Mbps switched Ethernet, +50 ms server delay, "
+              "client-side packet capture\n\n");
+
+  const core::OverheadSeries series = core::run_experiment(cfg);
+  if (series.samples.empty()) {
+    std::printf("no successful runs (%d failures: %s)\n", series.failures,
+                series.first_error.c_str());
+    return 1;
+  }
+
+  report::TextTable table({"metric", "delta-d1 (fresh object)",
+                           "delta-d2 (object reused)"});
+  const auto b1 = series.d1_box();
+  const auto b2 = series.d2_box();
+  using T = report::TextTable;
+  table.add_row({"median (ms)", T::fmt(b1.median, 2), T::fmt(b2.median, 2)});
+  table.add_row({"quartiles (ms)",
+                 T::fmt(b1.q1, 2) + " .. " + T::fmt(b1.q3, 2),
+                 T::fmt(b2.q1, 2) + " .. " + T::fmt(b2.q3, 2)});
+  table.add_row({"whiskers (ms)",
+                 T::fmt(b1.whisker_lo, 2) + " .. " + T::fmt(b1.whisker_hi, 2),
+                 T::fmt(b2.whisker_lo, 2) + " .. " + T::fmt(b2.whisker_hi, 2)});
+  table.add_row({"outliers", std::to_string(b1.outlier_count()),
+                 std::to_string(b2.outlier_count())});
+  const auto ci1 = series.d1_ci();
+  const auto ci2 = series.d2_ci();
+  table.add_row({"mean +- 95% CI (ms)", T::fmt_ci(ci1.mean, ci1.half_width),
+                 T::fmt_ci(ci2.mean, ci2.half_width)});
+  std::printf("%s", table.render().c_str());
+
+  std::printf("\nsamples: %zu ok, %d failed\n", series.samples.size(),
+              series.failures);
+  std::printf("interpretation: delta-d is how much the browser-level RTT "
+              "overshoots the packet-level RTT (Eq. 1).\n");
+  return 0;
+}

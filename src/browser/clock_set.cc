@@ -1,0 +1,38 @@
+#include "browser/clock_set.h"
+
+namespace bnm::browser {
+
+ClockSet::ClockSet(OsId os, sim::Rng rng) : os_{os} {
+  QuantizedClock::Config ms1;
+  ms1.granularities = {sim::Duration::millis(1)};
+
+  QuantizedClock::Config java;
+  if (os == OsId::kWindows7) {
+    java.granularities = {sim::Duration::millis(1),
+                          sim::Duration::from_millis_f(15.625)};
+    java.epoch_min = sim::Duration::minutes(1);
+    java.epoch_max = sim::Duration::minutes(4);
+  } else {
+    java.granularities = {sim::Duration::millis(1)};
+  }
+
+  js_date_ = std::make_unique<QuantizedClock>(ms1, rng.fork("js-date"));
+  flash_date_ = std::make_unique<QuantizedClock>(ms1, rng.fork("flash-date"));
+  java_date_ = std::make_unique<QuantizedClock>(java, rng.fork("java-date"));
+  js_perf_ = std::make_unique<PerformanceNowClock>();
+  java_nano_ = std::make_unique<NanoClock>();
+  perfect_ = std::make_unique<PerfectClock>();
+}
+
+TimingApi& ClockSet::get(ClockKind kind) {
+  switch (kind) {
+    case ClockKind::kJsDate: return *js_date_;
+    case ClockKind::kJsPerformanceNow: return *js_perf_;
+    case ClockKind::kFlashDate: return *flash_date_;
+    case ClockKind::kJavaDate: return *java_date_;
+    case ClockKind::kJavaNano: return *java_nano_;
+  }
+  return *perfect_;
+}
+
+}  // namespace bnm::browser

@@ -1,0 +1,40 @@
+// The client machine's clocks. OS timer state (granularity regimes) is
+// machine-wide: it must persist across browser launches within one
+// experiment, so the clock set lives with the testbed's client host, not
+// with any single Browser instance.
+#pragma once
+
+#include <memory>
+
+#include "browser/profile.h"
+#include "browser/timing.h"
+
+namespace bnm::browser {
+
+class ClockSet {
+ public:
+  /// Build the standard clocks for an OS. `safari_plugin_broken` selects
+  /// whether the Safari Java-plugin read-noise pathology is present on the
+  /// java Date path used by Safari (it reads through the plugin).
+  ClockSet(OsId os, sim::Rng rng);
+
+  TimingApi& get(ClockKind kind);
+  QuantizedClock& java_date() { return *java_date_; }
+  QuantizedClock& js_date() { return *js_date_; }
+  PerformanceNowClock& js_performance_now() { return *js_perf_; }
+  NanoClock& java_nano() { return *java_nano_; }
+  PerfectClock& perfect() { return *perfect_; }
+
+  OsId os() const { return os_; }
+
+ private:
+  OsId os_;
+  std::unique_ptr<QuantizedClock> js_date_;
+  std::unique_ptr<PerformanceNowClock> js_perf_;
+  std::unique_ptr<QuantizedClock> flash_date_;
+  std::unique_ptr<QuantizedClock> java_date_;
+  std::unique_ptr<NanoClock> java_nano_;
+  std::unique_ptr<PerfectClock> perfect_;
+};
+
+}  // namespace bnm::browser

@@ -1,0 +1,44 @@
+#include "browser/dom.h"
+
+#include <utility>
+
+namespace bnm::browser {
+
+bool DomElementLoader::load(const std::string& url) {
+  const auto parsed = parse_url(url, browser_.origin());
+  if (!parsed) {
+    if (onerror_) onerror_("malformed URL");
+    return false;
+  }
+  const bool first = !used_before_;
+  used_before_ = true;
+
+  http::HttpRequest req;
+  req.method = "GET";
+  req.target = parsed->path;
+  req.headers.set("Host", parsed->endpoint.to_string());
+
+  const sim::Duration pre = browser_.sample_pre_send(ProbeKind::kDom, first);
+  browser_.sim().scheduler().schedule_after(
+      pre, [this, first, target = parsed->endpoint, req = std::move(req)] {
+        browser_.http().request(
+            target, req,
+            [this, first](http::HttpResponse resp,
+                          http::HttpClient::TransferInfo) {
+              const sim::Duration dispatch =
+                  browser_.sample_recv_dispatch(ProbeKind::kDom, first);
+              browser_.event_loop().post(
+                  dispatch, [this, status = resp.status] {
+                    ++loads_completed_;
+                    if (status >= 200 && status < 400) {
+                      if (onload_) onload_();
+                    } else if (onerror_) {
+                      onerror_("load failed: " + std::to_string(status));
+                    }
+                  });
+            });
+      });
+  return true;
+}
+
+}  // namespace bnm::browser

@@ -1,0 +1,40 @@
+// Browser main-thread model: a FIFO task queue with per-task dispatch
+// latency. Completion events (onreadystatechange, onload, socket data)
+// queue behind whatever the main thread is doing, which is where much of
+// the HTTP methods' delay overhead comes from.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/simulation.h"
+
+namespace bnm::browser {
+
+class EventLoop {
+ public:
+  EventLoop(sim::Simulation& sim, std::string name);
+
+  /// Queue `task` to become runnable after `dispatch_latency`; it executes
+  /// once the main thread is free (non-preemptive, FIFO among ready
+  /// tasks). A task only occupies the thread when it actually runs, so
+  /// timers posted far into the future do not block earlier work.
+  void post(sim::Duration dispatch_latency, std::function<void()> task);
+
+  /// Cost charged to the main thread per executed task.
+  void set_task_cost(sim::Duration cost) { task_cost_ = cost; }
+
+  std::uint64_t tasks_run() const { return tasks_run_; }
+
+ private:
+  void try_run(const std::function<void()>& task);
+
+  sim::Simulation& sim_;
+  std::string name_;
+  sim::TimePoint busy_until_;
+  sim::Duration task_cost_ = sim::Duration::micros(20);
+  std::uint64_t tasks_run_ = 0;
+};
+
+}  // namespace bnm::browser

@@ -1,0 +1,137 @@
+#include "browser/java_applet.h"
+
+#include <utility>
+
+namespace bnm::browser {
+
+sim::Duration JavaAppletRuntime::pre_send(ProbeKind kind, bool first_use) {
+  if (options_.via_appletviewer) {
+    // No browser plugin between the applet and the stack: only the JRE's
+    // own call costs remain.
+    sim::Duration d = browser_.rng().uniform_ms(0.02, 0.08);
+    if (first_use) d += browser_.rng().uniform_ms(0.02, 0.10);
+    return d;
+  }
+  return browser_.sample_pre_send(kind, first_use);
+}
+
+sim::Duration JavaAppletRuntime::recv_dispatch(ProbeKind kind, bool first_use) {
+  if (options_.via_appletviewer) {
+    return browser_.rng().uniform_ms(0.05, 0.15);
+  }
+  return browser_.sample_recv_dispatch(kind, first_use,
+                                       /*java_date_path=*/!options_.use_nanotime);
+}
+
+bool JavaAppletRuntime::UrlConnection::load(const std::string& method,
+                                            const std::string& url,
+                                            const std::string& body) {
+  Browser& b = runtime_.browser();
+  const auto parsed = parse_url(url, b.origin());
+  if (!parsed) {
+    if (on_error_) on_error_("malformed URL");
+    return false;
+  }
+  const ProbeKind kind =
+      method == "POST" ? ProbeKind::kJavaPost : ProbeKind::kJavaGet;
+  const bool first = !used_before_;
+  used_before_ = true;
+
+  http::HttpRequest req;
+  req.method = method;
+  req.target = parsed->path;
+  req.headers.set("Host", parsed->endpoint.to_string());
+  req.body = body;
+
+  const sim::Duration pre = runtime_.pre_send(kind, first);
+  b.sim().scheduler().schedule_after(
+      pre, [this, &b, kind, first, target = parsed->endpoint,
+            req = std::move(req)] {
+        b.http().request(
+            target, req,
+            [this, &b, kind, first](http::HttpResponse resp,
+                                    http::HttpClient::TransferInfo) {
+              // Completion is detected by reading the content; the JRE
+              // still charges a dispatch delay for the read to return.
+              const sim::Duration dispatch = runtime_.recv_dispatch(kind, first);
+              b.sim().scheduler().schedule_after(
+                  dispatch, [this, resp = std::move(resp)] {
+                    if (on_complete_) on_complete_(resp.status, resp.body);
+                  });
+            });
+      });
+  return true;
+}
+
+void JavaAppletRuntime::Socket::connect(net::Endpoint target) {
+  Browser& b = runtime_.browser();
+  net::TcpCallbacks cbs;
+  cbs.on_connect = [this, &b] {
+    b.sim().scheduler().schedule_after(sim::Duration::micros(100), [this] {
+      if (on_connect_) on_connect_();
+    });
+  };
+  cbs.on_data = [this, &b](const std::vector<std::uint8_t>& bytes) {
+    const sim::Duration dispatch =
+        runtime_.recv_dispatch(ProbeKind::kJavaSocket, current_is_first_);
+    b.sim().scheduler().schedule_after(
+        dispatch, [this, data = net::to_string(bytes)] {
+          if (on_data_) on_data_(data);
+        });
+  };
+  conn_ = b.host().tcp_connect(target, std::move(cbs));
+}
+
+void JavaAppletRuntime::Socket::write(const std::string& bytes) {
+  if (!conn_ || !conn_->established()) return;
+  current_is_first_ = !used_before_;
+  used_before_ = true;
+  const sim::Duration pre =
+      runtime_.pre_send(ProbeKind::kJavaSocket, current_is_first_);
+  runtime_.browser().sim().scheduler().schedule_after(
+      pre, [this, bytes] { conn_->send(bytes); });
+}
+
+void JavaAppletRuntime::Socket::close() {
+  if (conn_) conn_->close();
+}
+
+JavaAppletRuntime::Socket::~Socket() {
+  if (conn_) {
+    conn_->set_callbacks({});
+    if (conn_->established()) conn_->close();
+  }
+}
+
+JavaAppletRuntime::DatagramSocket::DatagramSocket(JavaAppletRuntime& runtime)
+    : runtime_{runtime} {
+  Browser& b = runtime_.browser();
+  sock_ = b.host().udp_open([this, &b](net::Endpoint src,
+                                       const std::vector<std::uint8_t>& bytes) {
+    const sim::Duration dispatch =
+        runtime_.recv_dispatch(ProbeKind::kJavaUdp, current_is_first_);
+    b.sim().scheduler().schedule_after(
+        dispatch, [this, src, data = net::to_string(bytes)] {
+          if (on_receive_) on_receive_(src, data);
+        });
+  });
+}
+
+void JavaAppletRuntime::DatagramSocket::send_to(net::Endpoint target,
+                                                const std::string& bytes) {
+  current_is_first_ = !used_before_;
+  used_before_ = true;
+  const sim::Duration pre =
+      runtime_.pre_send(ProbeKind::kJavaUdp, current_is_first_);
+  runtime_.browser().sim().scheduler().schedule_after(
+      pre, [this, target, bytes] { sock_->send_to(target, net::to_bytes(bytes)); });
+}
+
+void JavaAppletRuntime::DatagramSocket::close() {
+  if (sock_) {
+    runtime_.browser().host().udp_close(sock_->local_port());
+    sock_.reset();
+  }
+}
+
+}  // namespace bnm::browser

@@ -1,0 +1,65 @@
+#include "browser/timing.h"
+
+#include <cassert>
+#include <utility>
+
+namespace bnm::browser {
+
+QuantizedClock::QuantizedClock(Config config, sim::Rng rng)
+    : config_{std::move(config)}, rng_{rng} {
+  assert(!config_.granularities.empty());
+  // Random phase so quantization boundaries are not aligned with t = 0.
+  phase_ = rng_.uniform_ms(0.0, config_.granularities.front().ms_f());
+  epochs_end_ = sim::TimePoint::epoch();
+}
+
+void QuantizedClock::extend_epochs(sim::TimePoint until) {
+  while (epochs_end_ <= until) {
+    Epoch e;
+    e.start = epochs_end_;
+    if (config_.granularities.size() == 1) {
+      e.granularity = config_.granularities.front();
+    } else {
+      // Pick a granularity different from the previous epoch's, so each
+      // epoch boundary is a real regime change.
+      const sim::Duration prev =
+          epochs_.empty() ? sim::Duration::zero() : epochs_.back().granularity;
+      sim::Duration next;
+      do {
+        const auto idx = static_cast<std::size_t>(rng_.uniform_int(
+            0, static_cast<std::int64_t>(config_.granularities.size()) - 1));
+        next = config_.granularities[idx];
+      } while (next == prev);
+      e.granularity = next;
+    }
+    epochs_.push_back(e);
+    const sim::Duration span = rng_.uniform_ms(config_.epoch_min.ms_f(),
+                                               config_.epoch_max.ms_f());
+    epochs_end_ = epochs_end_ + span;
+  }
+}
+
+sim::Duration QuantizedClock::granularity_at(sim::TimePoint t) {
+  extend_epochs(t);
+  // Epochs are sorted by start; find the last one starting at or before t.
+  const Epoch* best = &epochs_.front();
+  for (const auto& e : epochs_) {
+    if (e.start <= t) {
+      best = &e;
+    } else {
+      break;
+    }
+  }
+  return best->granularity;
+}
+
+sim::TimePoint QuantizedClock::read(sim::TimePoint true_now) {
+  sim::TimePoint instant = true_now;
+  if (!config_.read_noise.is_zero()) {
+    instant = instant - rng_.uniform_ms(0.0, config_.read_noise.ms_f());
+  }
+  const sim::Duration g = granularity_at(instant);
+  return (instant + phase_).quantized_floor(g) - phase_;
+}
+
+}  // namespace bnm::browser

@@ -1,0 +1,126 @@
+// Timing APIs as browsers and plugin runtimes expose them.
+//
+// The paper's key §4.2 finding: Java's Date.getTime() /
+// System.currentTimeMillis() claims 1 ms *resolution* but its *granularity*
+// follows the underlying OS timer, and on Windows 7 that granularity is not
+// even constant - it flips between 1 ms and ~15.6 ms, each regime lasting
+// minutes. QuantizedClock reproduces that regime-switching process;
+// NanoClock models System.nanoTime(); PerfectClock is the packet capturer's
+// reference clock.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/random.h"
+#include "sim/time.h"
+
+namespace bnm::browser {
+
+/// Interface of a timestamp source available to measurement code.
+class TimingApi {
+ public:
+  virtual ~TimingApi() = default;
+
+  /// The timestamp the API reports when called at true instant `true_now`.
+  virtual sim::TimePoint read(sim::TimePoint true_now) = 0;
+
+  /// How long one call to the API costs (busy-wait loops spin at this rate).
+  virtual sim::Duration call_cost() const { return sim::Duration::nanos(200); }
+
+  /// Nominal resolution of the returned value (what the docs promise).
+  virtual sim::Duration resolution() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Exact clock: what WinDump/tcpdump effectively timestamps against.
+class PerfectClock : public TimingApi {
+ public:
+  sim::TimePoint read(sim::TimePoint true_now) override { return true_now; }
+  sim::Duration call_cost() const override { return sim::Duration::nanos(50); }
+  sim::Duration resolution() const override { return sim::Duration::nanos(1); }
+  std::string name() const override { return "perfect"; }
+};
+
+/// Date.getTime() / System.currentTimeMillis(): millisecond values quantized
+/// to the OS timer granularity, which switches between regimes over time.
+class QuantizedClock : public TimingApi {
+ public:
+  struct Config {
+    /// The granularities the OS timer flips between. Windows 7 exhibits
+    /// {1 ms, ~15.625 ms} (64 Hz timer); Ubuntu stays at {1 ms}.
+    std::vector<sim::Duration> granularities{sim::Duration::millis(1)};
+    /// Regime epoch duration range ("several minutes" in the paper).
+    sim::Duration epoch_min = sim::Duration::minutes(1);
+    sim::Duration epoch_max = sim::Duration::minutes(4);
+    /// Cost of one API call (Date.getTime() through JNI is not free).
+    sim::Duration call_cost = sim::Duration::nanos(400);
+    /// Extra uniform [0, read_noise) subtracted from the instant being
+    /// quantized; models a plugin layer that serves stale time (the
+    /// Safari JavaPlugin pathology from §5).
+    sim::Duration read_noise = sim::Duration::zero();
+  };
+
+  QuantizedClock(Config config, sim::Rng rng);
+
+  sim::TimePoint read(sim::TimePoint true_now) override;
+  sim::Duration call_cost() const override { return config_.call_cost; }
+  /// Nominal (documented) resolution: 1 ms, regardless of true granularity.
+  sim::Duration resolution() const override { return sim::Duration::millis(1); }
+  std::string name() const override { return "Date.getTime"; }
+
+  /// The granularity in effect at `t` (drives the Figure 5 experiment).
+  sim::Duration granularity_at(sim::TimePoint t);
+
+ private:
+  struct Epoch {
+    sim::TimePoint start;
+    sim::Duration granularity;
+  };
+  void extend_epochs(sim::TimePoint until);
+
+  Config config_;
+  sim::Rng rng_;
+  std::vector<Epoch> epochs_;
+  sim::TimePoint epochs_end_;
+  sim::Duration phase_;  ///< quantization boundary offset
+};
+
+/// window.performance.now(): the W3C High Resolution Time API that began
+/// shipping (often prefixed) in the paper's browser generation. Microsecond
+/// granularity, monotonic - the JavaScript-side answer to the
+/// Date.getTime() problem, just as nanoTime() is the Java-side one.
+class PerformanceNowClock : public TimingApi {
+ public:
+  explicit PerformanceNowClock(sim::Duration granule = sim::Duration::micros(1))
+      : granule_{granule} {}
+
+  sim::TimePoint read(sim::TimePoint true_now) override {
+    return true_now.quantized_floor(granule_);
+  }
+  sim::Duration call_cost() const override { return sim::Duration::nanos(250); }
+  sim::Duration resolution() const override { return granule_; }
+  std::string name() const override { return "performance.now"; }
+
+ private:
+  sim::Duration granule_;
+};
+
+/// System.nanoTime(): high-resolution monotonic counter.
+class NanoClock : public TimingApi {
+ public:
+  explicit NanoClock(sim::Duration call_cost = sim::Duration::nanos(300))
+      : call_cost_{call_cost} {}
+
+  sim::TimePoint read(sim::TimePoint true_now) override { return true_now; }
+  sim::Duration call_cost() const override { return call_cost_; }
+  sim::Duration resolution() const override { return sim::Duration::nanos(1); }
+  std::string name() const override { return "System.nanoTime"; }
+
+ private:
+  sim::Duration call_cost_;
+};
+
+}  // namespace bnm::browser

@@ -1,0 +1,41 @@
+#include "browser/url.h"
+
+#include <cstdlib>
+
+namespace bnm::browser {
+
+std::optional<ParsedUrl> parse_url(const std::string& url,
+                                   net::Endpoint origin) {
+  ParsedUrl out;
+  if (url.rfind("http://", 0) == 0) {
+    out.absolute = true;
+    const std::string rest = url.substr(7);
+    const auto slash = rest.find('/');
+    const std::string hostport =
+        slash == std::string::npos ? rest : rest.substr(0, slash);
+    out.path = slash == std::string::npos ? "/" : rest.substr(slash);
+    const auto colon = hostport.find(':');
+    try {
+      if (colon == std::string::npos) {
+        out.endpoint.ip = net::IpAddress::parse(hostport);
+        out.endpoint.port = 80;
+      } else {
+        out.endpoint.ip = net::IpAddress::parse(hostport.substr(0, colon));
+        out.endpoint.port = static_cast<net::Port>(
+            std::strtoul(hostport.substr(colon + 1).c_str(), nullptr, 10));
+      }
+    } catch (...) {
+      return std::nullopt;
+    }
+    return out;
+  }
+  if (!url.empty() && url.front() == '/') {
+    out.absolute = false;
+    out.endpoint = origin;
+    out.path = url;
+    return out;
+  }
+  return std::nullopt;
+}
+
+}  // namespace bnm::browser

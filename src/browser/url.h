@@ -1,0 +1,23 @@
+// Minimal URL handling for the measurement shims: absolute
+// "http://a.b.c.d:port/path" or origin-relative "/path".
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "net/address.h"
+
+namespace bnm::browser {
+
+struct ParsedUrl {
+  bool absolute = false;       ///< had an explicit http://host part
+  net::Endpoint endpoint;      ///< target server (origin if relative)
+  std::string path = "/";      ///< path + query
+};
+
+/// Parse `url` against `origin`. Returns nullopt for malformed input.
+/// Hosts must be numeric IPv4 (the simulated network has no DNS).
+std::optional<ParsedUrl> parse_url(const std::string& url,
+                                   net::Endpoint origin);
+
+}  // namespace bnm::browser

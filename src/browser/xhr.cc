@@ -1,0 +1,61 @@
+#include "browser/xhr.h"
+
+#include <utility>
+
+namespace bnm::browser {
+
+bool XmlHttpRequest::open(const std::string& method, const std::string& url) {
+  const auto parsed = parse_url(url, browser_.origin());
+  if (!parsed) return false;
+  method_ = method;
+  url_ = *parsed;
+  change_state(ReadyState::kOpened);
+  return true;
+}
+
+void XmlHttpRequest::change_state(ReadyState s) {
+  state_ = s;
+  if (onreadystatechange_) onreadystatechange_();
+}
+
+bool XmlHttpRequest::send(const std::string& body) {
+  if (state_ != ReadyState::kOpened && state_ != ReadyState::kDone) {
+    if (onerror_) onerror_("InvalidStateError");
+    return false;
+  }
+  if (!browser_.same_origin(url_.endpoint)) {
+    if (onerror_) onerror_("same-origin policy violation");
+    return false;
+  }
+
+  const ProbeKind kind =
+      method_ == "POST" ? ProbeKind::kXhrPost : ProbeKind::kXhrGet;
+  const bool first = !used_before_;
+  used_before_ = true;
+
+  http::HttpRequest req;
+  req.method = method_;
+  req.target = url_.path;
+  req.headers.set("Host", url_.endpoint.to_string());
+  req.body = body;
+
+  const sim::Duration pre = browser_.sample_pre_send(kind, first);
+  browser_.sim().scheduler().schedule_after(pre, [this, kind, first,
+                                                  req = std::move(req)] {
+    browser_.http().request(
+        url_.endpoint, req,
+        [this, kind, first](http::HttpResponse resp,
+                            http::HttpClient::TransferInfo) {
+          const sim::Duration dispatch =
+              browser_.sample_recv_dispatch(kind, first);
+          browser_.event_loop().post(dispatch, [this, resp = std::move(resp)] {
+            status_ = resp.status;
+            response_text_ = resp.body;
+            change_state(ReadyState::kDone);
+          });
+        });
+  });
+  return true;
+}
+
+}  // namespace bnm::browser

@@ -1,0 +1,71 @@
+// Accuracy appraisal: turns raw overhead series into the paper's verdicts.
+//
+// Following ISO 5725 (as the paper does), accuracy combines *trueness* (how
+// close the median overhead is to zero) and *precision* (how tightly the
+// overhead repeats). A third axis the paper stresses is *consistency*
+// across browsers/OSes: a method whose overhead depends on the platform is
+// very hard to calibrate away. Section 5's practical recommendations are
+// codified in `recommend()`.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "browser/profile.h"
+#include "core/experiment.h"
+
+namespace bnm::core {
+
+/// Aggregated accuracy verdict for one method across a set of cases.
+struct MethodAppraisal {
+  methods::ProbeKind kind = methods::ProbeKind::kXhrGet;
+  std::string method_name;
+
+  double median_abs_overhead_ms = 0;  ///< trueness: |median Δd2| across cases
+  double mean_iqr_ms = 0;             ///< precision: average IQR of Δd2
+  double cross_case_spread_ms = 0;    ///< consistency: spread of per-case medians
+  double worst_case_median_ms = 0;    ///< worst per-case |median Δd2|
+  /// Statistical consistency: the smallest pairwise two-sample KS p-value
+  /// across cases. Near 0 means at least two platforms produce
+  /// distinguishably different overhead distributions (Flash's problem);
+  /// large means the method behaves the same everywhere.
+  double min_pairwise_ks_p = 1.0;
+
+  /// Composite score: lower is better. Weighted sum of the three axes.
+  double score() const {
+    return median_abs_overhead_ms + mean_iqr_ms + 0.5 * cross_case_spread_ms;
+  }
+};
+
+/// Appraise one method from its per-case series (uses Δd2 - the steady
+/// state overhead once the handshake/first-use effects are excluded).
+MethodAppraisal appraise_method(
+    methods::ProbeKind kind,
+    const std::vector<OverheadSeries>& per_case_series);
+
+/// Rank methods best-first by composite score.
+std::vector<MethodAppraisal> rank_methods(
+    const std::map<methods::ProbeKind, std::vector<OverheadSeries>>& results);
+
+/// Platform constraints for a recommendation (Section 5).
+struct Platform {
+  browser::OsId os = browser::OsId::kWindows7;
+  bool plugins_available = true;   ///< Flash/Java installed (false on mobile)
+  bool websocket_available = true;
+  bool can_use_nanotime = true;    ///< the tool controls its Java timing code
+};
+
+struct Recommendation {
+  methods::ProbeKind method = methods::ProbeKind::kWebSocket;
+  browser::BrowserId preferred_browser = browser::BrowserId::kFirefox;
+  std::vector<std::string> cautions;
+  std::string rationale;
+};
+
+/// Codified Section 5: Java socket + nanoTime when plugins are usable,
+/// WebSocket otherwise; DOM as the HTTP fallback; never Flash GET/POST;
+/// Firefox on Windows, Chrome on Ubuntu; avoid Safari's stock Java plugin.
+Recommendation recommend(const Platform& platform);
+
+}  // namespace bnm::core

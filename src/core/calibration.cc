@@ -1,0 +1,94 @@
+#include "core/calibration.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "stats/descriptive.h"
+
+namespace bnm::core {
+
+std::string CalibrationTable::key(const std::string& label,
+                                  methods::ProbeKind kind) {
+  return label + "|" + std::to_string(static_cast<int>(kind));
+}
+
+void CalibrationTable::learn(const OverheadSeries& series) {
+  if (series.samples.empty()) return;
+  CalibrationRecord rec;
+  rec.case_label = series.case_label;
+  rec.kind = series.config.kind;
+  const auto box = series.d2_box();
+  rec.median_overhead_ms = box.median;
+  rec.iqr_ms = box.iqr();
+  rec.samples = static_cast<int>(series.samples.size());
+  add(std::move(rec));
+}
+
+void CalibrationTable::add(CalibrationRecord record) {
+  records_[key(record.case_label, record.kind)] = std::move(record);
+}
+
+std::optional<CalibrationRecord> CalibrationTable::lookup(
+    const std::string& case_label, methods::ProbeKind kind) const {
+  const auto it = records_.find(key(case_label, kind));
+  if (it == records_.end()) return std::nullopt;
+  return it->second;
+}
+
+double CalibrationTable::corrected_rtt_ms(const std::string& case_label,
+                                          methods::ProbeKind kind,
+                                          double measured_rtt_ms) const {
+  const auto rec = lookup(case_label, kind);
+  if (!rec) return measured_rtt_ms;
+  return measured_rtt_ms - rec->median_overhead_ms;
+}
+
+double CalibrationTable::residual_ms(const OverheadSeries& fresh) const {
+  const auto rec = lookup(fresh.case_label, fresh.config.kind);
+  if (!rec || fresh.samples.empty()) return 0;
+  std::vector<double> residuals;
+  residuals.reserve(fresh.samples.size());
+  for (const auto& s : fresh.samples) {
+    residuals.push_back(std::fabs(s.d2_ms - rec->median_overhead_ms));
+  }
+  return stats::median(residuals);
+}
+
+std::string CalibrationTable::to_csv() const {
+  std::string out = "case,kind,median_overhead_ms,iqr_ms,samples\n";
+  char line[256];
+  for (const auto& [k, rec] : records_) {
+    std::snprintf(line, sizeof line, "\"%s\",%d,%.6f,%.6f,%d\n",
+                  rec.case_label.c_str(), static_cast<int>(rec.kind),
+                  rec.median_overhead_ms, rec.iqr_ms, rec.samples);
+    out += line;
+  }
+  return out;
+}
+
+CalibrationTable CalibrationTable::from_csv(const std::string& csv) {
+  CalibrationTable table;
+  std::istringstream in{csv};
+  std::string line;
+  std::getline(in, line);  // header
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    // "label",kind,median,iqr,samples
+    if (line.front() != '"') continue;
+    const auto end_quote = line.find('"', 1);
+    if (end_quote == std::string::npos) continue;
+    CalibrationRecord rec;
+    rec.case_label = line.substr(1, end_quote - 1);
+    int kind = 0;
+    if (std::sscanf(line.c_str() + end_quote + 1, ",%d,%lf,%lf,%d", &kind,
+                    &rec.median_overhead_ms, &rec.iqr_ms,
+                    &rec.samples) == 4) {
+      rec.kind = static_cast<methods::ProbeKind>(kind);
+      table.add(std::move(rec));
+    }
+  }
+  return table;
+}
+
+}  // namespace bnm::core

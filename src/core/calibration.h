@@ -1,0 +1,59 @@
+// Calibration: can a tool subtract its own overhead?
+//
+// Section 4 of the paper: "If the overheads are dependent on specific
+// browsers and systems, it will make the calibration very difficult." This
+// module makes that operational: learn a per-(case, method) correction
+// from one experiment, apply it to later measurements, and evaluate the
+// residual error. Consistent methods (DOM, WebSocket, Java+nanoTime)
+// calibrate to near zero; Flash HTTP does not.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace bnm::core {
+
+struct CalibrationRecord {
+  std::string case_label;            ///< "C (U)", "MobSaf", ...
+  methods::ProbeKind kind = methods::ProbeKind::kXhrGet;
+  double median_overhead_ms = 0;     ///< the correction to subtract
+  double iqr_ms = 0;                 ///< spread at learning time
+  int samples = 0;
+};
+
+class CalibrationTable {
+ public:
+  /// Learn (or replace) the correction for a series' (case, method).
+  void learn(const OverheadSeries& series);
+  void add(CalibrationRecord record);
+
+  std::optional<CalibrationRecord> lookup(const std::string& case_label,
+                                          methods::ProbeKind kind) const;
+
+  /// Apply the learned correction to a raw browser-level RTT; returns the
+  /// input unchanged when no record exists.
+  double corrected_rtt_ms(const std::string& case_label,
+                          methods::ProbeKind kind,
+                          double measured_rtt_ms) const;
+
+  std::size_t size() const { return records_.size(); }
+
+  /// Residual overhead of a *fresh* series after applying this table's
+  /// correction: median |Δd2 - correction|. The paper's calibratability
+  /// criterion in one number.
+  double residual_ms(const OverheadSeries& fresh) const;
+
+  // --- persistence (CSV, one record per line) ---
+  std::string to_csv() const;
+  static CalibrationTable from_csv(const std::string& csv);
+
+ private:
+  static std::string key(const std::string& label, methods::ProbeKind kind);
+  std::map<std::string, CalibrationRecord> records_;
+};
+
+}  // namespace bnm::core

@@ -1,0 +1,175 @@
+#include "core/experiment.h"
+
+#include <cassert>
+#include <utility>
+
+namespace bnm::core {
+
+std::vector<double> OverheadSeries::d1() const {
+  std::vector<double> out;
+  out.reserve(samples.size());
+  for (const auto& s : samples) out.push_back(s.d1_ms);
+  return out;
+}
+
+std::vector<double> OverheadSeries::d2() const {
+  std::vector<double> out;
+  out.reserve(samples.size());
+  for (const auto& s : samples) out.push_back(s.d2_ms);
+  return out;
+}
+
+namespace {
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+  return h;
+}
+}  // namespace
+
+Experiment::Experiment(ExperimentConfig config) : config_{std::move(config)} {
+  config_.testbed.client_os = config_.os;
+  // Each experiment is its own testbed session: derive an independent seed
+  // from the case so no two experiments share stochastic state (notably the
+  // machine's timer-regime schedule).
+  std::uint64_t seed = config_.seed;
+  seed = mix(seed, static_cast<std::uint64_t>(config_.browser));
+  seed = mix(seed, static_cast<std::uint64_t>(config_.os));
+  seed = mix(seed, static_cast<std::uint64_t>(config_.kind));
+  seed = mix(seed, config_.java_use_nanotime ? 2 : 1);
+  seed = mix(seed, config_.java_via_appletviewer ? 2 : 1);
+  config_.testbed.seed = seed;
+  testbed_ = std::make_unique<Testbed>(config_.testbed);
+}
+
+net::Port Experiment::probe_port() const {
+  switch (config_.kind) {
+    case methods::ProbeKind::kFlashSocket:
+    case methods::ProbeKind::kJavaSocket:
+      return config_.testbed.tcp_echo_port;
+    case methods::ProbeKind::kJavaUdp:
+      return config_.testbed.udp_echo_port;
+    case methods::ProbeKind::kWebSocket:
+      return config_.testbed.ws_port;
+    default:
+      return config_.testbed.http_port;
+  }
+}
+
+Experiment::WindowTimes Experiment::network_rtt_in_window(
+    sim::TimePoint from, sim::TimePoint to, net::Port port) const {
+  const auto& records = testbed_->client().capture().records();
+  WindowTimes out;
+  std::optional<sim::TimePoint> t_n_s;
+  std::optional<sim::TimePoint> t_n_r;
+  for (const auto& r : records) {
+    if (r.true_time < from || r.true_time > to) continue;
+    const net::Packet& p = r.packet;
+    const bool outbound = r.direction == net::CaptureDirection::kOutbound;
+    if (outbound && p.protocol == net::Protocol::kTcp && p.flags.syn &&
+        !p.flags.ack && p.dst.port == port) {
+      ++out.connections_opened;
+    }
+    if (outbound && p.dst.port == port && p.carries_data()) {
+      if (!t_n_s) t_n_s = r.timestamp;  // first request packet
+    }
+    if (!outbound && p.src.port == port && p.carries_data()) {
+      t_n_r = r.timestamp;  // last response packet so far
+    }
+  }
+  if (t_n_s && t_n_r && *t_n_r > *t_n_s) {
+    out.net_rtt_ms = (*t_n_r - *t_n_s).ms_f();
+  }
+  return out;
+}
+
+OverheadSeries Experiment::run() {
+  OverheadSeries series;
+  series.config = config_;
+
+  auto method = methods::make_method(config_.kind);
+  series.method_name = method->info().name;
+
+  browser::BrowserProfile profile =
+      config_.custom_profile
+          ? *config_.custom_profile
+          : browser::make_profile(config_.browser, config_.os);
+  series.case_label = config_.java_via_appletviewer
+                          ? std::string{"appletviewer ("} +
+                                browser::os_initial(config_.os) + ")"
+                          : profile.label();
+
+  sim::Scheduler& sched = testbed_->sim().scheduler();
+  sim::Rng gap_rng = testbed_->sim().rng_for("experiment/gaps");
+  const net::Port port = probe_port();
+
+  for (int run = 0; run < config_.runs; ++run) {
+    auto browser = testbed_->launch_browser(profile,
+                                            static_cast<std::uint64_t>(run));
+
+    methods::MethodContext ctx;
+    ctx.browser = browser.get();
+    ctx.http_server = testbed_->http_endpoint();
+    ctx.tcp_echo = testbed_->tcp_echo_endpoint();
+    ctx.udp_echo = testbed_->udp_echo_endpoint();
+    ctx.ws_server = testbed_->ws_endpoint();
+    ctx.java_use_nanotime = config_.java_use_nanotime;
+    ctx.java_via_appletviewer = config_.java_via_appletviewer;
+    ctx.js_use_performance_now = config_.js_use_performance_now;
+
+    std::optional<methods::MethodRunResult> result;
+    method->run(ctx, [&result](methods::MethodRunResult r) {
+      result = std::move(r);
+    });
+    // Drive the simulation until the method completes. A drained queue
+    // with no result surfaces a deadlock; the deadline guards against
+    // perpetual event sources (cross traffic) masking one.
+    const sim::TimePoint deadline =
+        testbed_->sim().now() + sim::Duration::seconds(30);
+    while (!result && testbed_->sim().now() <= deadline && sched.step()) {
+    }
+
+    if (!result || !result->ok) {
+      ++series.failures;
+      if (series.first_error.empty()) {
+        series.first_error = result ? result->error : "method never completed";
+      }
+    } else {
+      OverheadSample s;
+      const auto w1 = network_rtt_in_window(result->m1.true_send,
+                                            result->m1.true_recv, port);
+      const auto w2 = network_rtt_in_window(result->m2.true_send,
+                                            result->m2.true_recv, port);
+      if (w1.net_rtt_ms && w2.net_rtt_ms) {
+        s.browser_rtt1_ms = result->m1.browser_rtt().ms_f();
+        s.browser_rtt2_ms = result->m2.browser_rtt().ms_f();
+        s.net_rtt1_ms = *w1.net_rtt_ms;
+        s.net_rtt2_ms = *w2.net_rtt_ms;
+        s.d1_ms = s.browser_rtt1_ms - s.net_rtt1_ms;
+        s.d2_ms = s.browser_rtt2_ms - s.net_rtt2_ms;
+        s.connections_opened1 = w1.connections_opened;
+        s.connections_opened2 = w2.connections_opened;
+        series.samples.push_back(s);
+      } else {
+        ++series.failures;
+        if (series.first_error.empty()) {
+          series.first_error = "no probe packets in capture window";
+        }
+      }
+    }
+
+    // Tear the session down and idle until the next repetition.
+    browser.reset();
+    testbed_->client().capture().clear();
+    const sim::Duration gap = gap_rng.uniform_ms(
+        config_.inter_run_gap_min.ms_f(), config_.inter_run_gap_max.ms_f());
+    sched.run_until(testbed_->sim().now() + gap);
+  }
+  return series;
+}
+
+OverheadSeries run_experiment(ExperimentConfig config) {
+  Experiment e{std::move(config)};
+  return e.run();
+}
+
+}  // namespace bnm::core

@@ -1,0 +1,107 @@
+// The delay-overhead experiment runner: the paper's Eq. (1) pipeline.
+//
+// For one (browser, OS, method) case it repeats the two-phase protocol N
+// times (default 50). Each repetition launches a fresh browser session,
+// runs the method's two back-to-back measurements, and computes
+//
+//     Δd = (tB_r - tB_s) - (tN_r - tN_s)
+//
+// where tB come from the method's own timing API and tN from the client
+// packet capture (first outbound data packet / last inbound data packet to
+// the probe port within the measurement window).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "browser/profile.h"
+#include "core/testbed.h"
+#include "methods/method.h"
+#include "methods/registry.h"
+#include "stats/boxplot.h"
+#include "stats/ci.h"
+
+namespace bnm::core {
+
+struct ExperimentConfig {
+  browser::BrowserId browser = browser::BrowserId::kChrome;
+  browser::OsId os = browser::OsId::kUbuntu;
+  methods::ProbeKind kind = methods::ProbeKind::kXhrGet;
+  int runs = 50;
+  std::uint64_t seed = 42;
+
+  bool java_use_nanotime = false;     ///< Table 4 variant
+  bool java_via_appletviewer = false; ///< Figure 4(b) variant
+  bool js_use_performance_now = false; ///< High Resolution Time variant
+
+  /// Override the Table-2 profile entirely (mobile platforms, custom
+  /// calibrations). When set, `browser`/`os` still choose the machine
+  /// clock behaviour and the RNG case label.
+  std::optional<browser::BrowserProfile> custom_profile;
+
+  /// Idle gap between repetitions (browser launch, page load, automation
+  /// script overhead). 50 runs at 5-9 s apart span ~6 minutes, so the
+  /// Windows timer-granularity regime flips within one experiment - the
+  /// mechanism behind Fig. 4's discrete Δd levels.
+  sim::Duration inter_run_gap_min = sim::Duration::seconds(5);
+  sim::Duration inter_run_gap_max = sim::Duration::seconds(9);
+
+  Testbed::Config testbed{};  ///< client_os is overridden from `os`
+};
+
+/// One repetition's outcome.
+struct OverheadSample {
+  double d1_ms = 0;  ///< Δd1: first measurement, fresh object
+  double d2_ms = 0;  ///< Δd2: second measurement, object reused
+  double browser_rtt1_ms = 0, browser_rtt2_ms = 0;
+  double net_rtt1_ms = 0, net_rtt2_ms = 0;
+  /// TCP connections opened during each measurement window (0 = reused).
+  int connections_opened1 = 0, connections_opened2 = 0;
+};
+
+/// A full experiment's results plus summary statistics.
+struct OverheadSeries {
+  ExperimentConfig config;
+  std::string case_label;    ///< "C (U)", "appletviewer (W)", ...
+  std::string method_name;   ///< "XHR GET", ...
+  std::vector<OverheadSample> samples;
+  int failures = 0;
+  std::string first_error;
+
+  std::vector<double> d1() const;
+  std::vector<double> d2() const;
+  stats::BoxStats d1_box() const { return stats::box_stats(d1()); }
+  stats::BoxStats d2_box() const { return stats::box_stats(d2()); }
+  stats::ConfidenceInterval d1_ci() const { return stats::mean_ci(d1()); }
+  stats::ConfidenceInterval d2_ci() const { return stats::mean_ci(d2()); }
+};
+
+class Experiment {
+ public:
+  explicit Experiment(ExperimentConfig config);
+
+  /// Run all repetitions to completion (drains the simulation between
+  /// runs) and return the collected series.
+  OverheadSeries run();
+
+  /// Testbed access after run() - e.g. to dump the capture to a pcap file.
+  Testbed& testbed() { return *testbed_; }
+
+ private:
+  struct WindowTimes {
+    std::optional<double> net_rtt_ms;
+    int connections_opened = 0;
+  };
+  WindowTimes network_rtt_in_window(sim::TimePoint from, sim::TimePoint to,
+                                    net::Port probe_port) const;
+  net::Port probe_port() const;
+
+  ExperimentConfig config_;
+  std::unique_ptr<Testbed> testbed_;
+};
+
+/// Convenience: run one case end to end.
+OverheadSeries run_experiment(ExperimentConfig config);
+
+}  // namespace bnm::core

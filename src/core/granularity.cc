@@ -1,0 +1,64 @@
+#include "core/granularity.h"
+
+#include <algorithm>
+
+namespace bnm::core {
+
+GranularityProbe GranularityProber::probe_once(browser::TimingApi& clock,
+                                               sim::TimePoint start) {
+  GranularityProbe out;
+  out.at = start;
+
+  sim::TimePoint cursor = start;
+  const sim::TimePoint first = clock.read(cursor);
+  out.api_calls = 1;
+  // Safety bound: no sane clock granule exceeds one second of spinning.
+  const sim::TimePoint deadline = start + sim::Duration::seconds(1);
+  for (;;) {
+    cursor += clock.call_cost();
+    const sim::TimePoint current = clock.read(cursor);
+    ++out.api_calls;
+    if (current != first) {
+      out.measured = current - first;
+      break;
+    }
+    if (cursor > deadline) {
+      out.measured = sim::Duration::zero();
+      break;
+    }
+  }
+  return out;
+}
+
+std::vector<GranularityProbe> GranularityProber::probe_series(
+    browser::TimingApi& clock, sim::TimePoint start, sim::Duration interval,
+    std::size_t count) {
+  std::vector<GranularityProbe> out;
+  out.reserve(count);
+  sim::TimePoint at = start;
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(probe_once(clock, at));
+    at += interval;
+  }
+  return out;
+}
+
+std::vector<sim::Duration> GranularityProber::distinct_levels(
+    const std::vector<GranularityProbe>& series) {
+  std::vector<sim::Duration> values;
+  values.reserve(series.size());
+  for (const auto& p : series) values.push_back(p.measured);
+  std::sort(values.begin(), values.end());
+
+  std::vector<sim::Duration> levels;
+  for (const auto& v : values) {
+    if (levels.empty() ||
+        static_cast<double>(v.ns()) >
+            static_cast<double>(levels.back().ns()) * 1.10) {
+      levels.push_back(v);
+    }
+  }
+  return levels;
+}
+
+}  // namespace bnm::core

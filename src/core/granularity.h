@@ -1,0 +1,42 @@
+// Figure 5 reproduction: probe the *actual* granularity of a timing API by
+// busy-polling it until the returned value changes (the paper's Java
+// snippet), and sample that granularity over time to expose the Windows
+// regime-switching the paper discovered.
+#pragma once
+
+#include <vector>
+
+#include "browser/timing.h"
+#include "sim/time.h"
+
+namespace bnm::core {
+
+struct GranularityProbe {
+  sim::TimePoint at;         ///< when the probe started
+  sim::Duration measured;    ///< end - start, per the paper's code
+  std::uint64_t api_calls;   ///< loop iterations until the value changed
+};
+
+class GranularityProber {
+ public:
+  /// One execution of the paper's Figure 5 loop starting at `start`:
+  /// busy-poll `clock` (each call advancing time by its call cost) until
+  /// the returned value differs from the first reading.
+  static GranularityProbe probe_once(browser::TimingApi& clock,
+                                     sim::TimePoint start);
+
+  /// Repeat probe_once at `interval` spacing, `count` times - long enough
+  /// sampling exposes regime changes ("each possible value will last for a
+  /// period of time and then change").
+  static std::vector<GranularityProbe> probe_series(browser::TimingApi& clock,
+                                                    sim::TimePoint start,
+                                                    sim::Duration interval,
+                                                    std::size_t count);
+
+  /// Distinct granularity levels seen in a series (values within 10%
+  /// cluster together), sorted ascending.
+  static std::vector<sim::Duration> distinct_levels(
+      const std::vector<GranularityProbe>& series);
+};
+
+}  // namespace bnm::core

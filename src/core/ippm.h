@@ -1,0 +1,56 @@
+// IPPM-style dedicated-host measurement (RFC 2330/2681): the "traditional"
+// baseline the paper's introduction contrasts browser tools against -
+// network performance sampled by a Poisson process from a dedicated host
+// with careful resource management, i.e. raw sockets and a precise clock,
+// no rendering engine in the way.
+//
+// PoissonRttStream implements Type-P-Round-trip-Delay sampling: probe send
+// times form a Poisson process (exponential inter-arrival gaps), probes are
+// single UDP datagrams, and timestamps come straight from the host with
+// only the stack's own cost. Against the same testbed, its delay overhead
+// is the floor any browser-based method should be compared to.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/testbed.h"
+
+namespace bnm::core {
+
+struct IppmSample {
+  int seq = 0;
+  double rtt_ms = 0;        ///< application-level RTT on the dedicated host
+  double net_rtt_ms = 0;    ///< capture-level RTT for the same probe
+  double overhead_ms() const { return rtt_ms - net_rtt_ms; }
+};
+
+class PoissonRttStream {
+ public:
+  struct Config {
+    /// Mean probe rate (Poisson lambda), probes per second.
+    double rate_per_second = 2.0;
+    int probes = 50;
+    sim::Duration drain_timeout = sim::Duration::millis(500);
+    std::uint64_t seed = 42;
+    Testbed::Config testbed{};
+  };
+
+  explicit PoissonRttStream(Config config);
+
+  /// Run the stream to completion; lost probes yield no sample.
+  std::vector<IppmSample> run();
+
+  /// RFC 2681 statistic helpers over collected samples.
+  static double min_rtt_ms(const std::vector<IppmSample>& samples);
+  static double median_rtt_ms(const std::vector<IppmSample>& samples);
+
+  Testbed& testbed() { return *testbed_; }
+
+ private:
+  Config config_;
+  std::unique_ptr<Testbed> testbed_;
+};
+
+}  // namespace bnm::core

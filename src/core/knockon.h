@@ -1,0 +1,72 @@
+// Knock-on effects of delay overhead (Section 2.2): jitter measurements
+// inherit the overhead's variability, and round-trip throughput computed
+// from an inflated RTT is under-estimated.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "browser/profile.h"
+#include "core/experiment.h"
+
+namespace bnm::core {
+
+/// Jitter as a measurement tool computes it (mean absolute difference of
+/// consecutive RTTs, RFC 3550 style), at browser level vs packet level.
+struct JitterReport {
+  double browser_jitter_ms = 0;  ///< from tB_r - tB_s series
+  double net_jitter_ms = 0;      ///< from tN_r - tN_s series (ground truth)
+  /// How much of the reported jitter is overhead artifact (>= 1 means the
+  /// browser at least doubles ... ratio browser/net).
+  double inflation() const {
+    return net_jitter_ms > 0 ? browser_jitter_ms / net_jitter_ms : 0;
+  }
+};
+
+/// Compute from the Δd2 repetitions of one experiment (steady-state path).
+JitterReport jitter_report(const OverheadSeries& series);
+
+/// One payload size's throughput comparison.
+struct ThroughputSample {
+  std::size_t payload_bytes = 0;
+  double browser_ms = 0;  ///< duration seen by the measurement code
+  double net_ms = 0;      ///< duration seen by the packet capture
+  double browser_tput_mbps = 0;
+  double net_tput_mbps = 0;
+  /// net/browser throughput ratio - 1.0 means no under-estimation.
+  double underestimation() const {
+    return browser_tput_mbps > 0 ? net_tput_mbps / browser_tput_mbps : 0;
+  }
+};
+
+/// Download a payload (XHR GET /payload?size=N, or a WebSocket PULL:<n>
+/// message) and compare browser-level against capture-level round-trip
+/// throughput, per payload size.
+class ThroughputExperiment {
+ public:
+  /// The transfer vehicle: an HTTP method or the socket method (Table 1
+  /// lists Tput for both families).
+  enum class Via { kXhr, kWebSocket };
+
+  struct Config {
+    browser::BrowserId browser = browser::BrowserId::kChrome;
+    browser::OsId os = browser::OsId::kUbuntu;
+    Via via = Via::kXhr;
+    std::vector<std::size_t> payload_sizes{1024, 10 * 1024, 100 * 1024,
+                                           1024 * 1024};
+    int runs_per_size = 5;
+    std::uint64_t seed = 42;
+    Testbed::Config testbed{};
+  };
+
+  explicit ThroughputExperiment(Config config);
+
+  /// Median-of-runs sample per payload size.
+  std::vector<ThroughputSample> run();
+
+ private:
+  Config config_;
+  std::unique_ptr<Testbed> testbed_;
+};
+
+}  // namespace bnm::core

@@ -1,0 +1,74 @@
+// Loss and reordering measurement through the browser (the Java UDP
+// method's domain, Table 1), and the check behind the paper's Section 2
+// claim: delay overheads inflate RTT and jitter, but "we do not anticipate
+// such impact on packet loss and reordering measurement."
+//
+// The experiment sends a train of sequence-numbered UDP probes from the
+// applet, the server echoes them, and two observers count:
+//   - the measurement code (browser level): echoes received before the
+//     deadline, out-of-order arrivals by sequence number;
+//   - the packet capture (ground truth): echoed datagrams on the wire.
+#pragma once
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "browser/profile.h"
+#include "core/testbed.h"
+
+namespace bnm::core {
+
+struct LossReorderingResult {
+  int probes_sent = 0;
+
+  // Browser-level (what the tool reports).
+  int browser_received = 0;
+  int browser_reordered = 0;  ///< arrivals with seq < a previously seen seq
+  double browser_loss_rate() const {
+    return probes_sent == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(browser_received) / probes_sent;
+  }
+
+  // Capture-level (ground truth at the NIC).
+  int net_received = 0;
+  int net_reordered = 0;
+  double net_loss_rate() const {
+    return probes_sent == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(net_received) / probes_sent;
+  }
+
+  /// |browser - net| loss-rate disagreement: ~0 per the paper's claim.
+  double loss_rate_error() const {
+    return std::abs(browser_loss_rate() - net_loss_rate());
+  }
+};
+
+class LossReorderingExperiment {
+ public:
+  struct Config {
+    browser::BrowserId browser = browser::BrowserId::kChrome;
+    browser::OsId os = browser::OsId::kWindows7;
+    int probes = 200;
+    sim::Duration probe_interval = sim::Duration::millis(20);
+    /// Wait after the last probe before declaring stragglers lost.
+    sim::Duration drain_timeout = sim::Duration::millis(500);
+    std::uint64_t seed = 42;
+    Testbed::Config testbed{};  ///< set link_loss_probability / reordering
+  };
+
+  explicit LossReorderingExperiment(Config config);
+
+  LossReorderingResult run();
+
+  Testbed& testbed() { return *testbed_; }
+
+ private:
+  Config config_;
+  std::unique_ptr<Testbed> testbed_;
+};
+
+}  // namespace bnm::core

@@ -1,0 +1,48 @@
+// Offline capture analysis: compute request/response RTTs from a pcap file
+// or an in-memory record list - the WinDump/tcpdump post-processing step of
+// the paper's methodology, packaged so it also works on captures taken
+// outside the simulator.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/pcap_reader.h"
+#include "stats/descriptive.h"
+
+namespace bnm::core {
+
+struct OfflineRtt {
+  sim::TimePoint request_at;  ///< outbound data packet timestamp
+  sim::TimePoint response_at; ///< matched inbound data packet timestamp
+  double rtt_ms = 0;
+  std::size_t request_bytes = 0;
+  std::size_t response_bytes = 0;
+};
+
+class OfflineAnalyzer {
+ public:
+  /// Pair each outbound data packet from `client_ip` to `server_port`
+  /// with the next inbound data packet from that port (before the
+  /// following request). Pure ACKs, SYN/FIN and unrelated flows are
+  /// ignored - the same filter discipline the experiments use.
+  static std::vector<OfflineRtt> request_response_rtts(
+      const std::vector<net::PcapRecord>& records, net::IpAddress client_ip,
+      net::Port server_port);
+
+  /// Convenience: read `path` and analyze. Throws std::runtime_error when
+  /// the file cannot be parsed.
+  static std::vector<OfflineRtt> analyze_file(const std::string& path,
+                                              net::IpAddress client_ip,
+                                              net::Port server_port);
+
+  struct Summary {
+    std::size_t exchanges = 0;
+    double min_rtt_ms = 0;
+    double median_rtt_ms = 0;
+    double max_rtt_ms = 0;
+  };
+  static Summary summarize(const std::vector<OfflineRtt>& rtts);
+};
+
+}  // namespace bnm::core

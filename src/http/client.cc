@@ -1,0 +1,278 @@
+#include "http/client.h"
+
+#include <utility>
+
+namespace bnm::http {
+
+HttpClient::HttpClient(net::Host& host) : host_{host} {}
+
+HttpClient::~HttpClient() {
+  queue_.clear();
+  for (auto& [server, vec] : pool_) {
+    for (auto& e : vec) {
+      if (e->conn) {
+        e->conn->set_callbacks({});
+        if (e->alive) e->conn->close();
+      }
+      e->alive = false;
+    }
+  }
+}
+
+std::shared_ptr<HttpClient::PoolEntry> HttpClient::take_idle(
+    net::Endpoint server) {
+  auto it = pool_.find(server);
+  if (it == pool_.end()) return nullptr;
+  auto& vec = it->second;
+  while (!vec.empty()) {
+    auto entry = vec.back();
+    vec.pop_back();
+    if (entry->alive && !entry->busy && entry->conn->established()) {
+      return entry;
+    }
+  }
+  return nullptr;
+}
+
+void HttpClient::release_slot(net::Endpoint server, PoolEntry& entry) {
+  if (!entry.counted) return;
+  entry.counted = false;
+  auto it = live_count_.find(server);
+  if (it != live_count_.end() && it->second > 0) --it->second;
+  pump_queue(server);
+}
+
+void HttpClient::pump_queue(net::Endpoint server) {
+  auto qit = queue_.find(server);
+  if (qit == queue_.end()) return;
+  auto& q = qit->second;
+  while (!q.empty()) {
+    // Prefer an idle pooled connection; otherwise open one if a slot is
+    // free; otherwise keep waiting.
+    if (auto entry = take_idle(server)) {
+      QueuedRequest item = std::move(q.front());
+      q.pop_front();
+      item.info.opened_new_connection = false;
+      item.info.connect_complete = host_.sim().now();
+      start_on(entry, server, item.req, std::move(item.cb), item.opts,
+               item.info);
+      continue;
+    }
+    if (live_count_[server] < max_per_host_) {
+      QueuedRequest item = std::move(q.front());
+      q.pop_front();
+      open_and_start(server, std::move(item.req), std::move(item.cb),
+                     item.opts, item.info);
+      continue;
+    }
+    break;
+  }
+}
+
+void HttpClient::request(net::Endpoint server, HttpRequest req,
+                         ResponseCallback cb, Options opts) {
+  TransferInfo info;
+  info.started = host_.sim().now();
+
+  if (opts.reuse_pooled) {
+    if (auto entry = take_idle(server)) {
+      info.opened_new_connection = false;
+      info.connect_complete = info.started;
+      start_on(entry, server, req, std::move(cb), opts, info);
+      return;
+    }
+  }
+
+  if (live_count_[server] >= max_per_host_) {
+    // At the per-host parallel-connection limit: queue like a browser.
+    queue_[server].push_back(
+        QueuedRequest{std::move(req), std::move(cb), opts, info});
+    return;
+  }
+  open_and_start(server, std::move(req), std::move(cb), opts, info);
+}
+
+void HttpClient::open_and_start(net::Endpoint server, HttpRequest req,
+                                ResponseCallback cb, Options opts,
+                                TransferInfo info) {
+  info.opened_new_connection = true;
+  ++connections_opened_;
+  ++live_count_[server];
+  auto entry = std::make_shared<PoolEntry>();
+  entry->busy = true;
+  net::TcpCallbacks cbs;
+  auto self = this;
+  cbs.on_connect = [self, entry, server, req = std::move(req),
+                    cb = std::move(cb), opts, info]() mutable {
+    info.connect_complete = self->host_.sim().now();
+    self->start_on(entry, server, req, std::move(cb), opts, info);
+  };
+  cbs.on_reset = [self, entry, server] {
+    entry->alive = false;
+    self->release_slot(server, *entry);
+    if (self->on_error_) self->on_error_("connect failed: connection reset");
+  };
+  entry->conn = host_.tcp_connect(server, std::move(cbs));
+}
+
+void HttpClient::start_on(const std::shared_ptr<PoolEntry>& entry,
+                          net::Endpoint server, const HttpRequest& req,
+                          ResponseCallback cb, Options opts, TransferInfo info) {
+  entry->busy = true;
+  net::TcpCallbacks cbs;
+  auto self = this;
+  auto cb_shared = std::make_shared<ResponseCallback>(std::move(cb));
+  cbs.on_data = [self, entry, server, cb_shared, opts,
+                 info](const std::vector<std::uint8_t>& bytes) mutable {
+    entry->parser.feed(net::to_string(bytes));
+    if (entry->parser.failed()) {
+      entry->alive = false;
+      self->release_slot(server, *entry);
+      entry->conn->abort();
+      if (self->on_error_) self->on_error_("response parse error");
+      return;
+    }
+    if (auto resp = entry->parser.take()) {
+      info.response_complete = self->host_.sim().now();
+      self->finish(entry, server, std::move(*resp), *cb_shared, opts, info);
+    }
+  };
+  cbs.on_close = [self, entry, server, cb_shared, opts, info]() mutable {
+    entry->alive = false;
+    self->release_slot(server, *entry);
+    entry->parser.on_connection_closed();
+    if (auto resp = entry->parser.take()) {
+      info.response_complete = self->host_.sim().now();
+      self->finish(entry, server, std::move(*resp), *cb_shared, opts, info);
+    } else if (entry->busy && self->on_error_) {
+      self->on_error_("connection closed mid-response");
+    }
+  };
+  cbs.on_reset = [self, entry, server] {
+    entry->alive = false;
+    self->release_slot(server, *entry);
+    if (entry->busy && self->on_error_) self->on_error_("connection reset");
+  };
+  entry->conn->set_callbacks(std::move(cbs));
+  entry->conn->send(req.serialize());
+}
+
+namespace {
+/// Parse a Location header: "/path" (same server) or
+/// "http://a.b.c.d[:port]/path". Returns false on anything else.
+bool parse_location(const std::string& location, net::Endpoint same_server,
+                    net::Endpoint& out_server, std::string& out_path) {
+  if (!location.empty() && location.front() == '/') {
+    out_server = same_server;
+    out_path = location;
+    return true;
+  }
+  if (location.rfind("http://", 0) != 0) return false;
+  const std::string rest = location.substr(7);
+  const auto slash = rest.find('/');
+  const std::string hostport =
+      slash == std::string::npos ? rest : rest.substr(0, slash);
+  out_path = slash == std::string::npos ? "/" : rest.substr(slash);
+  const auto colon = hostport.find(':');
+  try {
+    if (colon == std::string::npos) {
+      out_server.ip = net::IpAddress::parse(hostport);
+      out_server.port = 80;
+    } else {
+      out_server.ip = net::IpAddress::parse(hostport.substr(0, colon));
+      out_server.port = static_cast<net::Port>(
+          std::strtoul(hostport.substr(colon + 1).c_str(), nullptr, 10));
+    }
+  } catch (...) {
+    return false;
+  }
+  return true;
+}
+}  // namespace
+
+void HttpClient::finish(const std::shared_ptr<PoolEntry>& entry,
+                        net::Endpoint server, HttpResponse response,
+                        const ResponseCallback& cb, Options opts,
+                        TransferInfo info) {
+  entry->busy = false;
+  const bool keep = response.wants_keep_alive() && entry->alive;
+  if (keep && opts.pool_after_use) {
+    pool_[server].push_back(entry);
+  } else if (entry->alive) {
+    entry->alive = false;
+    release_slot(server, *entry);
+    entry->conn->close();
+  }
+
+  // Follow redirects transparently; each hop is a fresh GET and a fresh
+  // round trip charged to the same TransferInfo.started.
+  if ((response.status == 301 || response.status == 302) &&
+      opts.max_redirects > 0) {
+    if (const auto location = response.headers.get("Location")) {
+      net::Endpoint next_server;
+      std::string next_path;
+      if (parse_location(*location, server, next_server, next_path)) {
+        HttpRequest next;
+        next.method = "GET";
+        next.target = next_path;
+        next.headers.set("Host", next_server.to_string());
+        Options next_opts = opts;
+        --next_opts.max_redirects;
+        ResponseCallback chain =
+            [cb, first_started = info.started](HttpResponse r,
+                                               TransferInfo hop_info) {
+              hop_info.started = first_started;  // whole chain's duration
+              cb(std::move(r), hop_info);
+            };
+        pump_queue(server);
+        request(next_server, std::move(next), std::move(chain), next_opts);
+        return;
+      }
+    }
+  }
+
+  cb(std::move(response), info);
+  // The entry may now be idle (or a slot freed): unblock queued requests.
+  pump_queue(server);
+}
+
+std::size_t HttpClient::pooled_connections(net::Endpoint server) const {
+  const auto it = pool_.find(server);
+  if (it == pool_.end()) return 0;
+  std::size_t n = 0;
+  for (const auto& e : it->second) {
+    if (e->alive && !e->busy) ++n;
+  }
+  return n;
+}
+
+std::size_t HttpClient::live_connections(net::Endpoint server) const {
+  const auto it = live_count_.find(server);
+  return it == live_count_.end() ? 0 : it->second;
+}
+
+std::size_t HttpClient::queued_requests(net::Endpoint server) const {
+  const auto it = queue_.find(server);
+  return it == queue_.end() ? 0 : it->second.size();
+}
+
+void HttpClient::close_all() {
+  queue_.clear();
+  for (auto& [server, vec] : pool_) {
+    for (auto& e : vec) {
+      if (e->alive) {
+        e->alive = false;
+        if (e->counted) {
+          e->counted = false;
+          auto it = live_count_.find(server);
+          if (it != live_count_.end() && it->second > 0) --it->second;
+        }
+        e->conn->close();
+      }
+    }
+    vec.clear();
+  }
+  pool_.clear();
+}
+
+}  // namespace bnm::http

@@ -1,0 +1,120 @@
+// HTTP/1.1 client with a keep-alive connection pool.
+//
+// The pool is what makes the paper's Section 4.1 observable: a request that
+// finds an idle pooled connection costs only the network RTT, while a
+// client (or plugin policy) that bypasses the pool pays a TCP handshake
+// first. Browser technologies toggle the pool per request through Options.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "http/message.h"
+#include "http/parser.h"
+#include "net/host.h"
+
+namespace bnm::http {
+
+class HttpClient {
+ public:
+  struct Options {
+    bool reuse_pooled = true;    ///< try an idle pooled connection first
+    bool pool_after_use = true;  ///< return the connection to the pool
+    /// Follow 301/302 responses up to this many hops (0 = deliver the
+    /// redirect to the caller). Each hop costs a full round trip - a
+    /// classic hidden RTT-inflation source for measurement pages.
+    int max_redirects = 0;
+  };
+
+  /// Browsers of the paper's era open at most ~6 parallel connections per
+  /// host; further requests queue. Configurable per client.
+  void set_max_connections_per_host(std::size_t n) { max_per_host_ = n; }
+  std::size_t max_connections_per_host() const { return max_per_host_; }
+
+  /// Application-visible transfer milestones (simulated instants).
+  struct TransferInfo {
+    bool opened_new_connection = false;
+    sim::TimePoint started;            ///< request() call
+    sim::TimePoint connect_complete;   ///< handshake done (== started if pooled)
+    sim::TimePoint response_complete;  ///< full response parsed
+    sim::Duration handshake_cost() const { return connect_complete - started; }
+  };
+
+  using ResponseCallback = std::function<void(HttpResponse, TransferInfo)>;
+  using ErrorCallback = std::function<void(const std::string&)>;
+
+  explicit HttpClient(net::Host& host);
+
+  /// Closes every tracked connection and detaches their callbacks, so TCP
+  /// events arriving after the client dies touch nothing freed.
+  ~HttpClient();
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  void request(net::Endpoint server, HttpRequest req, ResponseCallback cb) {
+    request(server, std::move(req), std::move(cb), Options{});
+  }
+  void request(net::Endpoint server, HttpRequest req, ResponseCallback cb,
+               Options opts);
+
+  void set_error_callback(ErrorCallback cb) { on_error_ = std::move(cb); }
+
+  /// Idle connections currently pooled for `server`.
+  std::size_t pooled_connections(net::Endpoint server) const;
+  /// Live (pooled or in-use) connections toward `server`.
+  std::size_t live_connections(net::Endpoint server) const;
+  /// Requests waiting for a connection slot toward `server`.
+  std::size_t queued_requests(net::Endpoint server) const;
+  /// Total TCP connections this client has opened.
+  std::uint64_t connections_opened() const { return connections_opened_; }
+
+  /// Close every pooled connection (end of a measurement session).
+  void close_all();
+
+  net::Host& host() { return host_; }
+
+ private:
+  struct PoolEntry : std::enable_shared_from_this<PoolEntry> {
+    std::shared_ptr<net::TcpConnection> conn;
+    ResponseParser parser;
+    bool busy = false;
+    bool alive = true;
+    bool counted = true;  ///< still held against the per-host limit
+  };
+
+  struct QueuedRequest {
+    HttpRequest req;
+    ResponseCallback cb;
+    Options opts;
+    TransferInfo info;  ///< started stamped at queue time
+  };
+
+  void start_on(const std::shared_ptr<PoolEntry>& entry, net::Endpoint server,
+                const HttpRequest& req, ResponseCallback cb, Options opts,
+                TransferInfo info);
+  void open_and_start(net::Endpoint server, HttpRequest req,
+                      ResponseCallback cb, Options opts, TransferInfo info);
+  void finish(const std::shared_ptr<PoolEntry>& entry, net::Endpoint server,
+              HttpResponse response, const ResponseCallback& cb, Options opts,
+              TransferInfo info);
+  std::shared_ptr<PoolEntry> take_idle(net::Endpoint server);
+  /// Drop a dead entry from the per-host count and unblock queued work.
+  void release_slot(net::Endpoint server, PoolEntry& entry);
+  /// Start queued requests while slots or idle connections allow.
+  void pump_queue(net::Endpoint server);
+
+  net::Host& host_;
+  std::unordered_map<net::Endpoint, std::vector<std::shared_ptr<PoolEntry>>> pool_;
+  std::unordered_map<net::Endpoint, std::size_t> live_count_;
+  std::unordered_map<net::Endpoint, std::deque<QueuedRequest>> queue_;
+  ErrorCallback on_error_;
+  std::uint64_t connections_opened_ = 0;
+  std::size_t max_per_host_ = 6;
+};
+
+}  // namespace bnm::http

@@ -1,0 +1,155 @@
+#include "http/message.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+namespace bnm::http {
+
+bool Headers::iequals(const std::string& a, const std::string& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Headers::add(std::string name, std::string value) {
+  entries_.emplace_back(std::move(name), std::move(value));
+}
+
+void Headers::set(std::string name, std::string value) {
+  remove(name);
+  add(std::move(name), std::move(value));
+}
+
+std::optional<std::string> Headers::get(const std::string& name) const {
+  for (const auto& [n, v] : entries_) {
+    if (iequals(n, name)) return v;
+  }
+  return std::nullopt;
+}
+
+bool Headers::contains(const std::string& name) const {
+  return get(name).has_value();
+}
+
+void Headers::remove(const std::string& name) {
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [&](const auto& e) {
+                                  return iequals(e.first, name);
+                                }),
+                 entries_.end());
+}
+
+namespace {
+bool keep_alive_from(const Headers& headers, const std::string& version) {
+  if (const auto c = headers.get("Connection")) {
+    std::string lower = *c;
+    std::transform(lower.begin(), lower.end(), lower.begin(), [](unsigned char ch) {
+      return static_cast<char>(std::tolower(ch));
+    });
+    if (lower.find("close") != std::string::npos) return false;
+    if (lower.find("keep-alive") != std::string::npos) return true;
+  }
+  return version == "HTTP/1.1";  // 1.1 defaults to persistent
+}
+
+void serialize_headers(std::string& out, const Headers& headers,
+                       std::size_t body_size, bool has_framing) {
+  for (const auto& [n, v] : headers.entries()) {
+    out += n;
+    out += ": ";
+    out += v;
+    out += "\r\n";
+  }
+  if (!has_framing && body_size > 0) {
+    out += "Content-Length: " + std::to_string(body_size) + "\r\n";
+  }
+  out += "\r\n";
+}
+}  // namespace
+
+std::string HttpRequest::serialize() const {
+  std::string out = method + " " + target + " " + version + "\r\n";
+  const bool framed = headers.contains("Content-Length") ||
+                      headers.contains("Transfer-Encoding");
+  serialize_headers(out, headers, body.size(), framed);
+  out += body;
+  return out;
+}
+
+bool HttpRequest::wants_keep_alive() const {
+  return keep_alive_from(headers, version);
+}
+
+std::string HttpResponse::serialize() const {
+  std::string out = version + " " + std::to_string(status) + " " + reason + "\r\n";
+  const bool framed = headers.contains("Content-Length") ||
+                      headers.contains("Transfer-Encoding");
+  for (const auto& [n, v] : headers.entries()) {
+    out += n + ": " + v + "\r\n";
+  }
+  // Responses always carry explicit framing so keep-alive works, even for
+  // empty bodies.
+  if (!framed) {
+    out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+bool HttpResponse::wants_keep_alive() const {
+  return keep_alive_from(headers, version);
+}
+
+HttpResponse HttpResponse::make(int status, std::string body,
+                                std::string content_type) {
+  HttpResponse r;
+  r.status = status;
+  r.reason = reason_phrase(status);
+  r.headers.set("Content-Type", std::move(content_type));
+  r.body = std::move(body);
+  return r;
+}
+
+std::string reason_phrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 101: return "Switching Protocols";
+    case 204: return "No Content";
+    case 301: return "Moved Permanently";
+    case 302: return "Found";
+    case 304: return "Not Modified";
+    case 400: return "Bad Request";
+    case 403: return "Forbidden";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 411: return "Length Required";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    default: return "Unknown";
+  }
+}
+
+std::string chunked_encode(const std::string& body, std::size_t chunk_size) {
+  std::string out;
+  std::size_t pos = 0;
+  char size_line[32];
+  while (pos < body.size()) {
+    const std::size_t n = std::min(chunk_size, body.size() - pos);
+    std::snprintf(size_line, sizeof size_line, "%zx\r\n", n);
+    out += size_line;
+    out.append(body, pos, n);
+    out += "\r\n";
+    pos += n;
+  }
+  out += "0\r\n\r\n";
+  return out;
+}
+
+}  // namespace bnm::http

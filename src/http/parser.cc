@@ -1,0 +1,217 @@
+#include "http/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace bnm::http {
+
+namespace {
+// Trim ASCII whitespace from both ends.
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+}  // namespace
+
+void MessageParser::feed(const std::string& bytes) {
+  if (failed()) return;
+  buffer_ += bytes;
+  advance();
+}
+
+bool MessageParser::take_line(std::string& line) {
+  const auto pos = buffer_.find("\r\n");
+  if (pos == std::string::npos) return false;
+  line = buffer_.substr(0, pos);
+  buffer_.erase(0, pos + 2);
+  return true;
+}
+
+void MessageParser::finish_headers() {
+  has_content_length_ = false;
+  chunked_ = false;
+  content_length_ = 0;
+
+  const Headers& h = headers_ref();
+  if (const auto te = h.get("Transfer-Encoding")) {
+    std::string lower = *te;
+    for (auto& c : lower) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    if (lower.find("chunked") != std::string::npos) chunked_ = true;
+  }
+  if (!chunked_) {
+    if (const auto cl = h.get("Content-Length")) {
+      has_content_length_ = true;
+      content_length_ = static_cast<std::size_t>(std::strtoull(cl->c_str(), nullptr, 10));
+      if (content_length_ > body_limit_) {
+        fail(ParseError::kBodyTooLarge);
+        return;
+      }
+    }
+  }
+
+  if (chunked_) {
+    phase_ = Phase::kChunkSize;
+  } else if (has_content_length_) {
+    phase_ = content_length_ == 0 ? Phase::kComplete : Phase::kBody;
+  } else if (length_required()) {
+    // Requests without framing have no body (GET and friends).
+    phase_ = Phase::kComplete;
+  } else {
+    // Close-delimited response body.
+    phase_ = Phase::kBody;
+  }
+}
+
+void MessageParser::advance() {
+  for (;;) {
+    switch (phase_) {
+      case Phase::kStartLine: {
+        std::string line;
+        if (!take_line(line)) return;
+        if (line.empty()) continue;  // tolerate leading blank lines
+        if (!parse_start_line(line)) {
+          fail(ParseError::kBadStartLine);
+          return;
+        }
+        phase_ = Phase::kHeaders;
+        continue;
+      }
+      case Phase::kHeaders: {
+        std::string line;
+        if (!take_line(line)) return;
+        if (line.empty()) {
+          finish_headers();
+          if (failed()) return;
+          continue;
+        }
+        const auto colon = line.find(':');
+        if (colon == std::string::npos || colon == 0) {
+          fail(ParseError::kBadHeader);
+          return;
+        }
+        headers_ref().add(trim(line.substr(0, colon)),
+                          trim(line.substr(colon + 1)));
+        continue;
+      }
+      case Phase::kBody: {
+        if (has_content_length_) {
+          const std::size_t need = content_length_ - body_ref().size();
+          const std::size_t take = std::min(need, buffer_.size());
+          body_ref().append(buffer_, 0, take);
+          buffer_.erase(0, take);
+          if (body_ref().size() == content_length_) {
+            phase_ = Phase::kComplete;
+            continue;
+          }
+          return;  // need more bytes
+        }
+        // Close-delimited: absorb everything until on_connection_closed().
+        body_ref() += buffer_;
+        buffer_.clear();
+        if (body_ref().size() > body_limit_) fail(ParseError::kBodyTooLarge);
+        return;
+      }
+      case Phase::kChunkSize: {
+        std::string line;
+        if (!take_line(line)) return;
+        char* end = nullptr;
+        const unsigned long long n = std::strtoull(line.c_str(), &end, 16);
+        if (end == line.c_str()) {
+          fail(ParseError::kBadChunk);
+          return;
+        }
+        chunk_remaining_ = static_cast<std::size_t>(n);
+        if (body_ref().size() + chunk_remaining_ > body_limit_) {
+          fail(ParseError::kBodyTooLarge);
+          return;
+        }
+        phase_ = chunk_remaining_ == 0 ? Phase::kChunkTrailer : Phase::kChunkData;
+        continue;
+      }
+      case Phase::kChunkData: {
+        const std::size_t take = std::min(chunk_remaining_, buffer_.size());
+        body_ref().append(buffer_, 0, take);
+        buffer_.erase(0, take);
+        chunk_remaining_ -= take;
+        if (chunk_remaining_ > 0) return;
+        // Consume the CRLF after the chunk.
+        if (buffer_.size() < 2) return;
+        if (buffer_[0] != '\r' || buffer_[1] != '\n') {
+          fail(ParseError::kBadChunk);
+          return;
+        }
+        buffer_.erase(0, 2);
+        phase_ = Phase::kChunkSize;
+        continue;
+      }
+      case Phase::kChunkTrailer: {
+        std::string line;
+        if (!take_line(line)) return;
+        if (line.empty()) {
+          phase_ = Phase::kComplete;
+          continue;
+        }
+        continue;  // trailer headers ignored
+      }
+      case Phase::kComplete:
+        return;
+    }
+  }
+}
+
+std::optional<HttpRequest> RequestParser::take() {
+  if (failed() || phase_ != Phase::kComplete) return std::nullopt;
+  HttpRequest out = std::move(current_);
+  reset_message();
+  phase_ = Phase::kStartLine;
+  advance();  // a pipelined next message may already be buffered
+  return out;
+}
+
+bool RequestParser::parse_start_line(const std::string& line) {
+  const auto sp1 = line.find(' ');
+  const auto sp2 = line.rfind(' ');
+  if (sp1 == std::string::npos || sp2 == sp1) return false;
+  current_.method = line.substr(0, sp1);
+  current_.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  current_.version = line.substr(sp2 + 1);
+  return !current_.method.empty() && !current_.target.empty() &&
+         current_.version.rfind("HTTP/", 0) == 0;
+}
+
+std::optional<HttpResponse> ResponseParser::take() {
+  if (failed()) return std::nullopt;
+  if (phase_ != Phase::kComplete) {
+    if (!(close_delimited_ && phase_ == Phase::kBody)) return std::nullopt;
+  }
+  HttpResponse out = std::move(current_);
+  reset_message();
+  close_delimited_ = false;
+  phase_ = Phase::kStartLine;
+  advance();
+  return out;
+}
+
+void ResponseParser::on_connection_closed() {
+  // Only a close-delimited body (no framing headers) completes on FIN.
+  if (phase_ == Phase::kBody && !has_content_length_ && !chunked_) {
+    close_delimited_ = true;
+  }
+}
+
+bool ResponseParser::parse_start_line(const std::string& line) {
+  const auto sp1 = line.find(' ');
+  if (sp1 == std::string::npos) return false;
+  current_.version = line.substr(0, sp1);
+  if (current_.version.rfind("HTTP/", 0) != 0) return false;
+  const auto sp2 = line.find(' ', sp1 + 1);
+  const std::string code =
+      sp2 == std::string::npos ? line.substr(sp1 + 1) : line.substr(sp1 + 1, sp2 - sp1 - 1);
+  current_.status = std::atoi(code.c_str());
+  current_.reason = sp2 == std::string::npos ? "" : line.substr(sp2 + 1);
+  return current_.status >= 100 && current_.status <= 599;
+}
+
+}  // namespace bnm::http

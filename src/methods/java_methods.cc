@@ -1,0 +1,198 @@
+#include "methods/java_methods.h"
+
+#include <memory>
+#include <utility>
+
+#include "browser/java_applet.h"
+
+namespace bnm::methods {
+
+// -------------------------------------------------------------- Java HTTP
+
+JavaHttpMethod::JavaHttpMethod(bool post) : post_{post} {
+  info_.kind = post ? ProbeKind::kJavaPost : ProbeKind::kJavaGet;
+  info_.name = post ? "Java applet POST" : "Java applet GET";
+  info_.approach = "HTTP-based";
+  info_.technology = "Java applet";
+  info_.availability = "Plug-in";
+  info_.verb = post ? "POST" : "GET";
+  info_.same_origin = MethodInfo::SameOrigin::kYesBypassable;
+  info_.example_tools = {};
+}
+
+namespace {
+struct HttpRunState {
+  std::unique_ptr<browser::JavaAppletRuntime> runtime;
+  std::unique_ptr<browser::JavaAppletRuntime::UrlConnection> url;
+  std::shared_ptr<std::function<void()>> measure;
+  MethodRunResult result;
+  std::function<void(MethodRunResult)> done;
+  int measurement = 0;
+
+  void cleanup() {
+    url.reset();
+    runtime.reset();
+    measure.reset();
+  }
+};
+}  // namespace
+
+void JavaHttpMethod::run(const MethodContext& ctx,
+                         std::function<void(MethodRunResult)> done) {
+  browser::Browser& b = *ctx.browser;
+  auto state = std::make_shared<HttpRunState>();
+  state->done = std::move(done);
+
+  if (!b.profile().supports_java) {
+    state->result.error = "Java not available";
+    finish_run(b.sim(), state);
+    return;
+  }
+
+  const ProbeKind kind = info_.kind;
+  b.load_container_page(kind, [this, &b, state, ctx] {
+    state->runtime = std::make_unique<browser::JavaAppletRuntime>(
+        b, browser::JavaAppletRuntime::Options{ctx.java_use_nanotime,
+                                               ctx.java_via_appletviewer});
+    browser::TimingApi& clock = state->runtime->timing();
+    state->url = std::make_unique<browser::JavaAppletRuntime::UrlConnection>(
+        *state->runtime);
+    auto* url = state->url.get();
+
+    state->measure = std::make_shared<std::function<void()>>();
+    auto* measure = state->measure.get();
+    *measure = [this, &b, state, url, &clock, measure] {
+      ++state->measurement;
+      ProbeTimestamps& ts =
+          state->measurement == 1 ? state->result.m1 : state->result.m2;
+      url->set_on_complete([&b, state, &clock, measure, &ts](
+                               int, const std::string&) {
+        stamp(clock, b.sim(), ts.t_b_r, ts.true_recv);
+        if (state->measurement == 1) {
+          (*measure)();
+        } else {
+          state->result.ok = true;
+          finish_run(b.sim(), state);
+        }
+      });
+      url->set_on_error([&b, state](const std::string& err) {
+        state->result.error = err;
+        finish_run(b.sim(), state);
+      });
+      stamp(clock, b.sim(), ts.t_b_s, ts.true_send);
+      url->load(post_ ? "POST" : "GET", post_ ? "/sink" : "/echo",
+                post_ ? "x" : "");
+    };
+    (*measure)();
+  });
+}
+
+// ------------------------------------------------------------ Java socket
+
+JavaSocketMethod::JavaSocketMethod(bool udp) : udp_{udp} {
+  info_.kind = udp ? ProbeKind::kJavaUdp : ProbeKind::kJavaSocket;
+  info_.name = udp ? "Java applet UDP socket" : "Java applet TCP socket";
+  info_.approach = "Socket-based";
+  info_.technology = "Java applet";
+  info_.availability = "Plug-in";
+  info_.verb = udp ? "UDP" : "TCP";
+  info_.same_origin = MethodInfo::SameOrigin::kNo;
+  info_.measures_loss = udp;
+  info_.example_tools = {"Netalyzr", "HMN", "JavaNws", "Pingtest.net", "NDT",
+                         "AuditMyPC (Java)"};
+}
+
+namespace {
+struct SocketRunState {
+  std::unique_ptr<browser::JavaAppletRuntime> runtime;
+  std::unique_ptr<browser::JavaAppletRuntime::Socket> tcp;
+  std::unique_ptr<browser::JavaAppletRuntime::DatagramSocket> udp;
+  std::shared_ptr<std::function<void()>> measure;
+  MethodRunResult result;
+  std::function<void(MethodRunResult)> done;
+  int measurement = 0;
+
+  void cleanup() {
+    tcp.reset();
+    udp.reset();
+    runtime.reset();
+    measure.reset();
+  }
+};
+}  // namespace
+
+void JavaSocketMethod::run(const MethodContext& ctx,
+                           std::function<void(MethodRunResult)> done) {
+  browser::Browser& b = *ctx.browser;
+  auto state = std::make_shared<SocketRunState>();
+  state->done = std::move(done);
+
+  if (!b.profile().supports_java) {
+    state->result.error = "Java not available";
+    finish_run(b.sim(), state);
+    return;
+  }
+
+  b.load_container_page(info_.kind, [this, &b, state, ctx] {
+    state->runtime = std::make_unique<browser::JavaAppletRuntime>(
+        b, browser::JavaAppletRuntime::Options{ctx.java_use_nanotime,
+                                               ctx.java_via_appletviewer});
+    browser::TimingApi& clock = state->runtime->timing();
+
+    state->measure = std::make_shared<std::function<void()>>();
+    auto* measure = state->measure.get();
+
+    if (udp_) {
+      state->udp =
+          std::make_unique<browser::JavaAppletRuntime::DatagramSocket>(
+              *state->runtime);
+      auto* sock = state->udp.get();
+      *measure = [&b, state, sock, &clock, measure, ctx] {
+        ++state->measurement;
+        ProbeTimestamps& ts =
+            state->measurement == 1 ? state->result.m1 : state->result.m2;
+        sock->set_on_receive([&b, state, sock, &clock, measure, &ts](
+                                 net::Endpoint, const std::string&) {
+          stamp(clock, b.sim(), ts.t_b_r, ts.true_recv);
+          if (state->measurement == 1) {
+            (*measure)();
+          } else {
+            state->result.ok = true;
+            sock->close();
+            finish_run(b.sim(), state);
+          }
+        });
+        stamp(clock, b.sim(), ts.t_b_s, ts.true_send);
+        sock->send_to(ctx.udp_echo, "PROBE-RTT-16byte");
+      };
+      (*measure)();
+      return;
+    }
+
+    state->tcp =
+        std::make_unique<browser::JavaAppletRuntime::Socket>(*state->runtime);
+    auto* sock = state->tcp.get();
+    *measure = [&b, state, sock, &clock, measure] {
+      ++state->measurement;
+      ProbeTimestamps& ts =
+          state->measurement == 1 ? state->result.m1 : state->result.m2;
+      sock->set_on_data([&b, state, sock, &clock, measure, &ts](
+                            const std::string&) {
+        stamp(clock, b.sim(), ts.t_b_r, ts.true_recv);
+        if (state->measurement == 1) {
+          (*measure)();
+        } else {
+          state->result.ok = true;
+          sock->close();
+          finish_run(b.sim(), state);
+        }
+      });
+      stamp(clock, b.sim(), ts.t_b_s, ts.true_send);
+      sock->write("PROBE-RTT-16byte");
+    };
+    sock->set_on_connect([measure] { (*measure)(); });
+    sock->connect(ctx.tcp_echo);
+  });
+}
+
+}  // namespace bnm::methods

@@ -1,0 +1,22 @@
+#include "methods/method.h"
+
+namespace bnm::methods {
+
+std::string MethodInfo::same_origin_text() const {
+  switch (same_origin) {
+    case SameOrigin::kYes: return "Yes";
+    case SameOrigin::kYesBypassable: return "Yes*";
+    case SameOrigin::kNo: return "No";
+  }
+  return "?";
+}
+
+std::string MethodInfo::metrics_text() const {
+  std::string out;
+  if (measures_rtt) out += "RTT";
+  if (measures_tput) out += out.empty() ? "Tput" : ", Tput";
+  if (measures_loss) out += out.empty() ? "Loss" : ", Loss";
+  return out;
+}
+
+}  // namespace bnm::methods

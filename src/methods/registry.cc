@@ -1,0 +1,48 @@
+#include "methods/registry.h"
+
+#include <stdexcept>
+
+#include "methods/dom_method.h"
+#include "methods/flash_methods.h"
+#include "methods/java_methods.h"
+#include "methods/websocket_method.h"
+#include "methods/xhr_methods.h"
+
+namespace bnm::methods {
+
+std::unique_ptr<MeasurementMethod> make_method(ProbeKind kind) {
+  switch (kind) {
+    case ProbeKind::kXhrGet: return std::make_unique<XhrMethod>(false);
+    case ProbeKind::kXhrPost: return std::make_unique<XhrMethod>(true);
+    case ProbeKind::kDom: return std::make_unique<DomMethod>();
+    case ProbeKind::kFlashGet: return std::make_unique<FlashHttpMethod>(false);
+    case ProbeKind::kFlashPost: return std::make_unique<FlashHttpMethod>(true);
+    case ProbeKind::kFlashSocket: return std::make_unique<FlashSocketMethod>();
+    case ProbeKind::kJavaGet: return std::make_unique<JavaHttpMethod>(false);
+    case ProbeKind::kJavaPost: return std::make_unique<JavaHttpMethod>(true);
+    case ProbeKind::kJavaSocket: return std::make_unique<JavaSocketMethod>(false);
+    case ProbeKind::kJavaUdp: return std::make_unique<JavaSocketMethod>(true);
+    case ProbeKind::kWebSocket: return std::make_unique<WebSocketMethod>();
+  }
+  throw std::invalid_argument("unknown ProbeKind");
+}
+
+std::vector<std::unique_ptr<MeasurementMethod>> paper_methods() {
+  std::vector<std::unique_ptr<MeasurementMethod>> out;
+  for (ProbeKind k : {ProbeKind::kXhrGet, ProbeKind::kXhrPost, ProbeKind::kDom,
+                      ProbeKind::kWebSocket, ProbeKind::kFlashGet,
+                      ProbeKind::kFlashPost, ProbeKind::kFlashSocket,
+                      ProbeKind::kJavaGet, ProbeKind::kJavaPost,
+                      ProbeKind::kJavaSocket}) {
+    out.push_back(make_method(k));
+  }
+  return out;
+}
+
+std::vector<std::unique_ptr<MeasurementMethod>> all_methods() {
+  auto out = paper_methods();
+  out.push_back(make_method(ProbeKind::kJavaUdp));
+  return out;
+}
+
+}  // namespace bnm::methods

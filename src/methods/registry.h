@@ -1,0 +1,23 @@
+// Method registry: construct any method by ProbeKind, enumerate the paper's
+// ten methods (Table 1 minus Java UDP), or all eleven.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "methods/method.h"
+
+namespace bnm::methods {
+
+/// Factory for a single method.
+std::unique_ptr<MeasurementMethod> make_method(ProbeKind kind);
+
+/// The ten methods the paper evaluates, in Figure 3's (a)-(j) order:
+/// XHR GET, XHR POST, DOM, WebSocket, Flash GET, Flash POST, Flash socket,
+/// Java GET, Java POST, Java socket.
+std::vector<std::unique_ptr<MeasurementMethod>> paper_methods();
+
+/// All eleven (adds Java UDP).
+std::vector<std::unique_ptr<MeasurementMethod>> all_methods();
+
+}  // namespace bnm::methods

@@ -1,0 +1,87 @@
+#include "methods/websocket_method.h"
+
+#include <memory>
+#include <utility>
+
+#include "browser/websocket_api.h"
+
+namespace bnm::methods {
+
+WebSocketMethod::WebSocketMethod() {
+  info_.kind = ProbeKind::kWebSocket;
+  info_.name = "WebSocket";
+  info_.approach = "Socket-based";
+  info_.technology = "WebSocket";
+  info_.availability = "Native";
+  info_.verb = "TCP";
+  info_.same_origin = MethodInfo::SameOrigin::kNo;
+  info_.example_tools = {};
+}
+
+namespace {
+struct RunState {
+  std::unique_ptr<browser::BrowserWebSocket> ws;
+  std::shared_ptr<std::function<void()>> measure;
+  MethodRunResult result;
+  std::function<void(MethodRunResult)> done;
+  int measurement = 0;
+
+  void cleanup() {
+    ws.reset();
+    measure.reset();
+  }
+};
+}  // namespace
+
+void WebSocketMethod::run(const MethodContext& ctx,
+                          std::function<void(MethodRunResult)> done) {
+  browser::Browser& b = *ctx.browser;
+  auto state = std::make_shared<RunState>();
+  state->done = std::move(done);
+
+  if (!b.profile().supports_websocket) {
+    state->result.error = "WebSocket not supported (Table 2)";
+    finish_run(b.sim(), state);
+    return;
+  }
+
+  b.load_container_page(ProbeKind::kWebSocket, [&b, state, ctx] {
+    browser::TimingApi& clock = b.clock(b.profile().clock_for(
+        ProbeKind::kWebSocket, false, ctx.js_use_performance_now));
+    // Preparation: the WebSocket handshake completes before any probe, so
+    // the measurement never includes connection setup.
+    state->ws = std::make_unique<browser::BrowserWebSocket>(b, ctx.ws_server,
+                                                            ctx.ws_path);
+    auto* sock = state->ws.get();
+
+    state->measure = std::make_shared<std::function<void()>>();
+    auto* measure = state->measure.get();
+    *measure = [&b, state, sock, &clock, measure] {
+      ++state->measurement;
+      ProbeTimestamps& ts =
+          state->measurement == 1 ? state->result.m1 : state->result.m2;
+      sock->set_onmessage([&b, state, sock, &clock, measure, &ts](
+                              const std::string&) {
+        stamp(clock, b.sim(), ts.t_b_r, ts.true_recv);
+        if (state->measurement == 1) {
+          (*measure)();
+        } else {
+          state->result.ok = true;
+          sock->close();
+          finish_run(b.sim(), state);
+        }
+      });
+      stamp(clock, b.sim(), ts.t_b_s, ts.true_send);
+      sock->send("PROBE-RTT-16byte");
+    };
+
+    sock->set_onerror([&b, state](const std::string& err) {
+      if (state->result.ok) return;
+      state->result.error = err;
+      finish_run(b.sim(), state);
+    });
+    sock->set_onopen([measure] { (*measure)(); });
+  });
+}
+
+}  // namespace bnm::methods

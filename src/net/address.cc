@@ -1,0 +1,34 @@
+#include "net/address.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace bnm::net {
+
+IpAddress IpAddress::parse(const std::string& dotted) {
+  unsigned a, b, c, d;
+  char extra;
+  if (std::sscanf(dotted.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d, &extra) != 4 ||
+      a > 255 || b > 255 || c > 255 || d > 255) {
+    throw std::invalid_argument("bad IPv4 address: " + dotted);
+  }
+  return IpAddress{static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b),
+                   static_cast<std::uint8_t>(c), static_cast<std::uint8_t>(d)};
+}
+
+std::string IpAddress::to_string() const {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (raw_ >> 24) & 0xff,
+                (raw_ >> 16) & 0xff, (raw_ >> 8) & 0xff, raw_ & 0xff);
+  return buf;
+}
+
+std::string Endpoint::to_string() const {
+  return ip.to_string() + ":" + std::to_string(port);
+}
+
+std::string FourTuple::to_string() const {
+  return local.to_string() + "<->" + remote.to_string();
+}
+
+}  // namespace bnm::net

@@ -1,0 +1,76 @@
+// IPv4-style addressing for the simulated network.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <functional>
+#include <string>
+
+namespace bnm::net {
+
+/// 32-bit IPv4-style address, value type.
+class IpAddress {
+ public:
+  constexpr IpAddress() = default;
+  explicit constexpr IpAddress(std::uint32_t raw) : raw_{raw} {}
+  constexpr IpAddress(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                      std::uint8_t d)
+      : raw_{(std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+             (std::uint32_t{c} << 8) | d} {}
+
+  /// Parse dotted-quad ("10.0.0.1"); throws std::invalid_argument on error.
+  static IpAddress parse(const std::string& dotted);
+
+  constexpr std::uint32_t raw() const { return raw_; }
+  std::string to_string() const;
+
+  constexpr auto operator<=>(const IpAddress&) const = default;
+
+ private:
+  std::uint32_t raw_ = 0;
+};
+
+using Port = std::uint16_t;
+
+/// Transport endpoint: address + port.
+struct Endpoint {
+  IpAddress ip;
+  Port port = 0;
+
+  std::string to_string() const;
+  constexpr auto operator<=>(const Endpoint&) const = default;
+};
+
+/// TCP 4-tuple identifying one connection.
+struct FourTuple {
+  Endpoint local;
+  Endpoint remote;
+
+  FourTuple reversed() const { return FourTuple{remote, local}; }
+  std::string to_string() const;
+  constexpr auto operator<=>(const FourTuple&) const = default;
+};
+
+}  // namespace bnm::net
+
+namespace std {
+template <>
+struct hash<bnm::net::IpAddress> {
+  size_t operator()(const bnm::net::IpAddress& a) const noexcept {
+    return std::hash<uint32_t>{}(a.raw());
+  }
+};
+template <>
+struct hash<bnm::net::Endpoint> {
+  size_t operator()(const bnm::net::Endpoint& e) const noexcept {
+    return std::hash<uint64_t>{}((uint64_t{e.ip.raw()} << 16) ^ e.port);
+  }
+};
+template <>
+struct hash<bnm::net::FourTuple> {
+  size_t operator()(const bnm::net::FourTuple& t) const noexcept {
+    return std::hash<bnm::net::Endpoint>{}(t.local) * 1000003u ^
+           std::hash<bnm::net::Endpoint>{}(t.remote);
+  }
+};
+}  // namespace std

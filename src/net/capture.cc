@@ -1,0 +1,96 @@
+#include "net/capture.h"
+
+#include <set>
+#include <tuple>
+#include <utility>
+
+namespace bnm::net {
+
+std::string CaptureRecord::to_string() const {
+  return timestamp.to_string() +
+         (direction == CaptureDirection::kOutbound ? " OUT " : " IN  ") +
+         packet.to_string();
+}
+
+PacketCapture::PacketCapture(sim::Simulation& sim, Config config)
+    : sim_{sim}, config_{std::move(config)}, rng_{sim.rng_for(config_.name)} {}
+
+void PacketCapture::record(CaptureDirection direction, const Packet& packet) {
+  if (!config_.enabled) return;
+  CaptureRecord rec;
+  rec.true_time = sim_.now();
+  rec.timestamp = rec.true_time;
+  if (!config_.timestamp_jitter.is_zero()) {
+    rec.timestamp += rng_.uniform_ms(0.0, config_.timestamp_jitter.ms_f());
+  }
+  rec.direction = direction;
+  rec.packet = packet;
+  records_.push_back(std::move(rec));
+}
+
+std::vector<CaptureRecord> PacketCapture::select(const CaptureFilter& filter) const {
+  std::vector<CaptureRecord> out;
+  for (const auto& r : records_) {
+    if (filter(r)) out.push_back(r);
+  }
+  return out;
+}
+
+std::optional<CaptureRecord> PacketCapture::first(const CaptureFilter& filter,
+                                                  sim::TimePoint from) const {
+  for (const auto& r : records_) {
+    if (r.true_time >= from && filter(r)) return r;
+  }
+  return std::nullopt;
+}
+
+std::optional<CaptureRecord> PacketCapture::last(const CaptureFilter& filter) const {
+  for (auto it = records_.rbegin(); it != records_.rend(); ++it) {
+    if (filter(*it)) return *it;
+  }
+  return std::nullopt;
+}
+
+CaptureFilter PacketCapture::outbound_data() {
+  return [](const CaptureRecord& r) {
+    return r.direction == CaptureDirection::kOutbound && r.packet.carries_data();
+  };
+}
+
+CaptureFilter PacketCapture::inbound_data() {
+  return [](const CaptureRecord& r) {
+    return r.direction == CaptureDirection::kInbound && r.packet.carries_data();
+  };
+}
+
+CaptureFilter PacketCapture::tcp_syn() {
+  return [](const CaptureRecord& r) {
+    return r.packet.protocol == Protocol::kTcp && r.packet.flags.syn;
+  };
+}
+
+CaptureFilter PacketCapture::to_port(Port port) {
+  return [port](const CaptureRecord& r) { return r.packet.dst.port == port; };
+}
+
+CaptureFilter PacketCapture::between(Endpoint a, Endpoint b) {
+  return [a, b](const CaptureRecord& r) {
+    return (r.packet.src == a && r.packet.dst == b) ||
+           (r.packet.src == b && r.packet.dst == a);
+  };
+}
+
+std::size_t PacketCapture::distinct_connections() const {
+  std::set<std::tuple<std::uint32_t, Port, std::uint32_t, Port, std::uint32_t>>
+      syns;
+  for (const auto& r : records_) {
+    const Packet& p = r.packet;
+    if (p.protocol == Protocol::kTcp && p.flags.syn && !p.flags.ack) {
+      syns.emplace(p.src.ip.raw(), p.src.port, p.dst.ip.raw(), p.dst.port,
+                   p.seq);
+    }
+  }
+  return syns.size();
+}
+
+}  // namespace bnm::net

@@ -1,0 +1,65 @@
+#include "net/cross_traffic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bnm::net {
+
+CrossTrafficGenerator::CrossTrafficGenerator(sim::Simulation& sim, Host& source,
+                                             Endpoint sink_endpoint,
+                                             Config config)
+    : sim_{sim},
+      source_{source},
+      sink_{sink_endpoint},
+      config_{std::move(config)},
+      rng_{sim.rng_for(config_.name)} {}
+
+sim::Duration CrossTrafficGenerator::mean_inter_burst() const {
+  // average_mbps = burst_bytes / inter_burst  =>  solve for inter_burst.
+  const double burst_bytes =
+      config_.mean_burst_packets * static_cast<double>(config_.packet_bytes);
+  const double bytes_per_second = config_.average_mbps * 1e6 / 8.0;
+  return sim::Duration::from_seconds_f(
+      std::max(1e-6, burst_bytes / bytes_per_second));
+}
+
+void CrossTrafficGenerator::start() {
+  if (running_) return;
+  running_ = true;
+  if (!socket_) {
+    socket_ = source_.udp_open([](Endpoint, const std::vector<std::uint8_t>&) {
+      // Sink replies are not expected; drop anything that comes back.
+    });
+  }
+  schedule_next_burst();
+}
+
+void CrossTrafficGenerator::stop() {
+  running_ = false;
+  next_burst_.cancel();
+}
+
+void CrossTrafficGenerator::schedule_next_burst() {
+  if (!running_) return;
+  const sim::Duration gap =
+      rng_.exponential_ms(mean_inter_burst().ms_f());  // Poisson arrivals
+  next_burst_ = sim_.scheduler().schedule_after(gap, [this] { emit_burst(); });
+}
+
+void CrossTrafficGenerator::emit_burst() {
+  if (!running_) return;
+  // Geometric burst length with the configured mean (>= 1 packet).
+  const double u = std::max(1e-12, rng_.uniform01());
+  const double p = 1.0 / std::max(1.0, config_.mean_burst_packets);
+  const auto count = static_cast<int>(
+      std::max(1.0, std::ceil(std::log(u) / std::log(1.0 - p))));
+  for (int i = 0; i < count; ++i) {
+    std::vector<std::uint8_t> payload(config_.packet_bytes, 0x5A);
+    socket_->send_to(sink_, std::move(payload));
+    ++packets_sent_;
+    offered_bytes_ += static_cast<double>(config_.packet_bytes);
+  }
+  schedule_next_burst();
+}
+
+}  // namespace bnm::net

@@ -1,0 +1,58 @@
+// Background cross-traffic generator: Poisson-arriving on/off UDP bursts
+// from one host toward another, to contend with measurement traffic on
+// shared links.
+//
+// The paper's testbed carefully ensured "the network was free of cross
+// traffic"; this component exists for the ablation that shows what happens
+// when it is not.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "net/host.h"
+#include "sim/simulation.h"
+
+namespace bnm::net {
+
+class CrossTrafficGenerator {
+ public:
+  struct Config {
+    /// Long-run average offered load.
+    double average_mbps = 10.0;
+    /// Burst sizing: packets per burst is geometric with this mean.
+    double mean_burst_packets = 10.0;
+    std::size_t packet_bytes = 1400;
+    Port destination_port = 7;  ///< discard-style sink
+    std::string name = "crosstraffic";
+  };
+
+  /// Sends from `source` toward `sink_endpoint`. Call start() to begin.
+  CrossTrafficGenerator(sim::Simulation& sim, Host& source,
+                        Endpoint sink_endpoint, Config config);
+
+  void start();
+  void stop();
+  bool running() const { return running_; }
+
+  std::uint64_t packets_sent() const { return packets_sent_; }
+  double offered_bytes() const { return offered_bytes_; }
+
+ private:
+  void schedule_next_burst();
+  void emit_burst();
+  sim::Duration mean_inter_burst() const;
+
+  sim::Simulation& sim_;
+  Host& source_;
+  Endpoint sink_;
+  Config config_;
+  sim::Rng rng_;
+  std::shared_ptr<UdpSocket> socket_;
+  sim::EventHandle next_burst_;
+  bool running_ = false;
+  std::uint64_t packets_sent_ = 0;
+  double offered_bytes_ = 0;
+};
+
+}  // namespace bnm::net

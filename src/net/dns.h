@@ -1,0 +1,97 @@
+// Minimal DNS over UDP: wire-format queries/responses (RFC 1035 subset,
+// A records only), a server with a static zone, and a caching stub
+// resolver.
+//
+// Why it exists here: browser-based measurement tools address servers by
+// hostname, so a tool's *first* probe can silently include a DNS lookup -
+// one more way a browser-level RTT overshoots the wire (and a service
+// Netalyzr itself measures). The ablation benches use this to show the
+// effect; the cache then removes it from the second probe, mirroring the
+// Δd1/Δd2 asymmetry the paper dissects for TCP handshakes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/host.h"
+
+namespace bnm::net {
+
+/// A DNS question/answer for an A record.
+struct DnsMessage {
+  std::uint16_t id = 0;
+  bool is_response = false;
+  std::string qname;           ///< e.g. "server.bnm.test"
+  std::optional<IpAddress> answer;  ///< present in positive responses
+  std::uint32_t ttl_seconds = 60;
+  std::uint8_t rcode = 0;      ///< 0 = NOERROR, 3 = NXDOMAIN
+
+  /// RFC 1035 wire encoding (header + question [+ answer]).
+  std::vector<std::uint8_t> encode() const;
+  static std::optional<DnsMessage> decode(const std::vector<std::uint8_t>& wire);
+};
+
+/// Authoritative server with a static zone, listening on UDP 53.
+class DnsServer {
+ public:
+  DnsServer(Host& host, Port port = 53);
+
+  void add_record(const std::string& name, IpAddress address);
+  std::uint64_t queries_served() const { return queries_; }
+
+ private:
+  Host& host_;
+  std::shared_ptr<UdpSocket> socket_;
+  std::map<std::string, IpAddress> zone_;
+  std::uint64_t queries_ = 0;
+};
+
+/// Caching stub resolver for a client host.
+class DnsResolver {
+ public:
+  using Callback = std::function<void(std::optional<IpAddress>)>;
+
+  DnsResolver(Host& host, Endpoint server);
+
+  /// Resolve `name`; served from cache when fresh, otherwise one UDP
+  /// query. Negative results are not cached.
+  void resolve(const std::string& name, Callback cb);
+
+  bool cached(const std::string& name) const;
+  std::uint64_t queries_sent() const { return queries_sent_; }
+  std::uint64_t cache_hits() const { return cache_hits_; }
+  void flush_cache() { cache_.clear(); }
+
+  /// Lookup timeout (default 2 s) - expired lookups call back with nullopt.
+  void set_timeout(sim::Duration timeout) { timeout_ = timeout; }
+
+ private:
+  struct CacheEntry {
+    IpAddress address;
+    sim::TimePoint expires;
+  };
+  struct Pending {
+    std::string name;
+    Callback cb;
+    sim::EventHandle timeout;
+  };
+
+  void on_datagram(Endpoint src, const std::vector<std::uint8_t>& data);
+
+  Host& host_;
+  Endpoint server_;
+  std::shared_ptr<UdpSocket> socket_;
+  std::map<std::string, CacheEntry> cache_;
+  std::map<std::uint16_t, Pending> pending_;
+  std::uint16_t next_id_ = 1;
+  sim::Duration timeout_ = sim::Duration::seconds(2);
+  std::uint64_t queries_sent_ = 0;
+  std::uint64_t cache_hits_ = 0;
+};
+
+}  // namespace bnm::net

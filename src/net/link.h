@@ -1,0 +1,74 @@
+// Point-to-point duplex link with bandwidth, propagation delay, FIFO
+// queueing, and optional random loss.
+//
+// Each direction models a transmitter that serializes one packet at a time
+// (wire_size * 8 / rate) and a propagation pipe (fixed delay). Packets
+// queued while the transmitter is busy wait their turn, which yields correct
+// store-and-forward timing for multi-packet exchanges (throughput
+// experiments depend on this).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/packet.h"
+#include "sim/simulation.h"
+
+namespace bnm::net {
+
+/// Anything that can accept a delivered packet (hosts, switches).
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+  virtual void handle_packet(const Packet& packet) = 0;
+};
+
+class Link {
+ public:
+  enum class Side { kA, kB };
+
+  struct Config {
+    double bandwidth_bps = 100e6;  ///< 100 Mbps Fast Ethernet (paper testbed)
+    sim::Duration propagation = sim::Duration::micros(5);
+    double loss_probability = 0.0;  ///< per-packet independent drop
+    std::size_t queue_limit_packets = 1000;  ///< tail-drop beyond this
+    std::string name = "link";
+  };
+
+  Link(sim::Simulation& sim, Config config);
+
+  void attach(Side side, PacketSink* sink);
+
+  /// Enqueue a packet for transmission from `from` toward the other side.
+  void transmit(Side side, Packet packet);
+
+  const Config& config() const { return config_; }
+  std::uint64_t drops(Side side) const;
+  std::uint64_t delivered(Side side) const;
+
+  /// Serialization delay of `packet` at this link's rate.
+  sim::Duration serialization_delay(const Packet& packet) const;
+
+ private:
+  struct Direction {
+    PacketSink* sink = nullptr;        ///< receiver at the far end
+    sim::TimePoint tx_free;            ///< transmitter busy until
+    std::size_t in_flight = 0;         ///< queued or serializing
+    std::uint64_t drops = 0;
+    std::uint64_t delivered = 0;
+  };
+
+  Direction& dir(Side from) { return from == Side::kA ? a_to_b_ : b_to_a_; }
+  const Direction& dir(Side from) const {
+    return from == Side::kA ? a_to_b_ : b_to_a_;
+  }
+
+  sim::Simulation& sim_;
+  Config config_;
+  sim::Rng rng_;
+  Direction a_to_b_;
+  Direction b_to_a_;
+};
+
+}  // namespace bnm::net

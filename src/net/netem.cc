@@ -1,0 +1,28 @@
+#include "net/netem.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace bnm::net {
+
+DelayEmulator::DelayEmulator(sim::Simulation& sim, Config config)
+    : sim_{sim}, config_{std::move(config)}, rng_{sim.rng_for(config_.name)} {}
+
+void DelayEmulator::enqueue(Packet packet) {
+  assert(output_ && "DelayEmulator has no output stage");
+  sim::Duration d = config_.delay;
+  if (!config_.jitter.is_zero()) {
+    d += rng_.uniform_ms(0.0, config_.jitter.ms_f());
+  }
+  sim::TimePoint release = sim_.now() + d;
+  if (!config_.allow_reorder) {
+    release = std::max(release, last_release_);
+    last_release_ = release;
+  }
+  sim_.scheduler().schedule_at(release, [this, pkt = std::move(packet)]() mutable {
+    output_(std::move(pkt));
+  });
+}
+
+}  // namespace bnm::net

@@ -1,0 +1,47 @@
+// Egress network-emulation qdisc, modelled on Linux netem.
+//
+// The paper's testbed adds "an additional delay of 50 ms on the server side
+// to simulate the Internet environment"; this is the component that does it.
+// Constant delay preserves packet order (as netem does for a fixed delay);
+// optional jitter re-orders only if `allow_reorder` is set, otherwise each
+// departure is clamped to be no earlier than the previous one.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "net/packet.h"
+#include "sim/simulation.h"
+
+namespace bnm::net {
+
+class DelayEmulator {
+ public:
+  struct Config {
+    sim::Duration delay = sim::Duration::zero();
+    sim::Duration jitter = sim::Duration::zero();  ///< uniform [0, jitter)
+    bool allow_reorder = false;
+    std::string name = "netem";
+  };
+
+  DelayEmulator(sim::Simulation& sim, Config config);
+
+  /// The downstream stage packets are released to.
+  void set_output(std::function<void(Packet)> output) {
+    output_ = std::move(output);
+  }
+
+  void enqueue(Packet packet);
+
+  const Config& config() const { return config_; }
+  void set_delay(sim::Duration d) { config_.delay = d; }
+
+ private:
+  sim::Simulation& sim_;
+  Config config_;
+  sim::Rng rng_;
+  std::function<void(Packet)> output_;
+  sim::TimePoint last_release_;
+};
+
+}  // namespace bnm::net

@@ -1,0 +1,51 @@
+#include "net/packet.h"
+
+#include <cstdio>
+
+namespace bnm::net {
+
+std::string TcpFlags::to_string() const {
+  std::string s;
+  if (syn) s.push_back('S');
+  if (fin) s.push_back('F');
+  if (rst) s.push_back('R');
+  if (psh) s.push_back('P');
+  if (ack) s.push_back('.');
+  if (s.empty()) s.push_back('-');
+  return s;
+}
+
+std::size_t Packet::ip_size() const {
+  const std::size_t transport =
+      protocol == Protocol::kTcp ? kTcpHeaderBytes : kUdpHeaderBytes;
+  return kIpHeaderBytes + transport + payload.size();
+}
+
+std::size_t Packet::wire_size() const {
+  return kEthernetOverheadBytes + ip_size();
+}
+
+std::string Packet::to_string() const {
+  char buf[160];
+  if (protocol == Protocol::kTcp) {
+    std::snprintf(buf, sizeof buf, "#%llu %s > %s TCP [%s] seq=%u ack=%u len=%zu",
+                  static_cast<unsigned long long>(id), src.to_string().c_str(),
+                  dst.to_string().c_str(), flags.to_string().c_str(), seq, ack,
+                  payload.size());
+  } else {
+    std::snprintf(buf, sizeof buf, "#%llu %s > %s UDP len=%zu",
+                  static_cast<unsigned long long>(id), src.to_string().c_str(),
+                  dst.to_string().c_str(), payload.size());
+  }
+  return buf;
+}
+
+std::vector<std::uint8_t> to_bytes(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+std::string to_string(const std::vector<std::uint8_t>& b) {
+  return {b.begin(), b.end()};
+}
+
+}  // namespace bnm::net

@@ -1,0 +1,73 @@
+// The simulated packet: one IP datagram with transport metadata and payload.
+//
+// Packets are value types; every hop works on its own copy, so mutation at
+// one node can never be observed retroactively by another (the same property
+// a real wire gives you).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/address.h"
+
+namespace bnm::net {
+
+enum class Protocol : std::uint8_t {
+  kTcp = 6,
+  kUdp = 17,
+};
+
+/// TCP control flags (subset used by the simulator).
+struct TcpFlags {
+  bool syn = false;
+  bool ack = false;
+  bool fin = false;
+  bool rst = false;
+  bool psh = false;
+
+  std::string to_string() const;
+  bool operator==(const TcpFlags&) const = default;
+};
+
+/// Wire-size constants (bytes) used for serialization-delay math and pcap
+/// synthesis. No options are modelled.
+inline constexpr std::size_t kIpHeaderBytes = 20;
+inline constexpr std::size_t kTcpHeaderBytes = 20;
+inline constexpr std::size_t kUdpHeaderBytes = 8;
+inline constexpr std::size_t kEthernetOverheadBytes = 38;  // hdr+FCS+preamble+IFG
+
+struct Packet {
+  std::uint64_t id = 0;  ///< globally unique per simulation, for tracing
+  Protocol protocol = Protocol::kTcp;
+  Endpoint src;
+  Endpoint dst;
+
+  // TCP-only metadata (ignored for UDP).
+  TcpFlags flags;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint16_t window = 65535;
+
+  std::vector<std::uint8_t> payload;
+
+  std::size_t payload_size() const { return payload.size(); }
+  /// IP datagram size: transport header + payload (+ IP header).
+  std::size_t ip_size() const;
+  /// Size on the Ethernet wire, used for serialization delay.
+  std::size_t wire_size() const;
+
+  bool is_pure_ack() const {
+    return protocol == Protocol::kTcp && flags.ack && !flags.syn &&
+           !flags.fin && !flags.rst && payload.empty();
+  }
+  bool carries_data() const { return !payload.empty(); }
+
+  std::string to_string() const;
+};
+
+/// Convert between byte vectors and strings (HTTP layer convenience).
+std::vector<std::uint8_t> to_bytes(const std::string& s);
+std::string to_string(const std::vector<std::uint8_t>& b);
+
+}  // namespace bnm::net

@@ -1,0 +1,50 @@
+// libpcap file reader: the inverse of PcapWriter. Parses classic pcap
+// (microsecond timestamps, LINKTYPE_RAW IPv4) back into packet records, so
+// captures can round-trip through files and externally produced captures
+// can be analysed with the library's capture tooling.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/packet.h"
+#include "sim/time.h"
+
+namespace bnm::net {
+
+struct PcapRecord {
+  sim::TimePoint timestamp;
+  Packet packet;
+};
+
+class PcapReader {
+ public:
+  enum class Error {
+    kNone,
+    kBadMagic,
+    kUnsupportedLinkType,
+    kTruncated,
+    kBadIpHeader,
+  };
+
+  struct Result {
+    Error error = Error::kNone;
+    std::uint32_t link_type = 0;
+    std::vector<PcapRecord> records;
+    bool ok() const { return error == Error::kNone; }
+  };
+
+  /// Parse a whole pcap stream. Transport payloads are preserved;
+  /// timestamps become TimePoints relative to the epoch.
+  static Result read(std::istream& in);
+  static Result read_file(const std::string& path);
+
+  /// Parse one on-wire IPv4 frame (header + transport + payload) into a
+  /// Packet. Returns nullopt on malformed input. Exposed for tests.
+  static std::optional<Packet> parse_frame(const std::string& frame);
+};
+
+}  // namespace bnm::net

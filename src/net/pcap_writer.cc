@@ -1,0 +1,134 @@
+#include "net/pcap_writer.h"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace bnm::net {
+
+namespace {
+
+void put_u16be(std::string& s, std::uint16_t v) {
+  s.push_back(static_cast<char>(v >> 8));
+  s.push_back(static_cast<char>(v & 0xff));
+}
+
+void put_u32be(std::string& s, std::uint32_t v) {
+  s.push_back(static_cast<char>(v >> 24));
+  s.push_back(static_cast<char>((v >> 16) & 0xff));
+  s.push_back(static_cast<char>((v >> 8) & 0xff));
+  s.push_back(static_cast<char>(v & 0xff));
+}
+
+void put_u16le(std::ostream& out, std::uint16_t v) {
+  const char b[2] = {static_cast<char>(v & 0xff), static_cast<char>(v >> 8)};
+  out.write(b, 2);
+}
+
+void put_u32le(std::ostream& out, std::uint32_t v) {
+  const char b[4] = {static_cast<char>(v & 0xff), static_cast<char>((v >> 8) & 0xff),
+                     static_cast<char>((v >> 16) & 0xff),
+                     static_cast<char>((v >> 24) & 0xff)};
+  out.write(b, 4);
+}
+
+}  // namespace
+
+std::uint16_t PcapWriter::internet_checksum(const std::uint8_t* data,
+                                            std::size_t len) {
+  std::uint32_t sum = 0;
+  for (std::size_t i = 0; i + 1 < len; i += 2) {
+    sum += (static_cast<std::uint32_t>(data[i]) << 8) | data[i + 1];
+  }
+  if (len % 2 == 1) sum += static_cast<std::uint32_t>(data[len - 1]) << 8;
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum & 0xffff);
+}
+
+std::string PcapWriter::synthesize_frame(const Packet& packet) {
+  std::string f;
+  f.reserve(packet.ip_size());
+
+  const bool tcp = packet.protocol == Protocol::kTcp;
+  const std::size_t total =
+      kIpHeaderBytes + (tcp ? kTcpHeaderBytes : kUdpHeaderBytes) +
+      packet.payload.size();
+
+  // --- IPv4 header (20 bytes, no options) ---
+  f.push_back(0x45);  // version 4, IHL 5
+  f.push_back(0x00);  // DSCP/ECN
+  put_u16be(f, static_cast<std::uint16_t>(total));
+  put_u16be(f, static_cast<std::uint16_t>(packet.id & 0xffff));  // IP ID
+  put_u16be(f, 0x4000);                                          // DF
+  f.push_back(64);  // TTL
+  f.push_back(static_cast<char>(packet.protocol));
+  put_u16be(f, 0);  // checksum placeholder
+  put_u32be(f, packet.src.ip.raw());
+  put_u32be(f, packet.dst.ip.raw());
+  const std::uint16_t csum = internet_checksum(
+      reinterpret_cast<const std::uint8_t*>(f.data()), kIpHeaderBytes);
+  f[10] = static_cast<char>(csum >> 8);
+  f[11] = static_cast<char>(csum & 0xff);
+
+  if (tcp) {
+    // --- TCP header (20 bytes, no options) ---
+    put_u16be(f, packet.src.port);
+    put_u16be(f, packet.dst.port);
+    put_u32be(f, packet.seq);
+    put_u32be(f, packet.ack);
+    f.push_back(0x50);  // data offset 5
+    std::uint8_t flags = 0;
+    if (packet.flags.fin) flags |= 0x01;
+    if (packet.flags.syn) flags |= 0x02;
+    if (packet.flags.rst) flags |= 0x04;
+    if (packet.flags.psh) flags |= 0x08;
+    if (packet.flags.ack) flags |= 0x10;
+    f.push_back(static_cast<char>(flags));
+    put_u16be(f, packet.window);
+    put_u16be(f, 0);  // checksum (offloaded)
+    put_u16be(f, 0);  // urgent pointer
+  } else {
+    // --- UDP header (8 bytes) ---
+    put_u16be(f, packet.src.port);
+    put_u16be(f, packet.dst.port);
+    put_u16be(f, static_cast<std::uint16_t>(kUdpHeaderBytes + packet.payload.size()));
+    put_u16be(f, 0);  // checksum (optional for IPv4)
+  }
+
+  f.append(packet.payload.begin(), packet.payload.end());
+  return f;
+}
+
+std::size_t PcapWriter::write(const PacketCapture& capture, std::ostream& out) {
+  // Global header.
+  put_u32le(out, 0xa1b2c3d4);  // magic, microsecond timestamps
+  put_u16le(out, 2);           // version major
+  put_u16le(out, 4);           // version minor
+  put_u32le(out, 0);           // thiszone
+  put_u32le(out, 0);           // sigfigs
+  put_u32le(out, 65535);       // snaplen
+  put_u32le(out, kLinkTypeRaw);
+  std::size_t written = 24;
+
+  for (const auto& rec : capture.records()) {
+    const std::string frame = synthesize_frame(rec.packet);
+    const std::int64_t us = rec.timestamp.ns_since_epoch() / 1000;
+    put_u32le(out, static_cast<std::uint32_t>(us / 1'000'000));
+    put_u32le(out, static_cast<std::uint32_t>(us % 1'000'000));
+    put_u32le(out, static_cast<std::uint32_t>(frame.size()));
+    put_u32le(out, static_cast<std::uint32_t>(frame.size()));
+    out.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+    written += 16 + frame.size();
+  }
+  return written;
+}
+
+std::size_t PcapWriter::write_file(const PacketCapture& capture,
+                                   const std::string& path) {
+  std::ofstream out{path, std::ios::binary};
+  if (!out) throw std::runtime_error("cannot open pcap output: " + path);
+  return write(capture, out);
+}
+
+}  // namespace bnm::net

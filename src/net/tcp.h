@@ -1,0 +1,193 @@
+// Simulated TCP: 3-way handshake, MSS segmentation, cumulative ACKs,
+// delayed-ACK with piggybacking, in-order delivery with a reassembly buffer,
+// RTO-based retransmission, and FIN/RST teardown.
+//
+// The subset is deliberately small but *real*: connection setup costs one
+// round trip, which is exactly the behaviour behind the paper's Table 3
+// (Flash methods that open a fresh connection inflate the measured RTT by
+// one handshake).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/address.h"
+#include "net/packet.h"
+#include "sim/simulation.h"
+
+namespace bnm::net {
+
+class Host;
+
+/// Application callbacks for one connection. All are optional.
+struct TcpCallbacks {
+  std::function<void()> on_connect;  ///< handshake complete (client side)
+  std::function<void(const std::vector<std::uint8_t>&)> on_data;
+  std::function<void()> on_close;  ///< peer sent FIN
+  std::function<void()> on_reset;  ///< connection aborted by RST
+};
+
+struct TcpConfig {
+  std::size_t mss = 1460;
+  /// Send window: maximum unacknowledged bytes in flight. ACKs clock out
+  /// further segments (keeps bursts below link queue limits, like a real
+  /// advertised window does). The default covers the testbed's
+  /// bandwidth-delay product (100 Mbps x 50 ms = 625 KB), matching the
+  /// window-scaled stacks of the paper's era.
+  std::size_t send_window = 1024 * 1024;
+  sim::Duration delayed_ack = sim::Duration::micros(500);
+  sim::Duration rto_initial = sim::Duration::millis(200);
+  sim::Duration rto_max = sim::Duration::seconds(4);
+  /// Give up (reset the connection) after this many *consecutive*
+  /// retransmissions without forward progress.
+  std::uint64_t max_retransmissions = 16;
+  /// Fast retransmit: resend the first unacked segment after this many
+  /// duplicate ACKs (RFC 5681's 3), without waiting for the RTO.
+  std::uint32_t dupack_threshold = 3;
+  /// Congestion control (slow start + AIMD). Off by default: the paper's
+  /// single-packet probes never exercise it, and the deterministic
+  /// fixed-window behaviour keeps calibration simple. Enable for realistic
+  /// bulk-transfer dynamics (see the throughput ablations).
+  bool congestion_control = false;
+  std::size_t initial_cwnd_segments = 10;  ///< IW10, era-appropriate
+  sim::Duration time_wait = sim::Duration::millis(1);
+};
+
+class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
+ public:
+  enum class State {
+    kClosed,
+    kSynSent,
+    kSynRcvd,
+    kEstablished,
+    kFinWait1,
+    kFinWait2,
+    kCloseWait,
+    kLastAck,
+    kClosing,
+    kTimeWait,
+  };
+  static const char* state_name(State s);
+
+  /// Constructed via Host::tcp_connect / Host's listener path only.
+  TcpConnection(Host& host, FourTuple tuple, TcpConfig config, bool initiator,
+                std::uint32_t isn);
+
+  // Not copyable/movable: the host demux map holds shared_ptrs to us.
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
+
+  void set_callbacks(TcpCallbacks cbs) { cbs_ = std::move(cbs); }
+
+  /// Queue application bytes; segments go out subject to MSS.
+  void send(std::vector<std::uint8_t> data);
+  void send(const std::string& data);
+
+  /// Graceful close: FIN after the send buffer drains.
+  void close();
+  /// Abortive close: RST immediately.
+  void abort();
+
+  State state() const { return state_; }
+  bool established() const { return state_ == State::kEstablished; }
+  const FourTuple& tuple() const { return tuple_; }
+
+  // Counters for tests and capture audits.
+  std::uint64_t segments_sent() const { return segments_sent_; }
+  std::uint64_t retransmissions() const { return retransmissions_; }
+  std::uint64_t fast_retransmissions() const { return fast_retransmissions_; }
+  std::uint64_t bytes_delivered() const { return bytes_delivered_; }
+  /// Effective send window right now (min of cwnd and the configured
+  /// window when congestion control is on).
+  std::size_t effective_window() const;
+  double cwnd_bytes() const { return cwnd_; }
+
+  // --- Host-internal entry points (not for applications) ---
+  void start_active_open();
+  void on_segment(const Packet& segment);
+
+ private:
+  void enter(State next);
+  void pump_send();
+  void transmit_segment(std::vector<std::uint8_t> chunk, bool fin);
+  void send_control(TcpFlags flags, std::uint32_t seq);
+  void send_ack_now();
+  void schedule_delayed_ack();
+  void handle_ack(std::uint32_t ack, bool pure_ack = false);
+  void deliver_in_order(const Packet& segment);
+  void maybe_send_fin();
+  void arm_rto();
+  void cancel_rto();
+  void on_rto_fire();
+  void deregister();
+
+  Host& host_;
+  FourTuple tuple_;
+  TcpConfig config_;
+  TcpCallbacks cbs_;
+  State state_ = State::kClosed;
+  bool initiator_;
+
+  // Send side.
+  std::uint32_t iss_;       ///< initial send sequence
+  std::uint32_t snd_una_;   ///< oldest unacked
+  std::uint32_t snd_nxt_;   ///< next seq to send
+  std::deque<std::uint8_t> send_buffer_;
+  bool fin_pending_ = false;
+  bool fin_sent_ = false;
+
+  struct Unacked {
+    std::uint32_t seq;
+    Packet packet;
+  };
+  std::deque<Unacked> rtx_queue_;
+  sim::EventHandle rto_timer_;
+  sim::Duration rto_current_;
+  std::uint64_t consecutive_rtos_ = 0;
+
+  // Receive side.
+  std::uint32_t irs_ = 0;      ///< initial receive sequence
+  std::uint32_t rcv_nxt_ = 0;  ///< next expected
+  std::map<std::uint32_t, std::vector<std::uint8_t>> reassembly_;
+  sim::EventHandle delack_timer_;
+  bool fin_received_ = false;
+
+  std::uint64_t segments_sent_ = 0;
+  std::uint64_t retransmissions_ = 0;
+  std::uint64_t fast_retransmissions_ = 0;
+  std::uint64_t bytes_delivered_ = 0;
+
+  // Congestion state (used when config_.congestion_control is set).
+  double cwnd_ = 0;      ///< bytes
+  double ssthresh_ = 0;  ///< bytes; slow start below, AIMD above
+  std::uint32_t dupacks_ = 0;
+  std::uint32_t last_ack_seen_ = 0;
+
+  void retransmit_first_unacked(const char* reason);
+  void on_congestion_event();
+};
+
+/// Passive-open endpoint: hands established connections to `on_accept`.
+class TcpListener {
+ public:
+  using AcceptCallback = std::function<void(std::shared_ptr<TcpConnection>)>;
+
+  TcpListener(Port port, AcceptCallback on_accept)
+      : port_{port}, on_accept_{std::move(on_accept)} {}
+
+  Port port() const { return port_; }
+  void notify_accept(std::shared_ptr<TcpConnection> conn) const {
+    if (on_accept_) on_accept_(std::move(conn));
+  }
+
+ private:
+  Port port_;
+  AcceptCallback on_accept_;
+};
+
+}  // namespace bnm::net

@@ -1,0 +1,27 @@
+#include "net/udp.h"
+
+#include <utility>
+
+#include "net/host.h"
+
+namespace bnm::net {
+
+UdpSocket::UdpSocket(Host& host, Port local_port, ReceiveCallback on_receive)
+    : host_{host}, local_port_{local_port}, on_receive_{std::move(on_receive)} {}
+
+void UdpSocket::send_to(Endpoint remote, std::vector<std::uint8_t> payload) {
+  Packet pkt;
+  pkt.protocol = Protocol::kUdp;
+  pkt.src = Endpoint{host_.ip(), local_port_};
+  pkt.dst = remote;
+  pkt.payload = std::move(payload);
+  ++sent_;
+  host_.send_packet(std::move(pkt));
+}
+
+void UdpSocket::on_datagram(const Packet& packet) {
+  ++received_;
+  if (on_receive_) on_receive_(packet.src, packet.payload);
+}
+
+}  // namespace bnm::net

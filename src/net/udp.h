@@ -1,0 +1,45 @@
+// Simulated UDP socket (used by the Java applet UDP method, and generally
+// available as a substrate for loss/reordering experiments).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/address.h"
+#include "net/packet.h"
+
+namespace bnm::net {
+
+class Host;
+
+class UdpSocket {
+ public:
+  /// (source endpoint, payload)
+  using ReceiveCallback =
+      std::function<void(Endpoint, const std::vector<std::uint8_t>&)>;
+
+  UdpSocket(Host& host, Port local_port, ReceiveCallback on_receive);
+
+  UdpSocket(const UdpSocket&) = delete;
+  UdpSocket& operator=(const UdpSocket&) = delete;
+
+  Port local_port() const { return local_port_; }
+
+  void send_to(Endpoint remote, std::vector<std::uint8_t> payload);
+
+  std::uint64_t datagrams_sent() const { return sent_; }
+  std::uint64_t datagrams_received() const { return received_; }
+
+  // Host-internal.
+  void on_datagram(const Packet& packet);
+
+ private:
+  Host& host_;
+  Port local_port_;
+  ReceiveCallback on_receive_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t received_ = 0;
+};
+
+}  // namespace bnm::net

@@ -1,0 +1,76 @@
+#include "report/boxplot_render.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace bnm::report {
+
+std::string BoxPlotRenderer::render(const std::vector<BoxRow>& rows) const {
+  if (rows.empty()) return "(no data)\n";
+
+  double lo = rows.front().stats.whisker_lo;
+  double hi = rows.front().stats.whisker_hi;
+  std::size_t label_width = 0;
+  for (const auto& row : rows) {
+    lo = std::min(lo, row.stats.whisker_lo);
+    hi = std::max(hi, row.stats.whisker_hi);
+    if (options_.include_outliers) {
+      if (!row.stats.outliers_lo.empty()) {
+        lo = std::min(lo, row.stats.outliers_lo.front());
+      }
+      if (!row.stats.outliers_hi.empty()) {
+        hi = std::max(hi, row.stats.outliers_hi.back());
+      }
+    }
+    label_width = std::max(label_width, row.label.size());
+  }
+  if (hi <= lo) hi = lo + 1.0;
+  const double span = hi - lo;
+
+  const std::size_t w = options_.width;
+  auto col = [&](double v) -> std::size_t {
+    double frac = (v - lo) / span;
+    frac = std::clamp(frac, 0.0, 1.0);
+    return static_cast<std::size_t>(std::lround(frac * static_cast<double>(w - 1)));
+  };
+
+  std::string out;
+  for (const auto& row : rows) {
+    std::string line(w, ' ');
+    const auto& s = row.stats;
+    const std::size_t cw_lo = col(s.whisker_lo), cq1 = col(s.q1),
+                      cmed = col(s.median), cq3 = col(s.q3),
+                      cw_hi = col(s.whisker_hi);
+    for (std::size_t i = cw_lo; i <= cw_hi && i < w; ++i) line[i] = '-';
+    for (std::size_t i = cq1; i <= cq3 && i < w; ++i) line[i] = '=';
+    line[cw_lo] = '|';
+    line[cw_hi] = '|';
+    if (cq1 < w) line[cq1] = '[';
+    if (cq3 < w) line[cq3] = ']';
+    if (cmed < w) line[cmed] = 'M';
+    if (options_.include_outliers) {
+      for (double o : s.outliers_lo) line[col(o)] = 'o';
+      for (double o : s.outliers_hi) line[col(o)] = 'o';
+    }
+
+    std::string label = row.label;
+    label.resize(label_width, ' ');
+    out += label + " " + line + "\n";
+  }
+
+  if (options_.show_scale) {
+    std::string axis(w, '-');
+    axis[0] = '+';
+    axis[w - 1] = '+';
+    axis[col((lo + hi) / 2)] = '+';
+    out += std::string(label_width + 1, ' ') + axis + "\n";
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "%-*.1f%*s%*.1f", static_cast<int>(w / 2),
+                  lo, 0, "", static_cast<int>(w - w / 2), hi);
+    out += std::string(label_width + 1, ' ') + buf + " (ms)\n";
+  }
+  return out;
+}
+
+}  // namespace bnm::report

@@ -1,0 +1,40 @@
+// ASCII box-and-whisker rendering: one labelled row per distribution on a
+// shared horizontal scale, mirroring the panels of the paper's Figure 3.
+//
+//   C (U) d1  |        |-----[==M====]------|      o  oo
+//
+//   |-  -|  whiskers        [= =]  interquartile box
+//   M        median         o      outliers
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "stats/boxplot.h"
+
+namespace bnm::report {
+
+struct BoxRow {
+  std::string label;
+  stats::BoxStats stats;
+};
+
+class BoxPlotRenderer {
+ public:
+  struct Options {
+    std::size_t width = 72;       ///< plot columns (excluding labels)
+    bool show_scale = true;       ///< axis line with min/max annotations
+    bool include_outliers = true;
+  };
+
+  explicit BoxPlotRenderer(Options options) : options_{options} {}
+  BoxPlotRenderer() : BoxPlotRenderer(Options{}) {}
+
+  /// Render rows on a common scale spanning all whiskers and outliers.
+  std::string render(const std::vector<BoxRow>& rows) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace bnm::report

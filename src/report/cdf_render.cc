@@ -1,0 +1,68 @@
+#include "report/cdf_render.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace bnm::report {
+
+namespace {
+constexpr char kMarks[] = "*#@%+x&$o~";
+}
+
+std::string CdfRenderer::render(const std::vector<CdfSeries>& series) const {
+  if (series.empty()) return "(no data)\n";
+
+  double lo = options_.x_lo, hi = options_.x_hi;
+  if (lo == hi) {
+    lo = series.front().cdf.sorted_samples().front();
+    hi = series.front().cdf.sorted_samples().back();
+    for (const auto& s : series) {
+      lo = std::min(lo, s.cdf.sorted_samples().front());
+      hi = std::max(hi, s.cdf.sorted_samples().back());
+    }
+    const double pad = (hi - lo) * 0.05 + 1e-9;
+    lo -= pad;
+    hi += pad;
+  }
+  if (hi <= lo) hi = lo + 1.0;
+
+  const std::size_t w = options_.width, h = options_.height;
+  std::vector<std::string> grid(h, std::string(w, ' '));
+
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char mark = kMarks[si % (sizeof kMarks - 1)];
+    for (std::size_t x = 0; x < w; ++x) {
+      const double xv =
+          lo + (hi - lo) * static_cast<double>(x) / static_cast<double>(w - 1);
+      const double f = series[si].cdf.at(xv);
+      // Row 0 is F=1 (top); row h-1 is F=0.
+      auto y = static_cast<std::size_t>(
+          std::lround((1.0 - f) * static_cast<double>(h - 1)));
+      y = std::min(y, h - 1);
+      grid[y][x] = mark;
+    }
+  }
+
+  std::string out;
+  for (std::size_t y = 0; y < h; ++y) {
+    const double f = 1.0 - static_cast<double>(y) / static_cast<double>(h - 1);
+    char label[16];
+    std::snprintf(label, sizeof label, "%4.2f |", f);
+    out += label + grid[y] + "\n";
+  }
+  out += "     +" + std::string(w, '-') + "\n";
+  char axis[128];
+  std::snprintf(axis, sizeof axis, "     %-*.1f%*.1f (ms)",
+                static_cast<int>(w / 2), lo, static_cast<int>(w - w / 2), hi);
+  out += axis;
+  out += "\n legend: ";
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    out += std::string(1, kMarks[si % (sizeof kMarks - 1)]) + "=" +
+           series[si].label + "  ";
+  }
+  out += "\n";
+  return out;
+}
+
+}  // namespace bnm::report

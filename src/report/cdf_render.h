@@ -1,0 +1,35 @@
+// ASCII CDF plot: multiple empirical CDFs on one grid (Figure 4 style).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "stats/cdf.h"
+
+namespace bnm::report {
+
+struct CdfSeries {
+  std::string label;
+  stats::EmpiricalCdf cdf;
+};
+
+class CdfRenderer {
+ public:
+  struct Options {
+    std::size_t width = 70;
+    std::size_t height = 20;
+    /// x-range; if lo == hi the range is derived from the data.
+    double x_lo = 0;
+    double x_hi = 0;
+  };
+
+  explicit CdfRenderer(Options options) : options_{options} {}
+  CdfRenderer() : CdfRenderer(Options{}) {}
+
+  std::string render(const std::vector<CdfSeries>& series) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace bnm::report

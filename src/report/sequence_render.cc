@@ -1,0 +1,68 @@
+#include "report/sequence_render.h"
+
+#include <cstdio>
+
+namespace bnm::report {
+
+std::string SequenceRenderer::describe(const net::Packet& packet) const {
+  if (packet.protocol == net::Protocol::kUdp) {
+    return "UDP " + std::to_string(packet.payload_size()) + "B";
+  }
+  std::string flags = packet.flags.to_string();
+  if (packet.flags.syn && packet.flags.ack) flags = "SYN-ACK";
+  else if (packet.flags.syn) flags = "SYN";
+  else if (packet.flags.fin) flags = "FIN";
+  else if (packet.flags.rst) flags = "RST";
+  else if (packet.carries_data()) flags = "data " + std::to_string(packet.payload_size()) + "B";
+  else if (packet.is_pure_ack()) flags = "ACK";
+  return flags;
+}
+
+std::string SequenceRenderer::render(const net::PacketCapture& capture,
+                                     const net::CaptureFilter& filter) const {
+  std::string out;
+  char line[256];
+  std::size_t shown = 0;
+  std::optional<sim::TimePoint> t0;
+
+  std::snprintf(line, sizeof line, "%-12s %-7s %-*s %s\n", "time", "client",
+                static_cast<int>(options_.arrow_width), "", "server");
+  out += line;
+
+  for (const auto& rec : capture.records()) {
+    if (filter && !filter(rec)) continue;
+    if (options_.hide_pure_acks && rec.packet.is_pure_ack()) continue;
+    if (options_.limit > 0 && shown >= options_.limit) {
+      out += "  ... (truncated)\n";
+      break;
+    }
+    if (!t0) t0 = rec.timestamp;
+    const double ms = options_.relative_time
+                          ? (rec.timestamp - *t0).ms_f()
+                          : rec.timestamp.ms_since_epoch_f();
+
+    const std::string label = describe(rec.packet);
+    std::string arrow;
+    const std::size_t w = options_.arrow_width;
+    if (rec.direction == net::CaptureDirection::kOutbound) {
+      // client ---- label ---->
+      const std::size_t dashes = w > label.size() + 4 ? w - label.size() - 4 : 1;
+      arrow = std::string(dashes / 2, '-') + " " + label + " " +
+              std::string(dashes - dashes / 2, '-') + ">";
+    } else {
+      const std::size_t dashes = w > label.size() + 4 ? w - label.size() - 4 : 1;
+      arrow = "<" + std::string(dashes / 2, '-') + " " + label + " " +
+              std::string(dashes - dashes / 2, '-');
+    }
+    char ts[32];
+    std::snprintf(ts, sizeof ts, "+%.3fms", ms);
+    std::snprintf(line, sizeof line, "%-12s %-7s %-*s %s\n", ts, "client",
+                  static_cast<int>(w + 2), arrow.c_str(), "server");
+    out += line;
+    ++shown;
+  }
+  if (shown == 0) out += "  (no packets matched)\n";
+  return out;
+}
+
+}  // namespace bnm::report

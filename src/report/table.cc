@@ -1,0 +1,107 @@
+#include "report/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace bnm::report {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_{std::move(header)} {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(Row{std::move(cells), next_rule_});
+  next_rule_ = false;
+}
+
+void TextTable::add_rule() { next_rule_ = true; }
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.cells.size(); ++i) {
+      widths[i] = std::max(widths[i], row.cells[i].size());
+    }
+  }
+
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      std::string cell = cells[i];
+      cell.resize(widths[i], ' ');
+      line += cell;
+      if (i + 1 < cells.size()) line += "  ";
+    }
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    return line + "\n";
+  };
+  auto rule = [&] {
+    std::string line;
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      line.append(widths[i], '-');
+      if (i + 1 < widths.size()) line += "--";
+    }
+    return line + "\n";
+  };
+
+  std::string out = emit_row(header_);
+  out += rule();
+  for (const auto& row : rows_) {
+    if (row.rule_before) out += rule();
+    out += emit_row(row.cells);
+  }
+  return out;
+}
+
+std::string TextTable::render_markdown() const {
+  auto emit = [](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (const auto& c : cells) line += " " + c + " |";
+    return line + "\n";
+  };
+  std::string out = emit(header_);
+  std::string sep = "|";
+  for (std::size_t i = 0; i < header_.size(); ++i) sep += "---|";
+  out += sep + "\n";
+  for (const auto& row : rows_) out += emit(row.cells);
+  return out;
+}
+
+std::string TextTable::render_csv() const {
+  auto quote = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string q = "\"";
+    for (char c : s) {
+      if (c == '"') q += '"';
+      q += c;
+    }
+    return q + "\"";
+  };
+  auto emit = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      line += quote(cells[i]);
+      if (i + 1 < cells.size()) line += ",";
+    }
+    return line + "\n";
+  };
+  std::string out = emit(header_);
+  for (const auto& row : rows_) out += emit(row.cells);
+  return out;
+}
+
+std::string TextTable::fmt(double v, int precision) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string TextTable::fmt_ci(double mean, double half, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f +- %.*f", precision, mean, precision,
+                half);
+  return buf;
+}
+
+}  // namespace bnm::report

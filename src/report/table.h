@@ -1,0 +1,37 @@
+// Aligned text tables (plus Markdown and CSV emitters) for bench output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bnm::report {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  /// Insert a horizontal rule before the next added row.
+  void add_rule();
+
+  std::size_t rows() const { return rows_.size(); }
+
+  std::string render() const;          ///< padded plain text
+  std::string render_markdown() const; ///< GitHub-style pipes
+  std::string render_csv() const;
+
+  /// Format helpers.
+  static std::string fmt(double v, int precision = 1);
+  static std::string fmt_ci(double mean, double half, int precision = 2);
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule_before = false;
+  };
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+  bool next_rule_ = false;
+};
+
+}  // namespace bnm::report

@@ -1,0 +1,80 @@
+#include "sim/scheduler.h"
+
+#include <cassert>
+#include <utility>
+
+namespace bnm::sim {
+
+void EventHandle::cancel() {
+  if (alive_) *alive_ = false;
+}
+
+bool EventHandle::pending() const { return alive_ && *alive_; }
+
+EventHandle Scheduler::schedule_at(TimePoint at, std::function<void()> fn) {
+  assert(fn && "scheduling an empty callback");
+  if (at < now_) at = now_;  // never schedule into the past
+  auto alive = std::make_shared<bool>(true);
+  queue_.push(Entry{at, next_seq_++, std::move(fn), alive});
+  return EventHandle{std::move(alive)};
+}
+
+EventHandle Scheduler::schedule_after(Duration delay, std::function<void()> fn) {
+  if (delay.is_negative()) delay = Duration::zero();
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Scheduler::step() {
+  while (!queue_.empty()) {
+    Entry e = queue_.top();
+    queue_.pop();
+    if (!*e.alive) {
+      if (cancelled_in_queue_ > 0) --cancelled_in_queue_;
+      continue;  // skip dead entries
+    }
+    assert(e.at >= now_);
+    now_ = e.at;
+    *e.alive = false;  // fired; handle reports !pending()
+    ++executed_;
+    e.fn();
+    return true;
+  }
+  return false;
+}
+
+void Scheduler::run() {
+  while (step()) {
+  }
+}
+
+void Scheduler::run_until(TimePoint deadline) {
+  while (!queue_.empty()) {
+    const Entry& top = queue_.top();
+    if (!*top.alive) {
+      queue_.pop();
+      continue;
+    }
+    if (top.at > deadline) break;
+    step();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+std::size_t Scheduler::pending_events() const {
+  // The queue may hold dead entries that have not surfaced yet; count live
+  // ones by scanning a copy only when asked (tests and diagnostics only).
+  auto copy = queue_;
+  std::size_t live = 0;
+  while (!copy.empty()) {
+    if (*copy.top().alive) ++live;
+    copy.pop();
+  }
+  return live;
+}
+
+void Scheduler::clear() {
+  while (!queue_.empty()) queue_.pop();
+  cancelled_in_queue_ = 0;
+}
+
+}  // namespace bnm::sim

@@ -1,0 +1,32 @@
+// Simulation context: bundles the scheduler, root RNG and trace log that a
+// testbed shares. Components hold a Simulation& and never own global state,
+// so many independent simulations can coexist in one process (gtest shards,
+// google-benchmark iterations, parameter sweeps).
+#pragma once
+
+#include "sim/random.h"
+#include "sim/scheduler.h"
+#include "sim/trace.h"
+
+namespace bnm::sim {
+
+class Simulation {
+ public:
+  explicit Simulation(std::uint64_t seed = 1) : root_rng_{seed} {}
+
+  Scheduler& scheduler() { return scheduler_; }
+  const Scheduler& scheduler() const { return scheduler_; }
+  Trace& trace() { return trace_; }
+
+  TimePoint now() const { return scheduler_.now(); }
+
+  /// Independent RNG stream for a named component.
+  Rng rng_for(std::string_view label) const { return root_rng_.fork(label); }
+
+ private:
+  Scheduler scheduler_;
+  Rng root_rng_;
+  Trace trace_;
+};
+
+}  // namespace bnm::sim

@@ -1,0 +1,120 @@
+// Simulated-time primitives for the bnm discrete-event testbed.
+//
+// All simulation time is kept in integer nanoseconds. Two strong types are
+// provided so that instants and intervals cannot be mixed accidentally:
+//
+//   Duration  -- a signed length of time (may be negative, e.g. a delay
+//                overhead computed from quantized clocks).
+//   TimePoint -- an instant on the simulation timeline, measured from the
+//                simulation epoch (t = 0 at Scheduler construction).
+//
+// The types are trivially copyable value types with the usual arithmetic,
+// plus factory helpers (seconds/millis/micros/nanos) and human-readable
+// formatting used throughout reports and traces.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace bnm::sim {
+
+/// A signed span of simulated time with nanosecond resolution.
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  /// Named constructors; fractional arguments are rounded to the nearest ns.
+  static constexpr Duration nanos(std::int64_t n) { return Duration{n}; }
+  static constexpr Duration micros(std::int64_t u) { return Duration{u * 1000}; }
+  static constexpr Duration millis(std::int64_t m) { return Duration{m * 1'000'000}; }
+  static constexpr Duration seconds(std::int64_t s) { return Duration{s * 1'000'000'000}; }
+  static constexpr Duration minutes(std::int64_t m) { return seconds(m * 60); }
+  static Duration from_millis_f(double ms);
+  static Duration from_seconds_f(double s);
+
+  static constexpr Duration zero() { return Duration{0}; }
+  static constexpr Duration max() {
+    return Duration{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double us_f() const { return static_cast<double>(ns_) / 1e3; }
+  constexpr double ms_f() const { return static_cast<double>(ns_) / 1e6; }
+  constexpr double s_f() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr bool is_zero() const { return ns_ == 0; }
+  constexpr bool is_negative() const { return ns_ < 0; }
+
+  constexpr Duration operator+(Duration o) const { return Duration{ns_ + o.ns_}; }
+  constexpr Duration operator-(Duration o) const { return Duration{ns_ - o.ns_}; }
+  constexpr Duration operator-() const { return Duration{-ns_}; }
+  constexpr Duration operator*(std::int64_t k) const { return Duration{ns_ * k}; }
+  constexpr Duration operator/(std::int64_t k) const { return Duration{ns_ / k}; }
+  constexpr double operator/(Duration o) const {
+    return static_cast<double>(ns_) / static_cast<double>(o.ns_);
+  }
+  Duration& operator+=(Duration o) { ns_ += o.ns_; return *this; }
+  Duration& operator-=(Duration o) { ns_ -= o.ns_; return *this; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  /// Scale by a real factor (used by bandwidth/serialization math).
+  Duration scaled(double f) const;
+
+  /// Round down to an integer multiple of `granule` (clock quantization).
+  constexpr Duration quantized_floor(Duration granule) const {
+    if (granule.ns_ <= 1) return *this;
+    std::int64_t q = ns_ / granule.ns_;
+    if (ns_ < 0 && ns_ % granule.ns_ != 0) --q;  // floor, not trunc
+    return Duration{q * granule.ns_};
+  }
+
+  /// e.g. "50ms", "1.234ms", "750ns", "-3.125ms".
+  std::string to_string() const;
+
+ private:
+  explicit constexpr Duration(std::int64_t ns) : ns_{ns} {}
+  std::int64_t ns_ = 0;
+};
+
+constexpr Duration operator*(std::int64_t k, Duration d) { return d * k; }
+
+/// An instant on the simulated timeline.
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+
+  static constexpr TimePoint epoch() { return TimePoint{}; }
+  static constexpr TimePoint from_ns(std::int64_t ns) { return TimePoint{ns}; }
+  static constexpr TimePoint max() {
+    return TimePoint{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  constexpr std::int64_t ns_since_epoch() const { return ns_; }
+  constexpr double ms_since_epoch_f() const {
+    return static_cast<double>(ns_) / 1e6;
+  }
+
+  constexpr TimePoint operator+(Duration d) const { return TimePoint{ns_ + d.ns()}; }
+  constexpr TimePoint operator-(Duration d) const { return TimePoint{ns_ - d.ns()}; }
+  constexpr Duration operator-(TimePoint o) const { return Duration::nanos(ns_ - o.ns_); }
+  TimePoint& operator+=(Duration d) { ns_ += d.ns(); return *this; }
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  /// Floor to a multiple of `granule` since the epoch — models a coarse
+  /// system clock that only advances in `granule` ticks.
+  constexpr TimePoint quantized_floor(Duration granule) const {
+    return TimePoint{(*this - epoch()).quantized_floor(granule).ns()};
+  }
+
+  std::string to_string() const;
+
+ private:
+  explicit constexpr TimePoint(std::int64_t ns) : ns_{ns} {}
+  std::int64_t ns_ = 0;
+};
+
+}  // namespace bnm::sim

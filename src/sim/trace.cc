@@ -1,0 +1,27 @@
+#include "sim/trace.h"
+
+namespace bnm::sim {
+
+void Trace::emit(TimePoint at, std::string component, std::string message) {
+  if (!enabled_) return;
+  TraceRecord rec{at, std::move(component), std::move(message)};
+  if (sink_) sink_(rec);
+  records_.push_back(std::move(rec));
+}
+
+std::vector<TraceRecord> Trace::by_component(const std::string& component) const {
+  std::vector<TraceRecord> out;
+  for (const auto& r : records_) {
+    if (r.component == component) out.push_back(r);
+  }
+  return out;
+}
+
+bool Trace::contains(const std::string& needle) const {
+  for (const auto& r : records_) {
+    if (r.message.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+}  // namespace bnm::sim

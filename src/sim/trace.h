@@ -1,0 +1,50 @@
+// Lightweight structured trace log for the testbed.
+//
+// Components emit (time, component, message) records; tests and diagnostic
+// tools inspect them, and examples can stream them to stderr. Tracing is
+// off by default so experiment hot paths pay one branch.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace bnm::sim {
+
+struct TraceRecord {
+  TimePoint at;
+  std::string component;
+  std::string message;
+};
+
+/// Collects trace records; optionally mirrors them to a sink callback.
+class Trace {
+ public:
+  /// Enable/disable collection. Disabled traces drop records.
+  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  /// Mirror each record to `sink` as it is emitted (e.g. print to stderr).
+  void set_sink(std::function<void(const TraceRecord&)> sink) {
+    sink_ = std::move(sink);
+  }
+
+  void emit(TimePoint at, std::string component, std::string message);
+
+  const std::vector<TraceRecord>& records() const { return records_; }
+  void clear() { records_.clear(); }
+
+  /// Records whose component matches `component` exactly.
+  std::vector<TraceRecord> by_component(const std::string& component) const;
+  /// True if any record's message contains `needle`.
+  bool contains(const std::string& needle) const;
+
+ private:
+  bool enabled_ = false;
+  std::function<void(const TraceRecord&)> sink_;
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace bnm::sim

@@ -1,0 +1,42 @@
+#include "stats/boxplot.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "stats/descriptive.h"
+
+namespace bnm::stats {
+
+BoxStats box_stats(std::vector<double> xs) {
+  assert(!xs.empty());
+  std::sort(xs.begin(), xs.end());
+
+  BoxStats b;
+  b.n = xs.size();
+  b.q1 = quantile_sorted(xs, 0.25);
+  b.median = quantile_sorted(xs, 0.5);
+  b.q3 = quantile_sorted(xs, 0.75);
+
+  const double fence_lo = b.q1 - 1.5 * b.iqr();
+  const double fence_hi = b.q3 + 1.5 * b.iqr();
+
+  b.whisker_lo = b.q1;  // fallbacks if everything on a side is an outlier
+  b.whisker_hi = b.q3;
+  bool saw_inlier = false;
+  for (double x : xs) {
+    if (x < fence_lo) {
+      b.outliers_lo.push_back(x);
+    } else if (x > fence_hi) {
+      b.outliers_hi.push_back(x);
+    } else {
+      if (!saw_inlier) {
+        b.whisker_lo = x;
+        saw_inlier = true;
+      }
+      b.whisker_hi = x;  // xs is sorted; last inlier wins
+    }
+  }
+  return b;
+}
+
+}  // namespace bnm::stats

@@ -1,0 +1,38 @@
+// Box-and-whisker statistics with the paper's outlier rule.
+//
+// The paper (Section 4): "The top and bottom of the box are given by the
+// 75th percentile and 25th percentile, and the mark inside is the median.
+// The upper and lower whiskers are the maximum and minimum, respectively,
+// after excluding the outliers. The outliers above the upper whiskers are
+// those exceeding 1.5 of the upper quartile, and those below the minimum
+// are less than 1.5 of the lower quartile."
+//
+// That is the standard Tukey rule: a point x is an outlier iff
+//   x > Q3 + 1.5 * IQR  or  x < Q1 - 1.5 * IQR.
+#pragma once
+
+#include <vector>
+
+namespace bnm::stats {
+
+struct BoxStats {
+  std::size_t n = 0;
+  double q1 = 0;          ///< 25th percentile (bottom of the box)
+  double median = 0;      ///< mark inside the box
+  double q3 = 0;          ///< 75th percentile (top of the box)
+  double whisker_lo = 0;  ///< min after excluding outliers
+  double whisker_hi = 0;  ///< max after excluding outliers
+  std::vector<double> outliers_lo;  ///< points below Q1 - 1.5*IQR, ascending
+  std::vector<double> outliers_hi;  ///< points above Q3 + 1.5*IQR, ascending
+
+  double iqr() const { return q3 - q1; }
+  std::size_t outlier_count() const {
+    return outliers_lo.size() + outliers_hi.size();
+  }
+};
+
+/// Compute box statistics with the Tukey 1.5*IQR fence. Undefined for empty
+/// input (asserts in debug builds).
+BoxStats box_stats(std::vector<double> xs);
+
+}  // namespace bnm::stats

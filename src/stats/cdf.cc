@@ -1,0 +1,70 @@
+#include "stats/cdf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace bnm::stats {
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples)
+    : sorted_{std::move(samples)} {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::at(double x) const {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::inverse(double p) const {
+  assert(!sorted_.empty());
+  assert(p >= 0.0 && p <= 1.0);
+  if (p <= 0.0) return sorted_.front();
+  const auto n = static_cast<double>(sorted_.size());
+  const auto idx = static_cast<std::size_t>(std::ceil(p * n)) - 1;
+  return sorted_[std::min(idx, sorted_.size() - 1)];
+}
+
+std::vector<EmpiricalCdf::Point> EmpiricalCdf::sample_curve(
+    double lo, double hi, std::size_t points) const {
+  assert(points >= 2);
+  std::vector<Point> out;
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x =
+        lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(points - 1);
+    out.push_back(Point{x, at(x)});
+  }
+  return out;
+}
+
+std::vector<double> EmpiricalCdf::mass_levels(double tol, double min_frac) const {
+  std::vector<double> levels;
+  if (sorted_.empty()) return levels;
+  const auto n = static_cast<double>(sorted_.size());
+  std::size_t i = 0;
+  while (i < sorted_.size()) {
+    // Grow a cluster of samples within `tol` of the cluster's first element.
+    std::size_t j = i;
+    while (j < sorted_.size() && sorted_[j] - sorted_[i] <= tol) ++j;
+    const double frac = static_cast<double>(j - i) / n;
+    if (frac >= min_frac) {
+      double sum = 0.0;
+      for (std::size_t k = i; k < j; ++k) sum += sorted_[k];
+      levels.push_back(sum / static_cast<double>(j - i));
+    }
+    i = j;
+  }
+  return levels;
+}
+
+double EmpiricalCdf::ks_distance(const EmpiricalCdf& other) const {
+  double d = 0.0;
+  for (double x : sorted_) d = std::max(d, std::fabs(at(x) - other.at(x)));
+  for (double x : other.sorted_) d = std::max(d, std::fabs(at(x) - other.at(x)));
+  return d;
+}
+
+}  // namespace bnm::stats

@@ -1,0 +1,42 @@
+// Empirical cumulative distribution function, as plotted in Figure 4.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace bnm::stats {
+
+/// Empirical CDF over a fixed sample. Immutable once built.
+class EmpiricalCdf {
+ public:
+  explicit EmpiricalCdf(std::vector<double> samples);
+
+  /// F(x) = P[X <= x] with the step convention (right-continuous).
+  double at(double x) const;
+
+  /// Smallest sample value v with F(v) >= p (the empirical quantile).
+  double inverse(double p) const;
+
+  std::size_t size() const { return sorted_.size(); }
+  const std::vector<double>& sorted_samples() const { return sorted_; }
+
+  /// Evaluate at evenly spaced points across [lo, hi]; used by renderers.
+  struct Point {
+    double x;
+    double f;
+  };
+  std::vector<Point> sample_curve(double lo, double hi, std::size_t points) const;
+
+  /// Detect discrete "levels": values around which at least `min_frac` of
+  /// the probability mass is concentrated within +-`tol`. The paper uses
+  /// this to show the two quantization levels of Date.getTime() (Fig. 4).
+  std::vector<double> mass_levels(double tol, double min_frac) const;
+
+  /// Kolmogorov-Smirnov distance to another empirical CDF.
+  double ks_distance(const EmpiricalCdf& other) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace bnm::stats

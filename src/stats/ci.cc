@@ -1,0 +1,68 @@
+#include "stats/ci.h"
+
+#include <array>
+#include <cassert>
+#include <cmath>
+
+#include "stats/descriptive.h"
+
+namespace bnm::stats {
+
+namespace {
+// Two-sided critical values t_{alpha/2, df} for df = 1..30.
+constexpr std::array<double, 30> kT95 = {
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+constexpr std::array<double, 30> kT99 = {
+    63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499, 3.355, 3.250, 3.169,
+    3.106,  3.055, 3.012, 2.977, 2.947, 2.921, 2.898, 2.878, 2.861, 2.845,
+    2.831,  2.819, 2.807, 2.797, 2.787, 2.779, 2.771, 2.763, 2.756, 2.750};
+// Selected larger df (40, 60, 120, inf) for interpolation beyond 30.
+struct TailPoint {
+  std::size_t df;
+  double t95;
+  double t99;
+};
+constexpr std::array<TailPoint, 4> kTail = {{{40, 2.021, 2.704},
+                                             {60, 2.000, 2.660},
+                                             {120, 1.980, 2.617},
+                                             {100000, 1.960, 2.576}}};
+}  // namespace
+
+double t_critical(double confidence, std::size_t df) {
+  assert(df >= 1);
+  const bool is95 = std::fabs(confidence - 0.95) < 1e-9;
+  const bool is99 = std::fabs(confidence - 0.99) < 1e-9;
+  assert((is95 || is99) && "only 95% and 99% tables embedded");
+  (void)is99;
+  if (df <= 30) return is95 ? kT95[df - 1] : kT99[df - 1];
+  double prev_df = 30;
+  double prev_t = is95 ? kT95[29] : kT99[29];
+  for (const auto& p : kTail) {
+    const double t = is95 ? p.t95 : p.t99;
+    if (df <= p.df) {
+      // Interpolate in 1/df, the conventional approach for t-tables.
+      const double a = 1.0 / static_cast<double>(df);
+      const double a0 = 1.0 / prev_df;
+      const double a1 = 1.0 / static_cast<double>(p.df);
+      const double w = (a0 - a) / (a0 - a1);
+      return prev_t + w * (t - prev_t);
+    }
+    prev_df = static_cast<double>(p.df);
+    prev_t = t;
+  }
+  return is95 ? 1.960 : 2.576;
+}
+
+ConfidenceInterval mean_ci(const std::vector<double>& xs, double confidence) {
+  ConfidenceInterval ci;
+  ci.mean = mean(xs);
+  if (xs.size() < 2) return ci;
+  const double s = stddev(xs);
+  const double t = t_critical(confidence, xs.size() - 1);
+  ci.half_width = t * s / std::sqrt(static_cast<double>(xs.size()));
+  return ci;
+}
+
+}  // namespace bnm::stats

@@ -1,0 +1,28 @@
+// Confidence intervals for the mean (Table 4 reports mean +- 95% CI).
+//
+// Uses the Student-t distribution with an embedded two-sided 95%/99%
+// critical-value table (exact for df <= 30, asymptotic beyond), so the
+// library needs no external math dependencies.
+#pragma once
+
+#include <vector>
+
+namespace bnm::stats {
+
+struct ConfidenceInterval {
+  double mean = 0;
+  double half_width = 0;  ///< the "+-" part
+  double lo() const { return mean - half_width; }
+  double hi() const { return mean + half_width; }
+  bool contains(double x) const { return x >= lo() && x <= hi(); }
+};
+
+/// Two-sided Student-t critical value for the given confidence level
+/// (supported: 0.95 and 0.99) and degrees of freedom (>= 1).
+double t_critical(double confidence, std::size_t df);
+
+/// Mean +- t * s / sqrt(n). For n < 2 the half-width is 0.
+ConfidenceInterval mean_ci(const std::vector<double>& xs,
+                           double confidence = 0.95);
+
+}  // namespace bnm::stats

@@ -1,0 +1,85 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace bnm::stats {
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+double variance(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(const std::vector<double>& xs) { return std::sqrt(variance(xs)); }
+
+double min(const std::vector<double>& xs) {
+  assert(!xs.empty());
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max(const std::vector<double>& xs) {
+  assert(!xs.empty());
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double quantile_sorted(const std::vector<double>& sorted, double q) {
+  assert(!sorted.empty());
+  assert(q >= 0.0 && q <= 1.0);
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double quantile(std::vector<double> xs, double q) {
+  std::sort(xs.begin(), xs.end());
+  return quantile_sorted(xs, q);
+}
+
+double median(const std::vector<double>& xs) { return quantile(xs, 0.5); }
+
+double mad(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  const double med = median(xs);
+  std::vector<double> dev;
+  dev.reserve(xs.size());
+  for (double x : xs) dev.push_back(std::fabs(x - med));
+  return median(dev);
+}
+
+double iqr(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> s = xs;
+  std::sort(s.begin(), s.end());
+  return quantile_sorted(s, 0.75) - quantile_sorted(s, 0.25);
+}
+
+Summary summarize(std::vector<double> xs) {
+  Summary s;
+  if (xs.empty()) return s;
+  std::sort(xs.begin(), xs.end());
+  s.n = xs.size();
+  s.min = xs.front();
+  s.max = xs.back();
+  s.q1 = quantile_sorted(xs, 0.25);
+  s.median = quantile_sorted(xs, 0.5);
+  s.q3 = quantile_sorted(xs, 0.75);
+  s.mean = mean(xs);
+  s.stddev = stddev(xs);
+  return s;
+}
+
+}  // namespace bnm::stats

@@ -1,0 +1,42 @@
+// Descriptive statistics used throughout the appraisal pipeline.
+//
+// All functions take samples as a vector of doubles (the experiment layer
+// converts Durations to milliseconds before summarizing, matching the
+// paper's reporting units).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace bnm::stats {
+
+double mean(const std::vector<double>& xs);
+/// Sample variance (n-1 denominator). Returns 0 for n < 2.
+double variance(const std::vector<double>& xs);
+double stddev(const std::vector<double>& xs);
+double min(const std::vector<double>& xs);
+double max(const std::vector<double>& xs);
+
+/// Linear-interpolation quantile (type 7, the R/NumPy default).
+/// `q` in [0, 1]. Input need not be sorted. Undefined for empty input.
+double quantile(std::vector<double> xs, double q);
+/// Quantile of an already ascending-sorted vector (no copy).
+double quantile_sorted(const std::vector<double>& sorted, double q);
+
+double median(const std::vector<double>& xs);
+
+/// Median absolute deviation (robust spread).
+double mad(const std::vector<double>& xs);
+
+/// Interquartile range (Q3 - Q1).
+double iqr(const std::vector<double>& xs);
+
+/// Five-number summary + mean in one pass over a sorted copy.
+struct Summary {
+  std::size_t n = 0;
+  double min = 0, q1 = 0, median = 0, q3 = 0, max = 0;
+  double mean = 0, stddev = 0;
+};
+Summary summarize(std::vector<double> xs);
+
+}  // namespace bnm::stats

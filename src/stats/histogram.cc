@@ -1,0 +1,68 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace bnm::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_{lo}, hi_{hi}, counts_(bins, 0) {
+  assert(hi > lo);
+  assert(bins >= 1);
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto bin = static_cast<std::size_t>((x - lo_) / w);
+  bin = std::min(bin, counts_.size() - 1);  // guards float edge at hi_
+  ++counts_[bin];
+}
+
+void Histogram::add_all(const std::vector<double>& xs) {
+  for (double x : xs) add(x);
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + w * static_cast<double>(bin);
+}
+
+double Histogram::bin_hi(std::size_t bin) const { return bin_lo(bin + 1); }
+
+double Histogram::mode_center() const {
+  const auto it = std::max_element(counts_.begin(), counts_.end());
+  const auto bin = static_cast<std::size_t>(it - counts_.begin());
+  return (bin_lo(bin) + bin_hi(bin)) / 2.0;
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::size_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::string out;
+  char line[160];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+        static_cast<double>(width));
+    std::snprintf(line, sizeof line, "[%9.3f, %9.3f) %6zu |", bin_lo(i),
+                  bin_hi(i), counts_[i]);
+    out += line;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  if (underflow_ > 0) out += "underflow: " + std::to_string(underflow_) + "\n";
+  if (overflow_ > 0) out += "overflow: " + std::to_string(overflow_) + "\n";
+  return out;
+}
+
+}  // namespace bnm::stats

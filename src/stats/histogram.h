@@ -1,0 +1,39 @@
+// Fixed-bin histogram used by reports and the granularity analysis.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace bnm::stats {
+
+class Histogram {
+ public:
+  /// Bins [lo, hi) split into `bins` equal-width buckets, plus underflow
+  /// and overflow counters.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  void add_all(const std::vector<double>& xs);
+
+  std::size_t bin_count() const { return counts_.size(); }
+  std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::size_t underflow() const { return underflow_; }
+  std::size_t overflow() const { return overflow_; }
+  std::size_t total() const { return total_; }
+
+  double bin_lo(std::size_t bin) const;
+  double bin_hi(std::size_t bin) const;
+  /// Center of the fullest bin (ties: lowest bin wins).
+  double mode_center() const;
+
+  /// Simple ASCII rendering, one bin per line, bar scaled to `width`.
+  std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0, overflow_ = 0, total_ = 0;
+};
+
+}  // namespace bnm::stats

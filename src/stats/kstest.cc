@@ -1,0 +1,48 @@
+#include "stats/kstest.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace bnm::stats {
+
+double kolmogorov_q(double lambda) {
+  if (lambda <= 0) return 1.0;
+  // Alternating series; converges very fast for lambda > ~0.3.
+  double sum = 0.0;
+  double sign = 1.0;
+  for (int j = 1; j <= 100; ++j) {
+    const double term = std::exp(-2.0 * j * j * lambda * lambda);
+    sum += sign * term;
+    if (term < 1e-12) break;
+    sign = -sign;
+  }
+  return std::clamp(2.0 * sum, 0.0, 1.0);
+}
+
+KsResult ks_two_sample(std::vector<double> a, std::vector<double> b) {
+  KsResult out;
+  if (a.empty() || b.empty()) return out;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  std::size_t i = 0, j = 0;
+  double d = 0.0;
+  while (i < a.size() && j < b.size()) {
+    const double x = std::min(a[i], b[j]);
+    while (i < a.size() && a[i] <= x) ++i;
+    while (j < b.size() && b[j] <= x) ++j;
+    d = std::max(d, std::fabs(static_cast<double>(i) / na -
+                              static_cast<double>(j) / nb));
+  }
+  out.statistic = d;
+
+  const double ne = na * nb / (na + nb);
+  const double sqrt_ne = std::sqrt(ne);
+  out.p_value = kolmogorov_q((sqrt_ne + 0.12 + 0.11 / sqrt_ne) * d);
+  return out;
+}
+
+}  // namespace bnm::stats

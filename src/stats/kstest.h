@@ -1,0 +1,27 @@
+// Two-sample Kolmogorov-Smirnov test: are two overhead distributions the
+// same? Makes the paper's cross-browser "consistency" comparisons rigorous
+// instead of eyeballed: a method is platform-consistent when its per-case
+// Δd samples are KS-indistinguishable.
+#pragma once
+
+#include <vector>
+
+namespace bnm::stats {
+
+struct KsResult {
+  double statistic = 0;  ///< sup |F1 - F2|
+  double p_value = 1;    ///< asymptotic (Kolmogorov distribution)
+  /// Reject "same distribution" at the given alpha.
+  bool reject(double alpha = 0.05) const { return p_value < alpha; }
+};
+
+/// Two-sample KS with the asymptotic p-value
+/// Q_KS(sqrt(ne)+0.12+0.11/sqrt(ne)) * D), ne = n1*n2/(n1+n2)
+/// (Numerical Recipes form; good for n >= ~8 per side).
+KsResult ks_two_sample(std::vector<double> a, std::vector<double> b);
+
+/// The Kolmogorov survival function Q_KS(lambda) = 2 sum (-1)^{j-1}
+/// exp(-2 j^2 lambda^2). Exposed for tests.
+double kolmogorov_q(double lambda);
+
+}  // namespace bnm::stats

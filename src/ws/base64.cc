@@ -1,0 +1,89 @@
+#include "ws/base64.h"
+
+namespace bnm::ws {
+
+namespace {
+constexpr char kAlphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+int decode_char(char c) {
+  if (c >= 'A' && c <= 'Z') return c - 'A';
+  if (c >= 'a' && c <= 'z') return c - 'a' + 26;
+  if (c >= '0' && c <= '9') return c - '0' + 52;
+  if (c == '+') return 62;
+  if (c == '/') return 63;
+  return -1;
+}
+}  // namespace
+
+std::string base64_encode(const std::uint8_t* data, std::size_t len) {
+  std::string out;
+  out.reserve((len + 2) / 3 * 4);
+  std::size_t i = 0;
+  while (i + 3 <= len) {
+    const std::uint32_t n = (std::uint32_t{data[i]} << 16) |
+                            (std::uint32_t{data[i + 1]} << 8) | data[i + 2];
+    out.push_back(kAlphabet[(n >> 18) & 63]);
+    out.push_back(kAlphabet[(n >> 12) & 63]);
+    out.push_back(kAlphabet[(n >> 6) & 63]);
+    out.push_back(kAlphabet[n & 63]);
+    i += 3;
+  }
+  const std::size_t rem = len - i;
+  if (rem == 1) {
+    const std::uint32_t n = std::uint32_t{data[i]} << 16;
+    out.push_back(kAlphabet[(n >> 18) & 63]);
+    out.push_back(kAlphabet[(n >> 12) & 63]);
+    out += "==";
+  } else if (rem == 2) {
+    const std::uint32_t n =
+        (std::uint32_t{data[i]} << 16) | (std::uint32_t{data[i + 1]} << 8);
+    out.push_back(kAlphabet[(n >> 18) & 63]);
+    out.push_back(kAlphabet[(n >> 12) & 63]);
+    out.push_back(kAlphabet[(n >> 6) & 63]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+std::string base64_encode(const std::string& data) {
+  return base64_encode(reinterpret_cast<const std::uint8_t*>(data.data()),
+                       data.size());
+}
+
+std::string base64_encode(const std::vector<std::uint8_t>& data) {
+  return base64_encode(data.data(), data.size());
+}
+
+std::optional<std::vector<std::uint8_t>> base64_decode(const std::string& text) {
+  if (text.size() % 4 != 0) return std::nullopt;
+  std::vector<std::uint8_t> out;
+  out.reserve(text.size() / 4 * 3);
+  for (std::size_t i = 0; i < text.size(); i += 4) {
+    int vals[4];
+    int pad = 0;
+    for (int j = 0; j < 4; ++j) {
+      const char c = text[i + j];
+      if (c == '=') {
+        // Padding only allowed in the last two positions of the last group.
+        if (i + 4 != text.size() || j < 2) return std::nullopt;
+        vals[j] = 0;
+        ++pad;
+      } else {
+        if (pad > 0) return std::nullopt;  // data after padding
+        vals[j] = decode_char(c);
+        if (vals[j] < 0) return std::nullopt;
+      }
+    }
+    const std::uint32_t n = (static_cast<std::uint32_t>(vals[0]) << 18) |
+                            (static_cast<std::uint32_t>(vals[1]) << 12) |
+                            (static_cast<std::uint32_t>(vals[2]) << 6) |
+                            static_cast<std::uint32_t>(vals[3]);
+    out.push_back(static_cast<std::uint8_t>((n >> 16) & 0xff));
+    if (pad < 2) out.push_back(static_cast<std::uint8_t>((n >> 8) & 0xff));
+    if (pad < 1) out.push_back(static_cast<std::uint8_t>(n & 0xff));
+  }
+  return out;
+}
+
+}  // namespace bnm::ws

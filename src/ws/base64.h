@@ -1,0 +1,18 @@
+// Base64 (RFC 4648) encode/decode, used by the WebSocket handshake.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace bnm::ws {
+
+std::string base64_encode(const std::uint8_t* data, std::size_t len);
+std::string base64_encode(const std::string& data);
+std::string base64_encode(const std::vector<std::uint8_t>& data);
+
+/// Returns nullopt on malformed input (bad characters / bad padding).
+std::optional<std::vector<std::uint8_t>> base64_decode(const std::string& text);
+
+}  // namespace bnm::ws

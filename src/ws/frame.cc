@@ -1,0 +1,184 @@
+#include "ws/frame.h"
+
+namespace bnm::ws {
+
+bool is_control(Opcode op) {
+  return static_cast<std::uint8_t>(op) >= 0x8;
+}
+
+const char* opcode_name(Opcode op) {
+  switch (op) {
+    case Opcode::kContinuation: return "continuation";
+    case Opcode::kText: return "text";
+    case Opcode::kBinary: return "binary";
+    case Opcode::kClose: return "close";
+    case Opcode::kPing: return "ping";
+    case Opcode::kPong: return "pong";
+  }
+  return "?";
+}
+
+std::string Frame::encode() const {
+  std::string out;
+  out.reserve(payload.size() + 14);
+
+  const std::uint8_t b0 =
+      static_cast<std::uint8_t>((fin ? 0x80 : 0x00) |
+                                static_cast<std::uint8_t>(opcode));
+  out.push_back(static_cast<char>(b0));
+
+  const std::size_t len = payload.size();
+  const std::uint8_t mask_bit = masked ? 0x80 : 0x00;
+  if (len < 126) {
+    out.push_back(static_cast<char>(mask_bit | static_cast<std::uint8_t>(len)));
+  } else if (len <= 0xffff) {
+    out.push_back(static_cast<char>(mask_bit | 126));
+    out.push_back(static_cast<char>((len >> 8) & 0xff));
+    out.push_back(static_cast<char>(len & 0xff));
+  } else {
+    out.push_back(static_cast<char>(mask_bit | 127));
+    for (int i = 7; i >= 0; --i) {
+      out.push_back(static_cast<char>((static_cast<std::uint64_t>(len) >> (8 * i)) & 0xff));
+    }
+  }
+
+  if (masked) {
+    std::uint8_t key[4];
+    for (int i = 0; i < 4; ++i) {
+      key[i] = static_cast<std::uint8_t>((masking_key >> (8 * (3 - i))) & 0xff);
+      out.push_back(static_cast<char>(key[i]));
+    }
+    for (std::size_t i = 0; i < payload.size(); ++i) {
+      out.push_back(static_cast<char>(payload[i] ^ key[i % 4]));
+    }
+  } else {
+    out.append(payload.begin(), payload.end());
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> encode_close_payload(std::uint16_t code,
+                                               const std::string& reason) {
+  std::vector<std::uint8_t> out;
+  out.reserve(2 + reason.size());
+  out.push_back(static_cast<std::uint8_t>(code >> 8));
+  out.push_back(static_cast<std::uint8_t>(code & 0xff));
+  out.insert(out.end(), reason.begin(), reason.end());
+  return out;
+}
+
+std::optional<std::uint16_t> decode_close_code(
+    const std::vector<std::uint8_t>& payload) {
+  if (payload.size() < 2) return std::nullopt;
+  return static_cast<std::uint16_t>((payload[0] << 8) | payload[1]);
+}
+
+void FrameDecoder::feed(const std::string& bytes) {
+  if (failed()) return;
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+  while (try_decode_one()) {
+  }
+}
+
+bool FrameDecoder::try_decode_one() {
+  if (failed() || buffer_.size() < 2) return false;
+
+  const std::uint8_t b0 = buffer_[0];
+  const std::uint8_t b1 = buffer_[1];
+  if ((b0 & 0x70) != 0) {  // RSV1-3 must be zero (no extensions negotiated)
+    error_ = Error::kReservedBits;
+    return false;
+  }
+  const auto opcode = static_cast<Opcode>(b0 & 0x0f);
+  switch (opcode) {
+    case Opcode::kContinuation:
+    case Opcode::kText:
+    case Opcode::kBinary:
+    case Opcode::kClose:
+    case Opcode::kPing:
+    case Opcode::kPong:
+      break;
+    default:
+      error_ = Error::kBadOpcode;
+      return false;
+  }
+  const bool fin = (b0 & 0x80) != 0;
+  const bool masked = (b1 & 0x80) != 0;
+
+  std::size_t header = 2;
+  std::uint64_t len = b1 & 0x7f;
+  if (len == 126) {
+    if (buffer_.size() < 4) return false;
+    len = (static_cast<std::uint64_t>(buffer_[2]) << 8) | buffer_[3];
+    header = 4;
+  } else if (len == 127) {
+    if (buffer_.size() < 10) return false;
+    len = 0;
+    for (int i = 0; i < 8; ++i) len = (len << 8) | buffer_[2 + i];
+    header = 10;
+  }
+
+  if (is_control(opcode)) {
+    if (len > 125) {
+      error_ = Error::kControlTooLong;
+      return false;
+    }
+    if (!fin) {
+      error_ = Error::kControlFragmented;
+      return false;
+    }
+  }
+
+  std::uint8_t key[4] = {0, 0, 0, 0};
+  if (masked) {
+    if (buffer_.size() < header + 4) return false;
+    for (int i = 0; i < 4; ++i) key[i] = buffer_[header + static_cast<std::size_t>(i)];
+    header += 4;
+  }
+
+  if (buffer_.size() < header + len) return false;
+
+  Frame f;
+  f.fin = fin;
+  f.opcode = opcode;
+  f.masked = masked;
+  f.masking_key = (std::uint32_t{key[0]} << 24) | (std::uint32_t{key[1]} << 16) |
+                  (std::uint32_t{key[2]} << 8) | key[3];
+  f.payload.reserve(static_cast<std::size_t>(len));
+  for (std::uint64_t i = 0; i < len; ++i) {
+    std::uint8_t byte = buffer_[header + static_cast<std::size_t>(i)];
+    if (masked) byte ^= key[i % 4];
+    f.payload.push_back(byte);
+  }
+  buffer_.erase(buffer_.begin(),
+                buffer_.begin() + static_cast<std::ptrdiff_t>(header + len));
+  ready_.push_back(std::move(f));
+  return true;
+}
+
+std::optional<Frame> FrameDecoder::take() {
+  if (ready_.empty()) return std::nullopt;
+  Frame f = std::move(ready_.front());
+  ready_.erase(ready_.begin());
+  return f;
+}
+
+std::optional<MessageAssembler::Message> MessageAssembler::add(const Frame& frame) {
+  if (frame.opcode == Opcode::kText || frame.opcode == Opcode::kBinary) {
+    partial_ = Message{frame.opcode, frame.payload};
+    in_progress_ = !frame.fin;
+    if (frame.fin) return std::move(partial_);
+    return std::nullopt;
+  }
+  if (frame.opcode == Opcode::kContinuation && in_progress_) {
+    partial_.data.insert(partial_.data.end(), frame.payload.begin(),
+                         frame.payload.end());
+    if (frame.fin) {
+      in_progress_ = false;
+      return std::move(partial_);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace bnm::ws

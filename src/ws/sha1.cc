@@ -1,0 +1,91 @@
+#include "ws/sha1.h"
+
+#include <cstring>
+
+namespace bnm::ws {
+
+namespace {
+constexpr std::uint32_t rotl(std::uint32_t x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+}  // namespace
+
+std::array<std::uint8_t, 20> sha1(const std::string& data) {
+  std::uint32_t h0 = 0x67452301, h1 = 0xEFCDAB89, h2 = 0x98BADCFE,
+                h3 = 0x10325476, h4 = 0xC3D2E1F0;
+
+  // Pre-process: append 0x80, pad with zeros, append 64-bit bit length.
+  std::string msg = data;
+  const std::uint64_t bit_len = static_cast<std::uint64_t>(msg.size()) * 8;
+  msg.push_back(static_cast<char>(0x80));
+  while (msg.size() % 64 != 56) msg.push_back('\0');
+  for (int i = 7; i >= 0; --i) {
+    msg.push_back(static_cast<char>((bit_len >> (8 * i)) & 0xff));
+  }
+
+  for (std::size_t chunk = 0; chunk < msg.size(); chunk += 64) {
+    std::uint32_t w[80];
+    for (int i = 0; i < 16; ++i) {
+      w[i] = (static_cast<std::uint32_t>(static_cast<unsigned char>(msg[chunk + 4 * i])) << 24) |
+             (static_cast<std::uint32_t>(static_cast<unsigned char>(msg[chunk + 4 * i + 1])) << 16) |
+             (static_cast<std::uint32_t>(static_cast<unsigned char>(msg[chunk + 4 * i + 2])) << 8) |
+             static_cast<std::uint32_t>(static_cast<unsigned char>(msg[chunk + 4 * i + 3]));
+    }
+    for (int i = 16; i < 80; ++i) {
+      w[i] = rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+    }
+
+    std::uint32_t a = h0, b = h1, c = h2, d = h3, e = h4;
+    for (int i = 0; i < 80; ++i) {
+      std::uint32_t f, k;
+      if (i < 20) {
+        f = (b & c) | ((~b) & d);
+        k = 0x5A827999;
+      } else if (i < 40) {
+        f = b ^ c ^ d;
+        k = 0x6ED9EBA1;
+      } else if (i < 60) {
+        f = (b & c) | (b & d) | (c & d);
+        k = 0x8F1BBCDC;
+      } else {
+        f = b ^ c ^ d;
+        k = 0xCA62C1D6;
+      }
+      const std::uint32_t temp = rotl(a, 5) + f + e + k + w[i];
+      e = d;
+      d = c;
+      c = rotl(b, 30);
+      b = a;
+      a = temp;
+    }
+    h0 += a;
+    h1 += b;
+    h2 += c;
+    h3 += d;
+    h4 += e;
+  }
+
+  std::array<std::uint8_t, 20> out;
+  const std::uint32_t hs[5] = {h0, h1, h2, h3, h4};
+  for (int i = 0; i < 5; ++i) {
+    out[4 * i] = static_cast<std::uint8_t>(hs[i] >> 24);
+    out[4 * i + 1] = static_cast<std::uint8_t>(hs[i] >> 16);
+    out[4 * i + 2] = static_cast<std::uint8_t>(hs[i] >> 8);
+    out[4 * i + 3] = static_cast<std::uint8_t>(hs[i]);
+  }
+  return out;
+}
+
+std::string sha1_hex(const std::string& data) {
+  static const char* hex = "0123456789abcdef";
+  const auto digest = sha1(data);
+  std::string out;
+  out.reserve(40);
+  for (auto b : digest) {
+    out.push_back(hex[b >> 4]);
+    out.push_back(hex[b & 0xf]);
+  }
+  return out;
+}
+
+}  // namespace bnm::ws

@@ -1,0 +1,18 @@
+// Self-contained SHA-1 (FIPS 180-1), needed for the WebSocket opening
+// handshake (Sec-WebSocket-Accept). Not for new cryptographic designs;
+// RFC 6455 mandates it for this one purpose.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace bnm::ws {
+
+/// 20-byte SHA-1 digest of `data`.
+std::array<std::uint8_t, 20> sha1(const std::string& data);
+
+/// Hex rendering of a digest (tests against known vectors).
+std::string sha1_hex(const std::string& data);
+
+}  // namespace bnm::ws

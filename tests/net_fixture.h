@@ -1,0 +1,76 @@
+// Shared two-host network fixture for transport/application tests:
+//   client (10.0.0.1) -- link -- switch -- link -- server (10.0.0.2)
+// No netem delay by default; tests that need one set `server_netem_ms`
+// before calling build().
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/host.h"
+#include "net/link.h"
+#include "net/switch_fabric.h"
+#include "sim/simulation.h"
+
+namespace bnm::test {
+
+class TwoHostFixture : public ::testing::Test {
+ protected:
+  void build() {
+    sim = std::make_unique<sim::Simulation>(seed);
+
+    net::Host::Config cc;
+    cc.name = "client";
+    cc.ip = net::IpAddress{10, 0, 0, 1};
+    client = std::make_unique<net::Host>(*sim, cc);
+
+    net::Host::Config sc;
+    sc.name = "server";
+    sc.ip = net::IpAddress{10, 0, 0, 2};
+    if (server_netem_ms > 0) {
+      net::DelayEmulator::Config nm;
+      nm.delay = sim::Duration::millis(server_netem_ms);
+      sc.egress_netem = nm;
+    }
+    server = std::make_unique<net::Host>(*sim, sc);
+
+    net::Link::Config lc;
+    lc.bandwidth_bps = 100e6;
+    lc.propagation = sim::Duration::micros(5);
+    lc.name = "l1";
+    link1 = std::make_unique<net::Link>(*sim, lc);
+    lc.name = "l2";
+    link2 = std::make_unique<net::Link>(*sim, lc);
+
+    fabric = std::make_unique<net::SwitchFabric>(*sim);
+    client->attach_link(link1.get(), net::Link::Side::kA);
+    const auto p0 = fabric->add_port(link1.get(), net::Link::Side::kB);
+    server->attach_link(link2.get(), net::Link::Side::kB);
+    const auto p1 = fabric->add_port(link2.get(), net::Link::Side::kA);
+    fabric->learn(client->ip(), p0);
+    fabric->learn(server->ip(), p1);
+  }
+
+  void SetUp() override { build(); }
+
+  void run_all() { sim->scheduler().run(); }
+  void run_for(sim::Duration d) {
+    sim->scheduler().run_until(sim->now() + d);
+  }
+
+  net::Endpoint server_ep(net::Port port) const {
+    return {server->ip(), port};
+  }
+
+  std::uint64_t seed = 7;
+  int server_netem_ms = 0;
+  std::unique_ptr<sim::Simulation> sim;
+  std::unique_ptr<net::Host> client;
+  std::unique_ptr<net::Host> server;
+  std::unique_ptr<net::Link> link1;
+  std::unique_ptr<net::Link> link2;
+  std::unique_ptr<net::SwitchFabric> fabric;
+};
+
+}  // namespace bnm::test

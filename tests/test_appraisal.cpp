@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "core/appraisal.h"
+
+namespace bnm::core {
+namespace {
+
+using browser::BrowserId;
+using browser::OsId;
+
+OverheadSeries synthetic_series(methods::ProbeKind kind, const char* label,
+                                std::vector<std::pair<double, double>> d1d2) {
+  OverheadSeries s;
+  s.config.kind = kind;
+  s.case_label = label;
+  s.method_name = probe_kind_name(kind);
+  for (const auto& [d1, d2] : d1d2) {
+    OverheadSample sample;
+    sample.d1_ms = d1;
+    sample.d2_ms = d2;
+    s.samples.push_back(sample);
+  }
+  return s;
+}
+
+TEST(Appraisal, AppraiseMethodComputesAxes) {
+  // Two cases: medians 2 and 6 -> abs-median median 4, spread 4.
+  std::vector<OverheadSeries> per_case;
+  per_case.push_back(synthetic_series(methods::ProbeKind::kXhrGet, "A",
+                                      {{0, 1}, {0, 2}, {0, 3}}));
+  per_case.push_back(synthetic_series(methods::ProbeKind::kXhrGet, "B",
+                                      {{0, 5}, {0, 6}, {0, 7}}));
+  const auto a = appraise_method(methods::ProbeKind::kXhrGet, per_case);
+  EXPECT_DOUBLE_EQ(a.median_abs_overhead_ms, 4.0);
+  EXPECT_DOUBLE_EQ(a.worst_case_median_ms, 6.0);
+  EXPECT_DOUBLE_EQ(a.cross_case_spread_ms, 4.0);
+  EXPECT_DOUBLE_EQ(a.mean_iqr_ms, 1.0);
+  EXPECT_GT(a.score(), 0.0);
+}
+
+TEST(Appraisal, NegativeMediansUseAbsoluteTrueness) {
+  std::vector<OverheadSeries> per_case;
+  per_case.push_back(synthetic_series(methods::ProbeKind::kJavaSocket, "A",
+                                      {{0, -3}, {0, -3}, {0, -3}}));
+  const auto a = appraise_method(methods::ProbeKind::kJavaSocket, per_case);
+  EXPECT_DOUBLE_EQ(a.median_abs_overhead_ms, 3.0);
+}
+
+TEST(Appraisal, KsConsistencyDistinguishesPlatformDependence) {
+  // Two cases with identical distributions -> high p; a shifted third
+  // case drags the min pairwise p to ~0.
+  auto series_at = [](double center) {
+    std::vector<std::pair<double, double>> samples;
+    for (int i = 0; i < 40; ++i) {
+      samples.emplace_back(0.0, center + 0.01 * i);
+    }
+    return samples;
+  };
+  std::vector<OverheadSeries> consistent;
+  consistent.push_back(
+      synthetic_series(methods::ProbeKind::kDom, "A", series_at(2.0)));
+  consistent.push_back(
+      synthetic_series(methods::ProbeKind::kDom, "B", series_at(2.0)));
+  EXPECT_GT(appraise_method(methods::ProbeKind::kDom, consistent)
+                .min_pairwise_ks_p,
+            0.5);
+
+  consistent.push_back(
+      synthetic_series(methods::ProbeKind::kDom, "C", series_at(60.0)));
+  EXPECT_LT(appraise_method(methods::ProbeKind::kDom, consistent)
+                .min_pairwise_ks_p,
+            0.001);
+}
+
+TEST(Appraisal, EmptySeriesHandled) {
+  const auto a = appraise_method(methods::ProbeKind::kDom, {});
+  EXPECT_EQ(a.method_name, "DOM");
+  EXPECT_DOUBLE_EQ(a.score(), 0.0);
+}
+
+TEST(Appraisal, RankOrdersByScore) {
+  std::map<methods::ProbeKind, std::vector<OverheadSeries>> results;
+  results[methods::ProbeKind::kWebSocket].push_back(synthetic_series(
+      methods::ProbeKind::kWebSocket, "A", {{0, 0.2}, {0, 0.3}, {0, 0.25}}));
+  results[methods::ProbeKind::kFlashGet].push_back(synthetic_series(
+      methods::ProbeKind::kFlashGet, "A", {{0, 40}, {0, 80}, {0, 60}}));
+  results[methods::ProbeKind::kDom].push_back(synthetic_series(
+      methods::ProbeKind::kDom, "A", {{0, 2}, {0, 3}, {0, 2.5}}));
+  const auto ranked = rank_methods(results);
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_EQ(ranked[0].kind, methods::ProbeKind::kWebSocket);
+  EXPECT_EQ(ranked[1].kind, methods::ProbeKind::kDom);
+  EXPECT_EQ(ranked[2].kind, methods::ProbeKind::kFlashGet);
+}
+
+TEST(Recommend, JavaSocketWhenPluginsAndNanotime) {
+  Platform p;
+  p.plugins_available = true;
+  p.can_use_nanotime = true;
+  const auto r = recommend(p);
+  EXPECT_EQ(r.method, methods::ProbeKind::kJavaSocket);
+  bool warns_about_date = false;
+  for (const auto& c : r.cautions) {
+    if (c.find("Date.getTime") != std::string::npos) warns_about_date = true;
+  }
+  EXPECT_TRUE(warns_about_date);
+}
+
+TEST(Recommend, WebSocketWithoutPlugins) {
+  Platform p;
+  p.plugins_available = false;
+  p.websocket_available = true;
+  EXPECT_EQ(recommend(p).method, methods::ProbeKind::kWebSocket);
+}
+
+TEST(Recommend, DomAsLastResort) {
+  Platform p;
+  p.plugins_available = false;
+  p.websocket_available = false;
+  EXPECT_EQ(recommend(p).method, methods::ProbeKind::kDom);
+}
+
+TEST(Recommend, PreferredBrowserPerOs) {
+  Platform w;
+  w.os = OsId::kWindows7;
+  EXPECT_EQ(recommend(w).preferred_browser, BrowserId::kFirefox);
+  Platform u;
+  u.os = OsId::kUbuntu;
+  EXPECT_EQ(recommend(u).preferred_browser, BrowserId::kChrome);
+}
+
+TEST(Recommend, AlwaysWarnsAgainstFlashHttp) {
+  for (bool plugins : {true, false}) {
+    Platform p;
+    p.plugins_available = plugins;
+    bool warns = false;
+    for (const auto& c : recommend(p).cautions) {
+      if (c.find("Flash GET/POST") != std::string::npos) warns = true;
+    }
+    EXPECT_TRUE(warns);
+  }
+}
+
+}  // namespace
+}  // namespace bnm::core

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "sim/random.h"
+#include "stats/boxplot.h"
+
+namespace bnm::stats {
+namespace {
+
+TEST(BoxStats, SimpleNoOutliers) {
+  const BoxStats b = box_stats({1, 2, 3, 4, 5});
+  EXPECT_DOUBLE_EQ(b.median, 3.0);
+  EXPECT_DOUBLE_EQ(b.q1, 2.0);
+  EXPECT_DOUBLE_EQ(b.q3, 4.0);
+  EXPECT_DOUBLE_EQ(b.whisker_lo, 1.0);
+  EXPECT_DOUBLE_EQ(b.whisker_hi, 5.0);
+  EXPECT_EQ(b.outlier_count(), 0u);
+}
+
+TEST(BoxStats, TukeyFenceFlagsOutliers) {
+  // Base {1..9}: q1=3, q3=7, iqr=4, fences at [-3, 13]. 30 is an outlier.
+  const BoxStats b = box_stats({1, 2, 3, 4, 5, 6, 7, 8, 9, 30});
+  ASSERT_EQ(b.outliers_hi.size(), 1u);
+  EXPECT_DOUBLE_EQ(b.outliers_hi[0], 30.0);
+  EXPECT_LT(b.whisker_hi, 30.0);
+}
+
+TEST(BoxStats, LowOutliers) {
+  const BoxStats b = box_stats({-40, 1, 2, 3, 4, 5, 6, 7, 8, 9});
+  ASSERT_EQ(b.outliers_lo.size(), 1u);
+  EXPECT_DOUBLE_EQ(b.outliers_lo[0], -40.0);
+  EXPECT_GT(b.whisker_lo, -40.0);
+}
+
+TEST(BoxStats, WhiskersAreExtremeInliers) {
+  const std::vector<double> xs{0, 10, 11, 12, 13, 14, 15, 16, 100};
+  const BoxStats b = box_stats(xs);
+  // Fences: q1=11, q3=15, iqr=4 -> [5, 21]; 0 and 100 are outliers.
+  EXPECT_DOUBLE_EQ(b.whisker_lo, 10.0);
+  EXPECT_DOUBLE_EQ(b.whisker_hi, 16.0);
+  EXPECT_EQ(b.outlier_count(), 2u);
+}
+
+TEST(BoxStats, SingleValue) {
+  const BoxStats b = box_stats({7.5});
+  EXPECT_DOUBLE_EQ(b.median, 7.5);
+  EXPECT_DOUBLE_EQ(b.whisker_lo, 7.5);
+  EXPECT_DOUBLE_EQ(b.whisker_hi, 7.5);
+  EXPECT_EQ(b.outlier_count(), 0u);
+}
+
+TEST(BoxStats, IdenticalValues) {
+  const BoxStats b = box_stats(std::vector<double>(20, 3.0));
+  EXPECT_DOUBLE_EQ(b.iqr(), 0.0);
+  EXPECT_DOUBLE_EQ(b.whisker_lo, 3.0);
+  EXPECT_DOUBLE_EQ(b.whisker_hi, 3.0);
+  EXPECT_EQ(b.outlier_count(), 0u);
+}
+
+TEST(BoxStats, CountPreserved) {
+  const BoxStats b = box_stats({5, 1, 9, 3});
+  EXPECT_EQ(b.n, 4u);
+}
+
+// Property over random samples: invariants of the paper's plot convention.
+class BoxProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BoxProperty, Invariants) {
+  sim::Rng rng{static_cast<std::uint64_t>(GetParam() * 1337)};
+  std::vector<double> xs;
+  const int n = 50;  // the paper's repetition count
+  for (int i = 0; i < n; ++i) {
+    // Mix of body and occasional heavy tail, like real overhead data.
+    xs.push_back(rng.chance(0.1) ? rng.lognormal_med(40, 1.0)
+                                 : rng.normal(5, 2));
+  }
+  const BoxStats b = box_stats(xs);
+
+  EXPECT_LE(b.q1, b.median);
+  EXPECT_LE(b.median, b.q3);
+  EXPECT_LE(b.whisker_lo, b.q1);
+  EXPECT_GE(b.whisker_hi, b.q3);
+
+  const double lo_fence = b.q1 - 1.5 * b.iqr();
+  const double hi_fence = b.q3 + 1.5 * b.iqr();
+  EXPECT_GE(b.whisker_lo, lo_fence);
+  EXPECT_LE(b.whisker_hi, hi_fence);
+  for (double o : b.outliers_lo) EXPECT_LT(o, lo_fence);
+  for (double o : b.outliers_hi) EXPECT_GT(o, hi_fence);
+
+  // Outliers plus inliers account for every sample.
+  std::size_t inliers = 0;
+  for (double x : xs) {
+    if (x >= lo_fence && x <= hi_fence) ++inliers;
+  }
+  EXPECT_EQ(inliers + b.outlier_count(), xs.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoxProperty, ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace bnm::stats

@@ -1,0 +1,263 @@
+#include <gtest/gtest.h>
+
+#include "browser/dom.h"
+#include "browser/flash.h"
+#include "browser/java_applet.h"
+#include "browser/websocket_api.h"
+#include "browser/xhr.h"
+#include "core/testbed.h"
+
+namespace bnm::browser {
+namespace {
+
+class ShimTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    core::Testbed::Config cfg;
+    cfg.seed = 99;
+    cfg.client_os = OsId::kWindows7;
+    testbed = std::make_unique<core::Testbed>(cfg);
+    browser = testbed->launch_browser(
+        make_profile(BrowserId::kChrome, OsId::kWindows7), 0);
+  }
+
+  void run_all() { testbed->sim().scheduler().run(); }
+
+  std::unique_ptr<core::Testbed> testbed;
+  std::unique_ptr<Browser> browser;
+};
+
+TEST_F(ShimTest, ContainerPageLoadPoolsAConnection) {
+  bool loaded = false;
+  browser->load_container_page(ProbeKind::kXhrGet, [&] { loaded = true; });
+  run_all();
+  EXPECT_TRUE(loaded);
+  EXPECT_TRUE(browser->container_loaded());
+  EXPECT_EQ(browser->http().pooled_connections(testbed->http_endpoint()), 1u);
+}
+
+TEST_F(ShimTest, XhrLifecycleAndResponse) {
+  XmlHttpRequest xhr{*browser};
+  EXPECT_EQ(xhr.ready_state(), XmlHttpRequest::ReadyState::kUnsent);
+  ASSERT_TRUE(xhr.open("GET", "/echo"));
+  EXPECT_EQ(xhr.ready_state(), XmlHttpRequest::ReadyState::kOpened);
+  bool done = false;
+  xhr.set_onreadystatechange([&] {
+    if (xhr.ready_state() == XmlHttpRequest::ReadyState::kDone) done = true;
+  });
+  ASSERT_TRUE(xhr.send());
+  run_all();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(xhr.status(), 200);
+  EXPECT_EQ(xhr.response_text(), "pong");
+}
+
+TEST_F(ShimTest, XhrEnforcesSameOrigin) {
+  XmlHttpRequest xhr{*browser};
+  ASSERT_TRUE(xhr.open("GET", "http://10.0.0.99:80/echo"));
+  std::string err;
+  xhr.set_onerror([&](const std::string& e) { err = e; });
+  EXPECT_FALSE(xhr.send());
+  EXPECT_NE(err.find("same-origin"), std::string::npos);
+}
+
+TEST_F(ShimTest, XhrRejectsMalformedUrlAndBadState) {
+  XmlHttpRequest xhr{*browser};
+  EXPECT_FALSE(xhr.open("GET", "not a url"));
+  std::string err;
+  xhr.set_onerror([&](const std::string& e) { err = e; });
+  EXPECT_FALSE(xhr.send());  // never opened
+  EXPECT_EQ(err, "InvalidStateError");
+}
+
+TEST_F(ShimTest, XhrPostDeliversBody) {
+  XmlHttpRequest xhr{*browser};
+  ASSERT_TRUE(xhr.open("POST", "/sink"));
+  std::string body;
+  xhr.set_onreadystatechange([&] {
+    if (xhr.ready_state() == XmlHttpRequest::ReadyState::kDone) {
+      body = xhr.response_text();
+    }
+  });
+  ASSERT_TRUE(xhr.send("abc"));
+  run_all();
+  EXPECT_EQ(body, "got 3");
+}
+
+TEST_F(ShimTest, DomLoaderFiresOnload) {
+  DomElementLoader loader{*browser};
+  int loads = 0;
+  loader.set_onload([&] { ++loads; });
+  ASSERT_TRUE(loader.load("/echo?r=1"));
+  run_all();
+  EXPECT_EQ(loads, 1);
+  EXPECT_EQ(loader.loads_completed(), 1);
+}
+
+TEST_F(ShimTest, DomLoaderErrorsOn404) {
+  DomElementLoader loader{*browser};
+  std::string err;
+  loader.set_onerror([&](const std::string& e) { err = e; });
+  ASSERT_TRUE(loader.load("/missing.png"));
+  run_all();
+  EXPECT_NE(err.find("404"), std::string::npos);
+}
+
+TEST_F(ShimTest, DomLoaderAllowsCrossOrigin) {
+  DomElementLoader loader{*browser};
+  bool loaded = false;
+  loader.set_onload([&] { loaded = true; });
+  // Absolute URL to the same server "bypasses" same-origin by design.
+  ASSERT_TRUE(loader.load("http://10.0.0.2:80/echo"));
+  run_all();
+  EXPECT_TRUE(loaded);
+}
+
+TEST_F(ShimTest, FlashUrlLoaderCompletes) {
+  FlashRuntime flash{*browser};
+  FlashRuntime::URLLoader loader{flash};
+  int status = 0;
+  loader.set_on_complete([&](int s, const std::string&) { status = s; });
+  ASSERT_TRUE(loader.load("GET", "/echo"));
+  run_all();
+  EXPECT_EQ(status, 200);
+  EXPECT_TRUE(flash.made_http_request());
+}
+
+TEST_F(ShimTest, FlashSocketFetchesPolicyThenConnects) {
+  FlashRuntime flash{*browser};
+  FlashRuntime::Socket sock{flash};
+  bool connected = false;
+  std::string echoed;
+  sock.set_on_connect([&] {
+    connected = true;
+    sock.write("flashprobe");
+  });
+  sock.set_on_socket_data([&](const std::string& d) { echoed = d; });
+  EXPECT_FALSE(flash.policy_loaded(testbed->tcp_echo_endpoint().ip));
+  sock.connect(testbed->tcp_echo_endpoint());
+  run_all();
+  EXPECT_TRUE(connected);
+  EXPECT_TRUE(flash.policy_loaded(testbed->tcp_echo_endpoint().ip));
+  EXPECT_EQ(echoed, "flashprobe");
+}
+
+TEST_F(ShimTest, FlashPolicyCachedPerRuntime) {
+  FlashRuntime flash{*browser};
+  FlashRuntime::Socket s1{flash};
+  s1.set_on_connect([&] {});
+  s1.connect(testbed->tcp_echo_endpoint());
+  run_all();
+  // Second socket: no new policy fetch (count port-80 requests).
+  const auto served_before = testbed->web_server().requests_served();
+  FlashRuntime::Socket s2{flash};
+  bool c2 = false;
+  s2.set_on_connect([&] { c2 = true; });
+  s2.connect(testbed->tcp_echo_endpoint());
+  run_all();
+  EXPECT_TRUE(c2);
+  EXPECT_EQ(testbed->web_server().requests_served(), served_before);
+}
+
+TEST_F(ShimTest, JavaUrlConnectionCompletes) {
+  JavaAppletRuntime java{*browser, {}};
+  JavaAppletRuntime::UrlConnection url{java};
+  int status = 0;
+  url.set_on_complete([&](int s, const std::string&) { status = s; });
+  ASSERT_TRUE(url.load("GET", "/echo"));
+  run_all();
+  EXPECT_EQ(status, 200);
+}
+
+TEST_F(ShimTest, JavaSocketEcho) {
+  JavaAppletRuntime java{*browser, {}};
+  JavaAppletRuntime::Socket sock{java};
+  std::string echoed;
+  sock.set_on_connect([&] { sock.write("javaprobe"); });
+  sock.set_on_data([&](const std::string& d) { echoed = d; });
+  sock.connect(testbed->tcp_echo_endpoint());
+  run_all();
+  EXPECT_EQ(echoed, "javaprobe");
+}
+
+TEST_F(ShimTest, JavaDatagramSocketEcho) {
+  JavaAppletRuntime java{*browser, {}};
+  JavaAppletRuntime::DatagramSocket sock{java};
+  std::string echoed;
+  sock.set_on_receive([&](net::Endpoint, const std::string& d) { echoed = d; });
+  sock.send_to(testbed->udp_echo_endpoint(), "udpprobe");
+  run_all();
+  EXPECT_EQ(echoed, "udpprobe");
+}
+
+TEST_F(ShimTest, JavaTimingFunctionSelectable) {
+  JavaAppletRuntime date_java{*browser, {.use_nanotime = false}};
+  JavaAppletRuntime nano_java{*browser, {.use_nanotime = true}};
+  EXPECT_EQ(date_java.timing().name(), "Date.getTime");
+  EXPECT_EQ(nano_java.timing().name(), "System.nanoTime");
+}
+
+TEST_F(ShimTest, AppletviewerOverheadsAreTiny) {
+  JavaAppletRuntime av{*browser, {.use_nanotime = false, .via_appletviewer = true}};
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_LT(av.pre_send(ProbeKind::kJavaSocket, true),
+              sim::Duration::from_millis_f(0.25));
+    EXPECT_LT(av.recv_dispatch(ProbeKind::kJavaSocket, false),
+              sim::Duration::from_millis_f(0.2));
+  }
+}
+
+TEST_F(ShimTest, WebSocketApiEcho) {
+  BrowserWebSocket ws{*browser, testbed->ws_endpoint(), "/ws"};
+  std::string got;
+  ws.set_onmessage([&](const std::string& m) { got = m; });
+  ws.set_onopen([&] { ws.send("wsprobe"); });
+  run_all();
+  EXPECT_EQ(got, "wsprobe");
+  EXPECT_TRUE(ws.open());
+}
+
+TEST_F(ShimTest, WebSocketApiUnsupportedBrowserErrors) {
+  auto ie = testbed->launch_browser(make_profile(BrowserId::kIe, OsId::kWindows7), 1);
+  BrowserWebSocket ws{*ie, testbed->ws_endpoint(), "/ws"};
+  std::string err;
+  ws.set_onerror([&](const std::string& e) { err = e; });
+  run_all();
+  EXPECT_NE(err.find("not supported"), std::string::npos);
+  EXPECT_FALSE(ws.open());
+}
+
+TEST_F(ShimTest, SampleOverheadsClampPositive) {
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_GE(browser->sample_pre_send(ProbeKind::kJavaGet, true),
+              sim::Duration::micros(5));
+    EXPECT_GE(browser->sample_recv_dispatch(ProbeKind::kWebSocket, false),
+              sim::Duration::micros(5));
+  }
+}
+
+TEST_F(ShimTest, SafariWarmNoiseOnlyOnJavaDatePath) {
+  auto safari = testbed->launch_browser(
+      make_profile(BrowserId::kSafari, OsId::kWindows7), 2);
+  double max_noisy = 0, max_clean = 0;
+  for (int i = 0; i < 300; ++i) {
+    max_noisy = std::max(
+        max_noisy, safari->sample_recv_dispatch(ProbeKind::kJavaSocket, false,
+                                                /*java_date_path=*/true)
+                       .ms_f());
+    max_clean = std::max(
+        max_clean, safari->sample_recv_dispatch(ProbeKind::kJavaSocket, false,
+                                                /*java_date_path=*/false)
+                       .ms_f());
+  }
+  EXPECT_GT(max_noisy, 6.0);   // plugin noise present
+  EXPECT_LT(max_clean, 2.0);   // nanoTime path clean (Table 4)
+}
+
+TEST_F(ShimTest, SameOriginCheck) {
+  EXPECT_TRUE(browser->same_origin(testbed->http_endpoint()));
+  EXPECT_FALSE(browser->same_origin(testbed->tcp_echo_endpoint()));
+}
+
+}  // namespace
+}  // namespace bnm::browser

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/calibration.h"
+
+namespace bnm::core {
+namespace {
+
+using browser::BrowserId;
+using browser::OsId;
+
+OverheadSeries run(methods::ProbeKind kind, BrowserId b, OsId os, int runs,
+                   std::uint64_t seed) {
+  ExperimentConfig cfg;
+  cfg.kind = kind;
+  cfg.browser = b;
+  cfg.os = os;
+  cfg.runs = runs;
+  cfg.seed = seed;
+  return run_experiment(cfg);
+}
+
+TEST(CalibrationTable, LearnLookupAndCorrect) {
+  CalibrationTable table;
+  CalibrationRecord rec;
+  rec.case_label = "C (U)";
+  rec.kind = methods::ProbeKind::kXhrGet;
+  rec.median_overhead_ms = 4.5;
+  rec.iqr_ms = 1.0;
+  rec.samples = 50;
+  table.add(rec);
+
+  const auto found = table.lookup("C (U)", methods::ProbeKind::kXhrGet);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_DOUBLE_EQ(found->median_overhead_ms, 4.5);
+  EXPECT_FALSE(table.lookup("C (U)", methods::ProbeKind::kDom).has_value());
+  EXPECT_FALSE(table.lookup("F (U)", methods::ProbeKind::kXhrGet).has_value());
+
+  EXPECT_DOUBLE_EQ(
+      table.corrected_rtt_ms("C (U)", methods::ProbeKind::kXhrGet, 54.5),
+      50.0);
+  // No record: passthrough.
+  EXPECT_DOUBLE_EQ(
+      table.corrected_rtt_ms("C (U)", methods::ProbeKind::kDom, 54.5), 54.5);
+}
+
+TEST(CalibrationTable, CsvRoundTrip) {
+  CalibrationTable table;
+  CalibrationRecord rec;
+  rec.case_label = "IE (W)";
+  rec.kind = methods::ProbeKind::kFlashGet;
+  rec.median_overhead_ms = 57.25;
+  rec.iqr_ms = 30.5;
+  rec.samples = 50;
+  table.add(rec);
+  rec.case_label = "C (U)";
+  rec.kind = methods::ProbeKind::kWebSocket;
+  rec.median_overhead_ms = -0.06;
+  table.add(rec);
+
+  const auto restored = CalibrationTable::from_csv(table.to_csv());
+  EXPECT_EQ(restored.size(), 2u);
+  const auto ie = restored.lookup("IE (W)", methods::ProbeKind::kFlashGet);
+  ASSERT_TRUE(ie.has_value());
+  EXPECT_NEAR(ie->median_overhead_ms, 57.25, 1e-6);
+  const auto cu = restored.lookup("C (U)", methods::ProbeKind::kWebSocket);
+  ASSERT_TRUE(cu.has_value());
+  EXPECT_NEAR(cu->median_overhead_ms, -0.06, 1e-6);
+}
+
+TEST(CalibrationTable, FromCsvIgnoresGarbage) {
+  const auto table = CalibrationTable::from_csv(
+      "case,kind,median_overhead_ms,iqr_ms,samples\n"
+      "not a record\n"
+      "\"ok\",0,1.0,0.5,10\n"
+      "\"broken,1,xx\n");
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(CalibrationTable, ConsistentMethodCalibratesWell) {
+  // Learn on one experiment, evaluate on an independent one (different
+  // seed): DOM's residual collapses to well under its raw overhead.
+  CalibrationTable table;
+  const auto train =
+      run(methods::ProbeKind::kDom, BrowserId::kChrome, OsId::kUbuntu, 30, 1);
+  table.learn(train);
+  const auto fresh =
+      run(methods::ProbeKind::kDom, BrowserId::kChrome, OsId::kUbuntu, 30, 999);
+  const double raw = std::fabs(fresh.d2_box().median);
+  const double residual = table.residual_ms(fresh);
+  EXPECT_LT(residual, raw);
+  EXPECT_LT(residual, 1.5);
+}
+
+TEST(CalibrationTable, FlashHttpResistsCalibration) {
+  CalibrationTable table;
+  const auto train = run(methods::ProbeKind::kFlashGet, BrowserId::kSafari,
+                         OsId::kWindows7, 30, 1);
+  table.learn(train);
+  const auto fresh = run(methods::ProbeKind::kFlashGet, BrowserId::kSafari,
+                         OsId::kWindows7, 30, 999);
+  const double flash_residual = table.residual_ms(fresh);
+
+  CalibrationTable ws_table;
+  const auto ws_train = run(methods::ProbeKind::kWebSocket, BrowserId::kChrome,
+                            OsId::kUbuntu, 30, 1);
+  ws_table.learn(ws_train);
+  const auto ws_fresh = run(methods::ProbeKind::kWebSocket, BrowserId::kChrome,
+                            OsId::kUbuntu, 30, 999);
+  const double ws_residual = ws_table.residual_ms(ws_fresh);
+
+  // The paper's point: Flash's variability defeats calibration; a
+  // consistent method's residual is an order of magnitude smaller.
+  EXPECT_GT(flash_residual, 8.0);
+  EXPECT_LT(ws_residual, 1.0);
+  EXPECT_GT(flash_residual, ws_residual * 5);
+}
+
+TEST(CalibrationTable, LearnSkipsEmptySeries) {
+  CalibrationTable table;
+  OverheadSeries empty;
+  empty.case_label = "X";
+  table.learn(empty);
+  EXPECT_EQ(table.size(), 0u);
+}
+
+}  // namespace
+}  // namespace bnm::core

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "sim/random.h"
+#include "stats/cdf.h"
+
+namespace bnm::stats {
+namespace {
+
+TEST(EmpiricalCdf, StepValues) {
+  const EmpiricalCdf cdf{{1.0, 2.0, 3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.25);  // right-continuous: P[X <= 1]
+  EXPECT_DOUBLE_EQ(cdf.at(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.at(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.at(100.0), 1.0);
+}
+
+TEST(EmpiricalCdf, UnsortedInputSorted) {
+  const EmpiricalCdf cdf{{3.0, 1.0, 2.0}};
+  EXPECT_DOUBLE_EQ(cdf.at(1.5), 1.0 / 3.0);
+}
+
+TEST(EmpiricalCdf, Inverse) {
+  const EmpiricalCdf cdf{{10, 20, 30, 40}};
+  EXPECT_DOUBLE_EQ(cdf.inverse(0.25), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.inverse(0.5), 20.0);
+  EXPECT_DOUBLE_EQ(cdf.inverse(1.0), 40.0);
+  EXPECT_DOUBLE_EQ(cdf.inverse(0.0), 10.0);
+}
+
+TEST(EmpiricalCdf, SampleCurveEndpoints) {
+  const EmpiricalCdf cdf{{1, 2, 3}};
+  const auto pts = cdf.sample_curve(0, 4, 5);
+  ASSERT_EQ(pts.size(), 5u);
+  EXPECT_DOUBLE_EQ(pts.front().x, 0.0);
+  EXPECT_DOUBLE_EQ(pts.front().f, 0.0);
+  EXPECT_DOUBLE_EQ(pts.back().x, 4.0);
+  EXPECT_DOUBLE_EQ(pts.back().f, 1.0);
+}
+
+TEST(EmpiricalCdf, MassLevelsFindsDiscreteClusters) {
+  // Two tight clusters ~15.6 apart (the Fig. 4 signature) + stragglers.
+  std::vector<double> xs;
+  for (int i = 0; i < 30; ++i) xs.push_back(-3.1 + 0.01 * i / 30.0);
+  for (int i = 0; i < 15; ++i) xs.push_back(12.5 + 0.01 * i / 15.0);
+  xs.push_back(5.0);  // 1/46 of mass: below threshold
+  const EmpiricalCdf cdf{xs};
+  const auto levels = cdf.mass_levels(1.0, 0.10);
+  ASSERT_EQ(levels.size(), 2u);
+  EXPECT_NEAR(levels[0], -3.1, 0.1);
+  EXPECT_NEAR(levels[1], 12.5, 0.1);
+  EXPECT_NEAR(levels[1] - levels[0], 15.6, 0.2);
+}
+
+TEST(EmpiricalCdf, MassLevelsContinuousDataHasNone) {
+  sim::Rng rng{3};
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) xs.push_back(rng.uniform(0.0, 100.0));
+  const EmpiricalCdf cdf{xs};
+  EXPECT_TRUE(cdf.mass_levels(1.0, 0.15).empty());
+}
+
+TEST(EmpiricalCdf, KsDistanceIdenticalZero) {
+  const EmpiricalCdf a{{1, 2, 3}};
+  const EmpiricalCdf b{{1, 2, 3}};
+  EXPECT_DOUBLE_EQ(a.ks_distance(b), 0.0);
+}
+
+TEST(EmpiricalCdf, KsDistanceDisjointOne) {
+  const EmpiricalCdf a{{1, 2, 3}};
+  const EmpiricalCdf b{{10, 20, 30}};
+  EXPECT_DOUBLE_EQ(a.ks_distance(b), 1.0);
+}
+
+TEST(EmpiricalCdf, KsDistanceSymmetric) {
+  sim::Rng rng{4};
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 100; ++i) {
+    xs.push_back(rng.normal(0, 1));
+    ys.push_back(rng.normal(0.5, 1));
+  }
+  const EmpiricalCdf a{xs};
+  const EmpiricalCdf b{ys};
+  EXPECT_DOUBLE_EQ(a.ks_distance(b), b.ks_distance(a));
+}
+
+// Property: F is monotone non-decreasing and bounded in [0, 1].
+class CdfProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CdfProperty, MonotoneAndBounded) {
+  sim::Rng rng{static_cast<std::uint64_t>(GetParam())};
+  std::vector<double> xs;
+  for (int i = 0; i < 300; ++i) xs.push_back(rng.normal(10, 40));
+  const EmpiricalCdf cdf{xs};
+  double prev = 0.0;
+  for (double x = -150; x <= 180; x += 2.5) {
+    const double f = cdf.at(x);
+    EXPECT_GE(f, prev);
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+    prev = f;
+  }
+  EXPECT_DOUBLE_EQ(prev, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CdfProperty, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace bnm::stats

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "sim/random.h"
+#include "stats/ci.h"
+
+namespace bnm::stats {
+namespace {
+
+TEST(TCritical, KnownTableValues) {
+  EXPECT_NEAR(t_critical(0.95, 1), 12.706, 1e-3);
+  EXPECT_NEAR(t_critical(0.95, 10), 2.228, 1e-3);
+  EXPECT_NEAR(t_critical(0.95, 30), 2.042, 1e-3);
+  EXPECT_NEAR(t_critical(0.99, 1), 63.657, 1e-3);
+  EXPECT_NEAR(t_critical(0.99, 20), 2.845, 1e-3);
+}
+
+TEST(TCritical, InterpolatedTail) {
+  // df = 49 (the paper's n = 50 runs) sits between 40 and 60.
+  const double t49 = t_critical(0.95, 49);
+  EXPECT_GT(t49, 2.000);
+  EXPECT_LT(t49, 2.021);
+  // Large df approaches the normal z-value.
+  EXPECT_NEAR(t_critical(0.95, 1000000), 1.960, 1e-2);
+  EXPECT_NEAR(t_critical(0.99, 1000000), 2.576, 1e-2);
+}
+
+TEST(TCritical, MonotoneDecreasingInDf) {
+  double prev = 1e9;
+  for (std::size_t df : {1u, 2u, 5u, 10u, 30u, 40u, 60u, 120u, 10000u}) {
+    const double t = t_critical(0.95, df);
+    EXPECT_LT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(MeanCi, DegenerateCases) {
+  EXPECT_DOUBLE_EQ(mean_ci({}).mean, 0.0);
+  EXPECT_DOUBLE_EQ(mean_ci({}).half_width, 0.0);
+  const auto one = mean_ci({5.0});
+  EXPECT_DOUBLE_EQ(one.mean, 5.0);
+  EXPECT_DOUBLE_EQ(one.half_width, 0.0);
+}
+
+TEST(MeanCi, ConstantSampleHasZeroWidth) {
+  const auto ci = mean_ci(std::vector<double>(50, 3.0));
+  EXPECT_DOUBLE_EQ(ci.mean, 3.0);
+  EXPECT_DOUBLE_EQ(ci.half_width, 0.0);
+  EXPECT_TRUE(ci.contains(3.0));
+}
+
+TEST(MeanCi, KnownSmallSample) {
+  // n=4, mean=2.5, s=stddev({1,2,3,4})=1.29099..., t(3)=3.182.
+  const auto ci = mean_ci({1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(ci.mean, 2.5);
+  EXPECT_NEAR(ci.half_width, 3.182 * 1.2909944 / 2.0, 1e-4);
+  EXPECT_DOUBLE_EQ(ci.lo(), ci.mean - ci.half_width);
+  EXPECT_DOUBLE_EQ(ci.hi(), ci.mean + ci.half_width);
+}
+
+TEST(MeanCi, WidthShrinksWithSampleSize) {
+  sim::Rng rng{17};
+  std::vector<double> big;
+  for (int i = 0; i < 1000; ++i) big.push_back(rng.normal(10, 2));
+  const std::vector<double> small(big.begin(), big.begin() + 10);
+  EXPECT_LT(mean_ci(big).half_width, mean_ci(small).half_width);
+}
+
+TEST(MeanCi, NinetyNineWiderThanNinetyFive) {
+  sim::Rng rng{18};
+  std::vector<double> xs;
+  for (int i = 0; i < 50; ++i) xs.push_back(rng.normal(0, 1));
+  EXPECT_GT(mean_ci(xs, 0.99).half_width, mean_ci(xs, 0.95).half_width);
+}
+
+// Property: a 95% CI over repeated draws covers the true mean ~95% of the
+// time (loose bounds: 88-100% over 200 trials).
+class CoverageProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CoverageProperty, CoversTrueMean) {
+  sim::Rng rng{static_cast<std::uint64_t>(GetParam() * 29)};
+  const double true_mean = 42.0;
+  int covered = 0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<double> xs;
+    for (int i = 0; i < 30; ++i) xs.push_back(rng.normal(true_mean, 5));
+    if (mean_ci(xs).contains(true_mean)) ++covered;
+  }
+  EXPECT_GE(covered, 176);  // >= 88%
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoverageProperty, ::testing::Range(1, 5));
+
+}  // namespace
+}  // namespace bnm::stats

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "net/dns.h"
+#include "net_fixture.h"
+
+namespace bnm::net {
+namespace {
+
+using test::TwoHostFixture;
+
+// ------------------------------------------------------------- wire format
+
+TEST(DnsMessageTest, QueryRoundTrip) {
+  DnsMessage q;
+  q.id = 0x1234;
+  q.qname = "server.bnm.test";
+  const auto decoded = DnsMessage::decode(q.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->id, 0x1234);
+  EXPECT_EQ(decoded->qname, "server.bnm.test");
+  EXPECT_FALSE(decoded->is_response);
+  EXPECT_FALSE(decoded->answer.has_value());
+}
+
+TEST(DnsMessageTest, ResponseRoundTrip) {
+  DnsMessage r;
+  r.id = 7;
+  r.qname = "a.b";
+  r.is_response = true;
+  r.answer = IpAddress{10, 0, 0, 2};
+  r.ttl_seconds = 300;
+  const auto decoded = DnsMessage::decode(r.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->is_response);
+  ASSERT_TRUE(decoded->answer.has_value());
+  EXPECT_EQ(decoded->answer->to_string(), "10.0.0.2");
+  EXPECT_EQ(decoded->ttl_seconds, 300u);
+  EXPECT_EQ(decoded->rcode, 0);
+}
+
+TEST(DnsMessageTest, NxdomainRoundTrip) {
+  DnsMessage r;
+  r.qname = "missing.test";
+  r.is_response = true;
+  r.rcode = 3;
+  const auto decoded = DnsMessage::decode(r.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->rcode, 3);
+  EXPECT_FALSE(decoded->answer.has_value());
+}
+
+TEST(DnsMessageTest, RejectsGarbage) {
+  EXPECT_FALSE(DnsMessage::decode({}).has_value());
+  EXPECT_FALSE(DnsMessage::decode({1, 2, 3}).has_value());
+  // Oversized label (64) is invalid.
+  DnsMessage q;
+  q.qname = std::string(64, 'x');
+  EXPECT_TRUE(q.encode().empty());
+}
+
+TEST(DnsMessageTest, HeaderFlagBits) {
+  DnsMessage q;
+  q.qname = "x.y";
+  const auto wire = q.encode();
+  // QR bit clear on queries, RD set.
+  EXPECT_EQ(wire[2] & 0x80, 0);
+  EXPECT_EQ(wire[2] & 0x01, 0x01);
+  DnsMessage r = q;
+  r.is_response = true;
+  const auto rwire = r.encode();
+  EXPECT_EQ(rwire[2] & 0x80, 0x80);
+}
+
+// ---------------------------------------------------------- server/resolver
+
+class DnsFixture : public TwoHostFixture {
+ protected:
+  void SetUp() override {
+    build();
+    dns_server = std::make_unique<DnsServer>(*server, 53);
+    dns_server->add_record("server.bnm.test", IpAddress{10, 0, 0, 2});
+    resolver = std::make_unique<DnsResolver>(*client, server_ep(53));
+  }
+
+  std::unique_ptr<DnsServer> dns_server;
+  std::unique_ptr<DnsResolver> resolver;
+};
+
+TEST_F(DnsFixture, ResolvesKnownName) {
+  std::optional<IpAddress> got;
+  resolver->resolve("server.bnm.test", [&](std::optional<IpAddress> a) {
+    got = a;
+  });
+  run_all();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->to_string(), "10.0.0.2");
+  EXPECT_EQ(resolver->queries_sent(), 1u);
+  EXPECT_EQ(dns_server->queries_served(), 1u);
+}
+
+TEST_F(DnsFixture, UnknownNameNxdomain) {
+  bool called = false;
+  std::optional<IpAddress> got = IpAddress{1, 1, 1, 1};
+  resolver->resolve("nope.bnm.test", [&](std::optional<IpAddress> a) {
+    called = true;
+    got = a;
+  });
+  run_all();
+  EXPECT_TRUE(called);
+  EXPECT_FALSE(got.has_value());
+  EXPECT_FALSE(resolver->cached("nope.bnm.test"));
+}
+
+TEST_F(DnsFixture, SecondLookupServedFromCache) {
+  resolver->resolve("server.bnm.test", [](std::optional<IpAddress>) {});
+  run_all();
+  EXPECT_TRUE(resolver->cached("server.bnm.test"));
+  const auto wire_queries = resolver->queries_sent();
+
+  std::optional<IpAddress> got;
+  resolver->resolve("server.bnm.test", [&](std::optional<IpAddress> a) {
+    got = a;
+  });
+  run_all();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(resolver->queries_sent(), wire_queries);  // no new packet
+  EXPECT_EQ(resolver->cache_hits(), 1u);
+}
+
+TEST_F(DnsFixture, CacheExpiresAfterTtl) {
+  dns_server->add_record("short.bnm.test", IpAddress{10, 0, 0, 9});
+  resolver->resolve("short.bnm.test", [](std::optional<IpAddress>) {});
+  run_all();
+  EXPECT_TRUE(resolver->cached("short.bnm.test"));
+  // Default TTL is 60 s; advance past it.
+  run_for(sim::Duration::seconds(61));
+  EXPECT_FALSE(resolver->cached("short.bnm.test"));
+}
+
+TEST_F(DnsFixture, FlushCacheForcesRequery) {
+  resolver->resolve("server.bnm.test", [](std::optional<IpAddress>) {});
+  run_all();
+  resolver->flush_cache();
+  resolver->resolve("server.bnm.test", [](std::optional<IpAddress>) {});
+  run_all();
+  EXPECT_EQ(resolver->queries_sent(), 2u);
+}
+
+TEST_F(DnsFixture, LookupTimesOutWhenServerUnreachable) {
+  DnsResolver lost{*client, Endpoint{IpAddress{10, 0, 0, 99}, 53}};
+  lost.set_timeout(sim::Duration::millis(500));
+  bool called = false;
+  std::optional<IpAddress> got = IpAddress{1, 1, 1, 1};
+  lost.resolve("server.bnm.test", [&](std::optional<IpAddress> a) {
+    called = true;
+    got = a;
+  });
+  run_for(sim::Duration::seconds(2));
+  EXPECT_TRUE(called);
+  EXPECT_FALSE(got.has_value());
+}
+
+TEST_F(DnsFixture, LookupCostsOneNetworkRoundTrip) {
+  const sim::TimePoint t0 = sim->now();
+  sim::TimePoint done;
+  resolver->resolve("server.bnm.test", [&](std::optional<IpAddress>) {
+    done = sim->now();
+  });
+  run_all();
+  // No netem here: sub-millisecond LAN round trip.
+  EXPECT_LT(done - t0, sim::Duration::millis(2));
+  EXPECT_GT(done - t0, sim::Duration::micros(30));
+}
+
+}  // namespace
+}  // namespace bnm::net

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "browser/event_loop.h"
+
+namespace bnm::browser {
+namespace {
+
+TEST(EventLoop, DispatchLatencyApplied) {
+  sim::Simulation sim{1};
+  EventLoop loop{sim, "test"};
+  sim::TimePoint ran;
+  loop.post(sim::Duration::millis(7), [&] { ran = sim.now(); });
+  sim.scheduler().run();
+  EXPECT_EQ(ran - sim::TimePoint::epoch(), sim::Duration::millis(7));
+}
+
+TEST(EventLoop, NegativeLatencyClamps) {
+  sim::Simulation sim{2};
+  EventLoop loop{sim, "test"};
+  bool ran = false;
+  loop.post(sim::Duration::millis(-5), [&] { ran = true; });
+  sim.scheduler().run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventLoop, TasksSerializeOnTheMainThread) {
+  sim::Simulation sim{3};
+  EventLoop loop{sim, "test"};
+  loop.set_task_cost(sim::Duration::millis(2));
+  std::vector<double> at;
+  // Both ready at t=1ms, but the second must wait for the first's cost.
+  loop.post(sim::Duration::millis(1), [&] { at.push_back(sim.now().ms_since_epoch_f()); });
+  loop.post(sim::Duration::millis(1), [&] { at.push_back(sim.now().ms_since_epoch_f()); });
+  sim.scheduler().run();
+  ASSERT_EQ(at.size(), 2u);
+  EXPECT_DOUBLE_EQ(at[0], 1.0);
+  EXPECT_DOUBLE_EQ(at[1], 3.0);
+}
+
+TEST(EventLoop, IdleLoopDoesNotDelayLaterTasks) {
+  sim::Simulation sim{4};
+  EventLoop loop{sim, "test"};
+  loop.set_task_cost(sim::Duration::millis(2));
+  std::vector<double> at;
+  loop.post(sim::Duration::millis(1), [&] { at.push_back(sim.now().ms_since_epoch_f()); });
+  sim.scheduler().run();
+  // Long after the first task finished: no queueing effect remains.
+  sim.scheduler().schedule_after(sim::Duration::millis(50), [] {});
+  sim.scheduler().run();
+  loop.post(sim::Duration::millis(1), [&] { at.push_back(sim.now().ms_since_epoch_f()); });
+  sim.scheduler().run();
+  ASSERT_EQ(at.size(), 2u);
+  EXPECT_DOUBLE_EQ(at[1], 52.0);
+}
+
+TEST(EventLoop, CountsTasks) {
+  sim::Simulation sim{5};
+  EventLoop loop{sim, "test"};
+  for (int i = 0; i < 4; ++i) loop.post(sim::Duration::zero(), [] {});
+  sim.scheduler().run();
+  EXPECT_EQ(loop.tasks_run(), 4u);
+}
+
+TEST(EventLoop, FifoOrderAmongQueuedTasks) {
+  sim::Simulation sim{6};
+  EventLoop loop{sim, "test"};
+  loop.set_task_cost(sim::Duration::millis(1));
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    loop.post(sim::Duration::micros(10), [&order, i] { order.push_back(i); });
+  }
+  sim.scheduler().run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+}  // namespace
+}  // namespace bnm::browser

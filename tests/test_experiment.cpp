@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/experiment.h"
+#include "stats/descriptive.h"
+
+namespace bnm::core {
+namespace {
+
+using browser::BrowserId;
+using browser::OsId;
+
+ExperimentConfig quick(methods::ProbeKind kind, BrowserId b, OsId os,
+                       int runs = 10) {
+  ExperimentConfig cfg;
+  cfg.kind = kind;
+  cfg.browser = b;
+  cfg.os = os;
+  cfg.runs = runs;
+  return cfg;
+}
+
+TEST(Experiment, CollectsRequestedRuns) {
+  const auto series = run_experiment(
+      quick(methods::ProbeKind::kWebSocket, BrowserId::kChrome, OsId::kUbuntu));
+  EXPECT_EQ(series.samples.size(), 10u);
+  EXPECT_EQ(series.failures, 0);
+  EXPECT_EQ(series.case_label, "C (U)");
+  EXPECT_EQ(series.method_name, "WebSocket");
+}
+
+TEST(Experiment, NetworkRttTracksNetemDelay) {
+  auto cfg = quick(methods::ProbeKind::kXhrGet, BrowserId::kChrome, OsId::kUbuntu);
+  const auto series = run_experiment(cfg);
+  for (const auto& s : series.samples) {
+    EXPECT_GT(s.net_rtt1_ms, 50.0);
+    EXPECT_LT(s.net_rtt1_ms, 51.5);
+    EXPECT_GT(s.net_rtt2_ms, 50.0);
+    EXPECT_LT(s.net_rtt2_ms, 51.5);
+    EXPECT_DOUBLE_EQ(s.d1_ms, s.browser_rtt1_ms - s.net_rtt1_ms);
+    EXPECT_DOUBLE_EQ(s.d2_ms, s.browser_rtt2_ms - s.net_rtt2_ms);
+  }
+}
+
+TEST(Experiment, DeterministicForSameSeed) {
+  const auto a = run_experiment(
+      quick(methods::ProbeKind::kDom, BrowserId::kFirefox, OsId::kWindows7, 5));
+  const auto b = run_experiment(
+      quick(methods::ProbeKind::kDom, BrowserId::kFirefox, OsId::kWindows7, 5));
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.samples[i].d1_ms, b.samples[i].d1_ms);
+    EXPECT_DOUBLE_EQ(a.samples[i].d2_ms, b.samples[i].d2_ms);
+  }
+}
+
+TEST(Experiment, DifferentSeedsDiffer) {
+  auto cfg = quick(methods::ProbeKind::kDom, BrowserId::kFirefox, OsId::kWindows7, 5);
+  const auto a = run_experiment(cfg);
+  cfg.seed = 4242;
+  const auto b = run_experiment(cfg);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    if (std::fabs(a.samples[i].d1_ms - b.samples[i].d1_ms) > 1e-9) {
+      any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Experiment, OperaFlashConnectionAccounting) {
+  const auto get = run_experiment(
+      quick(methods::ProbeKind::kFlashGet, BrowserId::kOpera, OsId::kWindows7));
+  for (const auto& s : get.samples) {
+    EXPECT_EQ(s.connections_opened1, 1);
+    EXPECT_EQ(s.connections_opened2, 0);
+  }
+  const auto post = run_experiment(
+      quick(methods::ProbeKind::kFlashPost, BrowserId::kOpera, OsId::kWindows7));
+  for (const auto& s : post.samples) {
+    EXPECT_EQ(s.connections_opened1, 1);
+    EXPECT_EQ(s.connections_opened2, 1);
+  }
+}
+
+TEST(Experiment, ChromeFlashReusesPreparationConnection) {
+  const auto series = run_experiment(
+      quick(methods::ProbeKind::kFlashGet, BrowserId::kChrome, OsId::kWindows7));
+  for (const auto& s : series.samples) {
+    EXPECT_EQ(s.connections_opened1, 0);
+    EXPECT_EQ(s.connections_opened2, 0);
+  }
+}
+
+TEST(Experiment, UnsupportedCaseReportsFailures) {
+  const auto series = run_experiment(
+      quick(methods::ProbeKind::kWebSocket, BrowserId::kIe, OsId::kWindows7, 3));
+  EXPECT_TRUE(series.samples.empty());
+  EXPECT_EQ(series.failures, 3);
+  EXPECT_FALSE(series.first_error.empty());
+}
+
+TEST(Experiment, AppletviewerLabelled) {
+  auto cfg = quick(methods::ProbeKind::kJavaSocket, BrowserId::kChrome,
+                   OsId::kWindows7, 5);
+  cfg.java_via_appletviewer = true;
+  const auto series = run_experiment(cfg);
+  EXPECT_EQ(series.case_label, "appletviewer (W)");
+  EXPECT_EQ(series.samples.size(), 5u);
+}
+
+TEST(Experiment, SeriesStatisticsAccessors) {
+  const auto series = run_experiment(
+      quick(methods::ProbeKind::kWebSocket, BrowserId::kChrome, OsId::kUbuntu, 20));
+  EXPECT_EQ(series.d1().size(), 20u);
+  EXPECT_EQ(series.d2().size(), 20u);
+  const auto box = series.d2_box();
+  EXPECT_LE(box.q1, box.median);
+  const auto ci = series.d2_ci();
+  EXPECT_GE(ci.half_width, 0.0);
+}
+
+TEST(Experiment, NanotimeShrinksJavaSpread) {
+  auto cfg = quick(methods::ProbeKind::kJavaSocket, BrowserId::kFirefox,
+                   OsId::kWindows7, 30);
+  const auto date_series = run_experiment(cfg);
+  cfg.java_use_nanotime = true;
+  const auto nano_series = run_experiment(cfg);
+  const double date_spread =
+      stats::max(date_series.d2()) - stats::min(date_series.d2());
+  const double nano_spread =
+      stats::max(nano_series.d2()) - stats::min(nano_series.d2());
+  // Date.getTime quantization spreads over ~16 ms; nanoTime stays tight.
+  EXPECT_LT(nano_spread, 1.0);
+  EXPECT_GT(date_spread, nano_spread);
+}
+
+TEST(Experiment, HttpOverheadExceedsSocketOverhead) {
+  const auto xhr = run_experiment(
+      quick(methods::ProbeKind::kXhrGet, BrowserId::kChrome, OsId::kUbuntu, 15));
+  const auto ws = run_experiment(
+      quick(methods::ProbeKind::kWebSocket, BrowserId::kChrome, OsId::kUbuntu, 15));
+  EXPECT_GT(xhr.d2_box().median, ws.d2_box().median);
+}
+
+}  // namespace
+}  // namespace bnm::core

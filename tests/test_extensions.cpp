@@ -1,0 +1,195 @@
+// Tests for the extension modules: cross traffic, loss/reordering
+// measurement, the IPPM dedicated-host baseline, and mobile profiles.
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "core/ippm.h"
+#include "core/loss_experiment.h"
+#include "core/testbed.h"
+
+namespace bnm::core {
+namespace {
+
+using browser::BrowserId;
+using browser::MobilePlatform;
+using browser::OsId;
+
+// --------------------------------------------------------- cross traffic
+
+TEST(CrossTraffic, GeneratorApproximatesOfferedLoad) {
+  Testbed::Config cfg;
+  cfg.cross_traffic_mbps = 40.0;
+  Testbed tb{cfg};
+  tb.sim().scheduler().run_until(tb.sim().now() + sim::Duration::seconds(3));
+  ASSERT_NE(tb.cross_traffic(), nullptr);
+  const double mbps = tb.cross_traffic()->offered_bytes() * 8.0 / 3.0 / 1e6;
+  EXPECT_NEAR(mbps, 40.0, 8.0);
+}
+
+TEST(CrossTraffic, StopHaltsEmission) {
+  Testbed::Config cfg;
+  cfg.cross_traffic_mbps = 40.0;
+  Testbed tb{cfg};
+  tb.sim().scheduler().run_until(tb.sim().now() + sim::Duration::millis(500));
+  tb.cross_traffic()->stop();
+  const auto sent = tb.cross_traffic()->packets_sent();
+  tb.sim().scheduler().run_until(tb.sim().now() + sim::Duration::seconds(1));
+  EXPECT_EQ(tb.cross_traffic()->packets_sent(), sent);
+}
+
+TEST(CrossTraffic, AbsentWhenNotConfigured) {
+  Testbed::Config cfg;
+  Testbed tb{cfg};
+  EXPECT_EQ(tb.cross_traffic(), nullptr);
+}
+
+TEST(CrossTraffic, MeasurementStillCompletesUnderContention) {
+  ExperimentConfig cfg;
+  cfg.kind = methods::ProbeKind::kWebSocket;
+  cfg.browser = BrowserId::kChrome;
+  cfg.os = OsId::kUbuntu;
+  cfg.runs = 5;
+  cfg.testbed.cross_traffic_mbps = 60.0;
+  const auto series = run_experiment(cfg);
+  EXPECT_EQ(series.samples.size(), 5u);
+  EXPECT_EQ(series.failures, 0);
+}
+
+// ------------------------------------------------------- loss experiment
+
+TEST(LossExperiment, LosslessNetworkLosesNothing) {
+  LossReorderingExperiment::Config cfg;
+  cfg.probes = 100;
+  LossReorderingExperiment exp{cfg};
+  const auto r = exp.run();
+  EXPECT_EQ(r.browser_received, 100);
+  EXPECT_EQ(r.net_received, 100);
+  EXPECT_EQ(r.browser_reordered, 0);
+  EXPECT_EQ(r.net_reordered, 0);
+  EXPECT_DOUBLE_EQ(r.loss_rate_error(), 0.0);
+}
+
+TEST(LossExperiment, BrowserAndCaptureAgreeUnderLoss) {
+  LossReorderingExperiment::Config cfg;
+  cfg.probes = 300;
+  cfg.testbed.link_loss_probability = 0.05;
+  LossReorderingExperiment exp{cfg};
+  const auto r = exp.run();
+  EXPECT_GT(r.net_loss_rate(), 0.02);
+  EXPECT_LT(r.net_loss_rate(), 0.25);
+  // The paper's Section 2 claim: overheads do not bias loss measurement.
+  EXPECT_LT(r.loss_rate_error(), 0.01);
+}
+
+TEST(LossExperiment, ReorderingCountedBothLevels) {
+  LossReorderingExperiment::Config cfg;
+  cfg.probes = 200;
+  cfg.probe_interval = sim::Duration::millis(10);
+  cfg.testbed.server_jitter = sim::Duration::millis(30);
+  cfg.testbed.allow_reorder = true;
+  LossReorderingExperiment exp{cfg};
+  const auto r = exp.run();
+  EXPECT_GT(r.net_reordered, 5);
+  EXPECT_NEAR(r.browser_reordered, r.net_reordered, 4);
+}
+
+TEST(LossExperiment, Deterministic) {
+  LossReorderingExperiment::Config cfg;
+  cfg.probes = 150;
+  cfg.testbed.link_loss_probability = 0.05;
+  const auto a = LossReorderingExperiment{cfg}.run();
+  const auto b = LossReorderingExperiment{cfg}.run();
+  EXPECT_EQ(a.browser_received, b.browser_received);
+  EXPECT_EQ(a.net_received, b.net_received);
+}
+
+// ------------------------------------------------------------------ ippm
+
+TEST(Ippm, AllProbesAnsweredOnCleanNetwork) {
+  PoissonRttStream::Config cfg;
+  cfg.probes = 40;
+  PoissonRttStream stream{cfg};
+  const auto samples = stream.run();
+  EXPECT_EQ(samples.size(), 40u);
+}
+
+TEST(Ippm, OverheadIsNearZero) {
+  PoissonRttStream::Config cfg;
+  cfg.probes = 40;
+  PoissonRttStream stream{cfg};
+  const auto samples = stream.run();
+  for (const auto& s : samples) {
+    // Dedicated host: only stack delay + capture jitter between the app
+    // timestamps and the wire.
+    EXPECT_LT(std::abs(s.overhead_ms()), 0.3);
+    EXPECT_GT(s.rtt_ms, 50.0);
+    EXPECT_LT(s.rtt_ms, 51.0);
+  }
+  EXPECT_GT(PoissonRttStream::min_rtt_ms(samples), 50.0);
+  EXPECT_GE(PoissonRttStream::median_rtt_ms(samples),
+            PoissonRttStream::min_rtt_ms(samples));
+}
+
+TEST(Ippm, LossyNetworkYieldsFewerSamples) {
+  PoissonRttStream::Config cfg;
+  cfg.probes = 100;
+  cfg.testbed.link_loss_probability = 0.2;
+  PoissonRttStream stream{cfg};
+  const auto samples = stream.run();
+  EXPECT_LT(samples.size(), 90u);
+  EXPECT_GT(samples.size(), 30u);
+}
+
+// --------------------------------------------------------------- mobile
+
+TEST(MobileProfiles, NoPluginsWebSocketOnly) {
+  for (const auto p : {MobilePlatform::kIosSafari,
+                       MobilePlatform::kAndroidChrome}) {
+    const auto profile = browser::make_mobile_profile(p);
+    EXPECT_FALSE(profile.supports_flash);
+    EXPECT_FALSE(profile.supports_java);
+    EXPECT_TRUE(profile.supports_websocket);
+    EXPECT_FALSE(profile.label().empty());
+    EXPECT_NE(profile.label(), profile.which.label());
+  }
+}
+
+TEST(MobileProfiles, PluginMethodsFailGracefully) {
+  ExperimentConfig cfg;
+  cfg.kind = methods::ProbeKind::kFlashGet;
+  cfg.browser = BrowserId::kChrome;
+  cfg.os = OsId::kUbuntu;
+  cfg.runs = 2;
+  cfg.custom_profile = browser::make_mobile_profile(MobilePlatform::kAndroidChrome);
+  const auto series = run_experiment(cfg);
+  EXPECT_TRUE(series.samples.empty());
+  EXPECT_EQ(series.failures, 2);
+}
+
+TEST(MobileProfiles, WebSocketWorksAndIsLabelled) {
+  ExperimentConfig cfg;
+  cfg.kind = methods::ProbeKind::kWebSocket;
+  cfg.browser = BrowserId::kChrome;
+  cfg.os = OsId::kUbuntu;
+  cfg.runs = 8;
+  cfg.custom_profile = browser::make_mobile_profile(MobilePlatform::kIosSafari);
+  const auto series = run_experiment(cfg);
+  EXPECT_EQ(series.samples.size(), 8u);
+  EXPECT_EQ(series.case_label, "MobSaf");
+  EXPECT_LT(std::abs(series.d2_box().median), 2.5);
+}
+
+TEST(MobileProfiles, HigherHttpOverheadThanDesktopSibling) {
+  const auto mobile = browser::make_mobile_profile(MobilePlatform::kAndroidChrome);
+  const auto desktop = browser::make_profile(BrowserId::kChrome, OsId::kUbuntu);
+  const auto warm = [](const browser::BrowserProfile& p,
+                       browser::ProbeKind k) {
+    const auto m = p.overhead(k);
+    return m.pre_send.median_ms() + m.recv_dispatch.median_ms();
+  };
+  EXPECT_GT(warm(mobile, browser::ProbeKind::kXhrGet),
+            warm(desktop, browser::ProbeKind::kXhrGet) * 2);
+}
+
+}  // namespace
+}  // namespace bnm::core

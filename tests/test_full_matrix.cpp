@@ -1,0 +1,80 @@
+// The full Figure-3 matrix at reduced scale: every method on every
+// Table-2 case (plus nanoTime and appletviewer variants) must produce
+// clean samples with sane bounds. This is the smoke net under the benches.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/experiment.h"
+
+namespace bnm::core {
+namespace {
+
+struct MatrixCase {
+  browser::BrowserOsCase who;
+  methods::ProbeKind kind;
+};
+
+std::vector<MatrixCase> full_matrix() {
+  std::vector<MatrixCase> out;
+  for (const auto& c : browser::paper_cases()) {
+    for (const auto kind : browser::all_probe_kinds()) {
+      out.push_back(MatrixCase{c, kind});
+    }
+  }
+  return out;
+}
+
+class FullMatrix : public ::testing::TestWithParam<MatrixCase> {};
+
+TEST_P(FullMatrix, FiveRunsProduceSaneOverheads) {
+  const auto& param = GetParam();
+  const auto profile =
+      browser::make_profile(param.who.browser, param.who.os);
+  const bool supported =
+      param.kind != methods::ProbeKind::kWebSocket || profile.supports_websocket;
+
+  ExperimentConfig cfg;
+  cfg.browser = param.who.browser;
+  cfg.os = param.who.os;
+  cfg.kind = param.kind;
+  cfg.runs = 5;
+  const auto series = run_experiment(cfg);
+
+  if (!supported) {
+    EXPECT_TRUE(series.samples.empty());
+    EXPECT_EQ(series.failures, 5);
+    return;
+  }
+
+  ASSERT_EQ(series.samples.size(), 5u) << series.first_error;
+  for (const auto& s : series.samples) {
+    // Ground truth is always the netem delay plus fractions of a ms.
+    EXPECT_GT(s.net_rtt1_ms, 50.0);
+    EXPECT_LT(s.net_rtt1_ms, 52.0);
+    EXPECT_GT(s.net_rtt2_ms, 50.0);
+    EXPECT_LT(s.net_rtt2_ms, 52.0);
+    // Overheads stay within the paper's plotted ranges (plus headroom):
+    // never below -16 ms (one Windows granule) nor above 250 ms.
+    EXPECT_GT(s.d1_ms, -16.0);
+    EXPECT_LT(s.d1_ms, 250.0);
+    EXPECT_GT(s.d2_ms, -16.0);
+    EXPECT_LT(s.d2_ms, 250.0);
+  }
+}
+
+std::string matrix_name(const ::testing::TestParamInfo<MatrixCase>& info) {
+  std::string n = std::string{browser::browser_name(info.param.who.browser)} +
+                  "_" + browser::os_initial(info.param.who.os) + "_" +
+                  probe_kind_name(info.param.kind);
+  for (auto& c : n) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return n;
+}
+
+INSTANTIATE_TEST_SUITE_P(EveryCase, FullMatrix,
+                         ::testing::ValuesIn(full_matrix()), matrix_name);
+
+}  // namespace
+}  // namespace bnm::core

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "browser/clock_set.h"
+#include "core/granularity.h"
+
+namespace bnm::core {
+namespace {
+
+using browser::NanoClock;
+using browser::OsId;
+using browser::QuantizedClock;
+
+QuantizedClock fixed_clock(double granule_ms, std::uint64_t seed = 1) {
+  QuantizedClock::Config cfg;
+  cfg.granularities = {sim::Duration::from_millis_f(granule_ms)};
+  return QuantizedClock{cfg, sim::Rng{seed}};
+}
+
+TEST(GranularityProber, MeasuresFixed1msClock) {
+  auto clock = fixed_clock(1.0);
+  const auto probe = GranularityProber::probe_once(
+      clock, sim::TimePoint::epoch() + sim::Duration::seconds(1));
+  EXPECT_DOUBLE_EQ(probe.measured.ms_f(), 1.0);
+  EXPECT_GT(probe.api_calls, 1u);
+}
+
+TEST(GranularityProber, Measures15msClock) {
+  auto clock = fixed_clock(15.625);
+  const auto probe = GranularityProber::probe_once(
+      clock, sim::TimePoint::epoch() + sim::Duration::seconds(2));
+  EXPECT_DOUBLE_EQ(probe.measured.ms_f(), 15.625);
+  // Busy-wait iterations: ~15.6 ms / 400 ns per call ~ 39000.
+  EXPECT_GT(probe.api_calls, 10000u);
+}
+
+TEST(GranularityProber, NanoClockResolvesInOneStep) {
+  NanoClock clock;
+  const auto probe =
+      GranularityProber::probe_once(clock, sim::TimePoint::epoch());
+  EXPECT_EQ(probe.api_calls, 2u);
+  EXPECT_EQ(probe.measured, clock.call_cost());
+}
+
+TEST(GranularityProber, SeriesSpacingAndCount) {
+  auto clock = fixed_clock(1.0);
+  const auto series = GranularityProber::probe_series(
+      clock, sim::TimePoint::epoch(), sim::Duration::seconds(10), 12);
+  ASSERT_EQ(series.size(), 12u);
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_EQ(series[i].at - series[i - 1].at, sim::Duration::seconds(10));
+  }
+}
+
+TEST(GranularityProber, WindowsClockShowsBothLevels) {
+  browser::ClockSet clocks{OsId::kWindows7, sim::Rng{5}};
+  const auto series = GranularityProber::probe_series(
+      clocks.java_date(), sim::TimePoint::epoch(), sim::Duration::seconds(10),
+      240);  // 40 minutes
+  const auto levels = GranularityProber::distinct_levels(series);
+  ASSERT_EQ(levels.size(), 2u);
+  EXPECT_NEAR(levels[0].ms_f(), 1.0, 0.01);
+  EXPECT_NEAR(levels[1].ms_f(), 15.625, 0.01);
+}
+
+TEST(GranularityProber, UbuntuClockSingleLevel) {
+  browser::ClockSet clocks{OsId::kUbuntu, sim::Rng{6}};
+  const auto series = GranularityProber::probe_series(
+      clocks.java_date(), sim::TimePoint::epoch(), sim::Duration::seconds(10),
+      120);
+  const auto levels = GranularityProber::distinct_levels(series);
+  ASSERT_EQ(levels.size(), 1u);
+  EXPECT_NEAR(levels[0].ms_f(), 1.0, 0.01);
+}
+
+TEST(GranularityProber, DistinctLevelsClustersNearbyValues) {
+  std::vector<GranularityProbe> series;
+  for (double v : {1.0, 1.02, 0.99, 15.6, 15.65, 15.62}) {
+    GranularityProbe p;
+    p.measured = sim::Duration::from_millis_f(v);
+    series.push_back(p);
+  }
+  const auto levels = GranularityProber::distinct_levels(series);
+  EXPECT_EQ(levels.size(), 2u);
+}
+
+}  // namespace
+}  // namespace bnm::core

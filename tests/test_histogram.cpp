@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "stats/histogram.h"
+
+namespace bnm::stats {
+namespace {
+
+TEST(Histogram, BinsValues) {
+  Histogram h{0, 10, 10};
+  h.add(0.5);
+  h.add(0.9);
+  h.add(5.5);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(5), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, UnderOverflow) {
+  Histogram h{0, 10, 5};
+  h.add(-1);
+  h.add(10.0);  // hi edge is exclusive
+  h.add(99);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, LowEdgeInclusive) {
+  Histogram h{0, 10, 5};
+  h.add(0.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.underflow(), 0u);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h{0, 20, 4};
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 5.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 15.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(3), 20.0);
+}
+
+TEST(Histogram, ModeCenter) {
+  Histogram h{0, 10, 10};
+  for (int i = 0; i < 5; ++i) h.add(7.2);
+  h.add(1.0);
+  EXPECT_DOUBLE_EQ(h.mode_center(), 7.5);
+}
+
+TEST(Histogram, AddAll) {
+  Histogram h{0, 10, 2};
+  h.add_all({1, 2, 6, 7, 8});
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 3u);
+}
+
+TEST(Histogram, RenderContainsCountsAndBars) {
+  Histogram h{0, 2, 2};
+  h.add(0.5);
+  h.add(0.6);
+  h.add(1.5);
+  const std::string r = h.render(10);
+  EXPECT_NE(r.find('#'), std::string::npos);
+  EXPECT_NE(r.find("2"), std::string::npos);
+  // Two bins -> at least two lines.
+  EXPECT_GE(std::count(r.begin(), r.end(), '\n'), 2);
+}
+
+TEST(Histogram, RenderReportsOverflow) {
+  Histogram h{0, 1, 1};
+  h.add(5);
+  EXPECT_NE(h.render().find("overflow: 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bnm::stats

@@ -1,0 +1,215 @@
+// Connection-limit, queueing, and redirect behaviour of the HTTP client.
+#include <gtest/gtest.h>
+
+#include "http/client.h"
+#include "http/server.h"
+#include "net_fixture.h"
+
+namespace bnm::http {
+namespace {
+
+using test::TwoHostFixture;
+
+class HttpLimits : public TwoHostFixture {
+ protected:
+  void SetUp() override {
+    build();
+    WebServer::Config wc;
+    wc.port = 80;
+    wc.think_time = sim::Duration::millis(5);
+    web = std::make_unique<WebServer>(*server, wc);
+    http = std::make_unique<HttpClient>(*client);
+  }
+
+  HttpRequest get(const std::string& target) {
+    HttpRequest r;
+    r.method = "GET";
+    r.target = target;
+    return r;
+  }
+
+  std::unique_ptr<WebServer> web;
+  std::unique_ptr<HttpClient> http;
+};
+
+TEST_F(HttpLimits, ParallelRequestsCappedAtSixConnections) {
+  int done = 0;
+  for (int i = 0; i < 12; ++i) {
+    http->request(server_ep(80), get("/echo"),
+                  [&](HttpResponse r, HttpClient::TransferInfo) {
+                    EXPECT_EQ(r.status, 200);
+                    ++done;
+                  });
+  }
+  // Before anything completes: 6 in flight, 6 queued.
+  EXPECT_EQ(http->live_connections(server_ep(80)), 6u);
+  EXPECT_EQ(http->queued_requests(server_ep(80)), 6u);
+  run_all();
+  EXPECT_EQ(done, 12);
+  EXPECT_EQ(http->connections_opened(), 6u);
+  EXPECT_EQ(http->queued_requests(server_ep(80)), 0u);
+}
+
+TEST_F(HttpLimits, ConfigurableLimit) {
+  http->set_max_connections_per_host(2);
+  int done = 0;
+  for (int i = 0; i < 5; ++i) {
+    http->request(server_ep(80), get("/echo"),
+                  [&](HttpResponse, HttpClient::TransferInfo) { ++done; });
+  }
+  EXPECT_EQ(http->live_connections(server_ep(80)), 2u);
+  run_all();
+  EXPECT_EQ(done, 5);
+  EXPECT_EQ(http->connections_opened(), 2u);
+}
+
+TEST_F(HttpLimits, QueuedRequestsCompleteInOrder) {
+  http->set_max_connections_per_host(1);
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    http->request(server_ep(80), get("/payload?size=" + std::to_string(i + 1)),
+                  [&order, i](HttpResponse r, HttpClient::TransferInfo) {
+                    EXPECT_EQ(r.body.size(), static_cast<std::size_t>(i + 1));
+                    order.push_back(i);
+                  });
+  }
+  run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST_F(HttpLimits, QueuedRequestReusesFreedConnection) {
+  http->set_max_connections_per_host(1);
+  int done = 0;
+  http->request(server_ep(80), get("/echo"),
+                [&](HttpResponse, HttpClient::TransferInfo info) {
+                  EXPECT_TRUE(info.opened_new_connection);
+                  ++done;
+                });
+  http->request(server_ep(80), get("/echo"),
+                [&](HttpResponse, HttpClient::TransferInfo info) {
+                  EXPECT_FALSE(info.opened_new_connection);
+                  ++done;
+                });
+  run_all();
+  EXPECT_EQ(done, 2);
+  EXPECT_EQ(http->connections_opened(), 1u);
+}
+
+TEST_F(HttpLimits, SlotFreedWhenServerClosesConnection) {
+  http->set_max_connections_per_host(1);
+  HttpRequest closing = get("/echo");
+  closing.headers.set("Connection", "close");
+  int done = 0;
+  http->request(server_ep(80), closing,
+                [&](HttpResponse, HttpClient::TransferInfo) { ++done; });
+  http->request(server_ep(80), get("/echo"),
+                [&](HttpResponse, HttpClient::TransferInfo info) {
+                  // The first connection died; a fresh one must open.
+                  EXPECT_TRUE(info.opened_new_connection);
+                  ++done;
+                });
+  run_all();
+  EXPECT_EQ(done, 2);
+  EXPECT_EQ(http->connections_opened(), 2u);
+  EXPECT_EQ(http->live_connections(server_ep(80)), 1u);
+}
+
+TEST_F(HttpLimits, RedirectFollowedWhenEnabled) {
+  HttpClient::Options opts;
+  opts.max_redirects = 5;
+  std::optional<HttpResponse> got;
+  http->request(server_ep(80), get("/redirect?to=/echo"),
+                [&](HttpResponse r, HttpClient::TransferInfo) { got = r; },
+                opts);
+  run_all();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->status, 200);
+  EXPECT_EQ(got->body, "pong");
+}
+
+TEST_F(HttpLimits, RedirectDeliveredRawWhenDisabled) {
+  std::optional<HttpResponse> got;
+  http->request(server_ep(80), get("/redirect?to=/echo"),
+                [&](HttpResponse r, HttpClient::TransferInfo) { got = r; });
+  run_all();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->status, 302);
+  EXPECT_EQ(got->headers.get("Location"), "/echo");
+}
+
+TEST_F(HttpLimits, RedirectChainCostsExtraRoundTrips) {
+  // /redirect -> /redirect2 -> /echo: two extra round trips.
+  web->route("GET", "/hop2", [](const HttpRequest&) {
+    HttpResponse r = HttpResponse::make(302, "");
+    r.headers.set("Location", "/echo");
+    return r;
+  });
+  HttpClient::Options opts;
+  opts.max_redirects = 5;
+
+  sim::TimePoint direct_done, chained_done;
+  const sim::TimePoint t0 = sim->now();
+  http->request(server_ep(80), get("/echo"),
+                [&](HttpResponse, HttpClient::TransferInfo) {
+                  direct_done = sim->now();
+                });
+  run_all();
+  const sim::TimePoint t1 = sim->now();
+  http->request(server_ep(80), get("/redirect?to=/hop2"),
+                [&](HttpResponse r, HttpClient::TransferInfo info) {
+                  EXPECT_EQ(r.body, "pong");
+                  chained_done = sim->now();
+                  // TransferInfo covers the whole chain.
+                  EXPECT_EQ(info.started, t1);
+                },
+                opts);
+  run_all();
+  const auto direct = direct_done - t0;
+  const auto chained = chained_done - t1;
+  EXPECT_GT(chained, direct * 2);
+}
+
+TEST_F(HttpLimits, RedirectLoopStopsAtLimit) {
+  web->route("GET", "/loop", [](const HttpRequest&) {
+    HttpResponse r = HttpResponse::make(302, "");
+    r.headers.set("Location", "/loop");
+    return r;
+  });
+  HttpClient::Options opts;
+  opts.max_redirects = 3;
+  std::optional<int> status;
+  http->request(server_ep(80), get("/loop"),
+                [&](HttpResponse r, HttpClient::TransferInfo) {
+                  status = r.status;
+                });
+  // Without follow (default), raw 302; with follow, the 4th response is
+  // delivered raw once the budget runs out.
+  http->request(server_ep(80), get("/loop"),
+                [&](HttpResponse r, HttpClient::TransferInfo) {
+                  status = r.status;
+                },
+                opts);
+  run_all();
+  EXPECT_EQ(status, 302);
+}
+
+TEST_F(HttpLimits, AbsoluteLocationParsed) {
+  web->route("GET", "/abs", [](const HttpRequest&) {
+    HttpResponse r = HttpResponse::make(302, "");
+    r.headers.set("Location", "http://10.0.0.2:80/echo");
+    return r;
+  });
+  HttpClient::Options opts;
+  opts.max_redirects = 1;
+  std::optional<std::string> body;
+  http->request(server_ep(80), get("/abs"),
+                [&](HttpResponse r, HttpClient::TransferInfo) {
+                  body = r.body;
+                },
+                opts);
+  run_all();
+  EXPECT_EQ(body, "pong");
+}
+
+}  // namespace
+}  // namespace bnm::http

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "http/message.h"
+
+namespace bnm::http {
+namespace {
+
+TEST(Headers, CaseInsensitiveLookup) {
+  Headers h;
+  h.add("Content-Type", "text/html");
+  EXPECT_EQ(h.get("content-type"), "text/html");
+  EXPECT_EQ(h.get("CONTENT-TYPE"), "text/html");
+  EXPECT_TRUE(h.contains("Content-type"));
+  EXPECT_FALSE(h.contains("Content-Length"));
+}
+
+TEST(Headers, SetReplacesAllOccurrences) {
+  Headers h;
+  h.add("X-A", "1");
+  h.add("x-a", "2");
+  h.set("X-A", "3");
+  EXPECT_EQ(h.size(), 1u);
+  EXPECT_EQ(h.get("x-a"), "3");
+}
+
+TEST(Headers, RemoveAndEmpty) {
+  Headers h;
+  EXPECT_TRUE(h.empty());
+  h.add("A", "1");
+  h.remove("a");
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(Headers, GetFirstOfMultiple) {
+  Headers h;
+  h.add("Set-Cookie", "a=1");
+  h.add("Set-Cookie", "b=2");
+  EXPECT_EQ(h.get("set-cookie"), "a=1");
+  EXPECT_EQ(h.size(), 2u);
+}
+
+TEST(Headers, IequalsEdgeCases) {
+  EXPECT_TRUE(Headers::iequals("", ""));
+  EXPECT_TRUE(Headers::iequals("AbC", "aBc"));
+  EXPECT_FALSE(Headers::iequals("ab", "abc"));
+}
+
+TEST(HttpRequest, SerializeBasicGet) {
+  HttpRequest req;
+  req.method = "GET";
+  req.target = "/echo";
+  req.headers.set("Host", "10.0.0.2:80");
+  EXPECT_EQ(req.serialize(),
+            "GET /echo HTTP/1.1\r\nHost: 10.0.0.2:80\r\n\r\n");
+}
+
+TEST(HttpRequest, SerializeAddsContentLengthForBody) {
+  HttpRequest req;
+  req.method = "POST";
+  req.target = "/sink";
+  req.body = "hello";
+  const std::string wire = req.serialize();
+  EXPECT_NE(wire.find("Content-Length: 5\r\n"), std::string::npos);
+  EXPECT_EQ(wire.substr(wire.size() - 5), "hello");
+}
+
+TEST(HttpRequest, SerializeRespectsExistingFraming) {
+  HttpRequest req;
+  req.method = "POST";
+  req.headers.set("Content-Length", "5");
+  req.body = "hello";
+  const std::string wire = req.serialize();
+  // Exactly one Content-Length.
+  EXPECT_EQ(wire.find("Content-Length"), wire.rfind("Content-Length"));
+}
+
+TEST(HttpRequest, KeepAliveDefaults) {
+  HttpRequest req;
+  EXPECT_TRUE(req.wants_keep_alive());  // HTTP/1.1 default
+  req.headers.set("Connection", "close");
+  EXPECT_FALSE(req.wants_keep_alive());
+  req.headers.set("Connection", "keep-alive");
+  EXPECT_TRUE(req.wants_keep_alive());
+  req.version = "HTTP/1.0";
+  req.headers.remove("Connection");
+  EXPECT_FALSE(req.wants_keep_alive());
+  req.headers.set("Connection", "Keep-Alive");
+  EXPECT_TRUE(req.wants_keep_alive());
+}
+
+TEST(HttpResponse, SerializeAlwaysFramed) {
+  HttpResponse resp = HttpResponse::make(200, "");
+  const std::string wire = resp.serialize();
+  EXPECT_NE(wire.find("Content-Length: 0\r\n"), std::string::npos);
+  EXPECT_EQ(wire.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+}
+
+TEST(HttpResponse, MakeSetsReasonAndType) {
+  const HttpResponse r = HttpResponse::make(404, "nope", "text/plain");
+  EXPECT_EQ(r.status, 404);
+  EXPECT_EQ(r.reason, "Not Found");
+  EXPECT_EQ(r.headers.get("Content-Type"), "text/plain");
+  EXPECT_EQ(r.body, "nope");
+}
+
+TEST(ReasonPhrase, KnownCodes) {
+  EXPECT_EQ(reason_phrase(200), "OK");
+  EXPECT_EQ(reason_phrase(101), "Switching Protocols");
+  EXPECT_EQ(reason_phrase(404), "Not Found");
+  EXPECT_EQ(reason_phrase(405), "Method Not Allowed");
+  EXPECT_EQ(reason_phrase(500), "Internal Server Error");
+  EXPECT_EQ(reason_phrase(299), "Unknown");
+}
+
+TEST(ChunkedEncode, SingleChunkAndTerminator) {
+  EXPECT_EQ(chunked_encode("hello"), "5\r\nhello\r\n0\r\n\r\n");
+}
+
+TEST(ChunkedEncode, SplitsAtChunkSize) {
+  const std::string out = chunked_encode("abcdefgh", 3);
+  EXPECT_EQ(out, "3\r\nabc\r\n3\r\ndef\r\n2\r\ngh\r\n0\r\n\r\n");
+}
+
+TEST(ChunkedEncode, EmptyBody) {
+  EXPECT_EQ(chunked_encode(""), "0\r\n\r\n");
+}
+
+TEST(ChunkedEncode, HexSizes) {
+  const std::string out = chunked_encode(std::string(255, 'z'), 255);
+  EXPECT_EQ(out.rfind("ff\r\n", 0), 0u);
+}
+
+}  // namespace
+}  // namespace bnm::http

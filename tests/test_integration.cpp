@@ -1,0 +1,146 @@
+// End-to-end reproduction checks: the paper's headline findings must hold
+// on reduced-size experiments (fewer runs than the benches, same pipeline).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/appraisal.h"
+#include "core/experiment.h"
+#include "net/pcap_writer.h"
+#include "stats/descriptive.h"
+
+namespace bnm::core {
+namespace {
+
+using browser::BrowserId;
+using browser::OsId;
+using methods::ProbeKind;
+
+OverheadSeries run(ProbeKind kind, BrowserId b, OsId os, int runs = 25,
+                   bool nanotime = false) {
+  ExperimentConfig cfg;
+  cfg.kind = kind;
+  cfg.browser = b;
+  cfg.os = os;
+  cfg.runs = runs;
+  cfg.java_use_nanotime = nanotime;
+  return run_experiment(cfg);
+}
+
+TEST(Reproduction, SocketMethodsBeatHttpMethods) {
+  // Finding 1+2: socket overheads are much lower than HTTP overheads.
+  const double ws =
+      std::fabs(run(ProbeKind::kWebSocket, BrowserId::kChrome, OsId::kUbuntu)
+                    .d2_box()
+                    .median);
+  const double flash_sock =
+      std::fabs(run(ProbeKind::kFlashSocket, BrowserId::kChrome, OsId::kUbuntu)
+                    .d2_box()
+                    .median);
+  const double xhr =
+      run(ProbeKind::kXhrGet, BrowserId::kChrome, OsId::kUbuntu).d2_box().median;
+  const double flash_http =
+      run(ProbeKind::kFlashGet, BrowserId::kChrome, OsId::kUbuntu)
+          .d2_box()
+          .median;
+  const double dom =
+      run(ProbeKind::kDom, BrowserId::kChrome, OsId::kUbuntu).d2_box().median;
+
+  EXPECT_LT(ws, 1.0);
+  EXPECT_LT(flash_sock, 2.0);
+  EXPECT_GT(xhr, 2.0);
+  EXPECT_GT(flash_http, 15.0);
+  EXPECT_LT(dom, 5.0);
+  EXPECT_LT(dom, xhr);
+  EXPECT_LT(xhr, flash_http);
+}
+
+TEST(Reproduction, Table3HandshakeInflation) {
+  const auto get =
+      run(ProbeKind::kFlashGet, BrowserId::kOpera, OsId::kWindows7, 30);
+  const auto post =
+      run(ProbeKind::kFlashPost, BrowserId::kOpera, OsId::kWindows7, 30);
+  const double get_d1 = get.d1_box().median;
+  const double get_d2 = get.d2_box().median;
+  const double post_d1 = post.d1_box().median;
+  const double post_d2 = post.d2_box().median;
+
+  EXPECT_GT(get_d1, 80.0);   // paper: 101.1
+  EXPECT_LT(get_d2, 40.0);   // paper: 19.8
+  EXPECT_GT(post_d1, 80.0);  // paper: 100.1
+  EXPECT_GT(post_d2, 50.0);  // paper: 69.6
+  // "Subtracting 50 ms from POST d2 gives almost the GET d2."
+  EXPECT_NEAR(post_d2 - 50.0, get_d2, 10.0);
+}
+
+TEST(Reproduction, JavaDateUnderestimatesOnWindows) {
+  // Finding 4: negative overheads (RTT under-estimation) with Date.getTime.
+  const auto series =
+      run(ProbeKind::kJavaSocket, BrowserId::kFirefox, OsId::kWindows7, 50);
+  const double min_d = stats::min(series.d2());
+  EXPECT_LT(min_d, -2.0);  // under-estimation present
+  // Quantization keeps every sample within about one 15.625 ms granule.
+  EXPECT_GT(min_d, -16.0);
+  EXPECT_LT(stats::max(series.d2()), 16.0);
+}
+
+TEST(Reproduction, UbuntuJavaHasNoSuchPathology) {
+  const auto series =
+      run(ProbeKind::kJavaSocket, BrowserId::kFirefox, OsId::kUbuntu, 30);
+  EXPECT_GT(stats::min(series.d2()), -1.5);
+  EXPECT_LT(series.d2_box().iqr(), 2.5);
+}
+
+TEST(Reproduction, Table4NanotimeFixesJava) {
+  // Finding 5: nanoTime removes the under-estimation; socket overhead ~0.
+  const auto series = run(ProbeKind::kJavaSocket, BrowserId::kChrome,
+                          OsId::kWindows7, 30, /*nanotime=*/true);
+  const auto ci = series.d2_ci();
+  EXPECT_GT(ci.mean, -0.05);
+  EXPECT_LT(ci.mean, 0.5);
+  EXPECT_LT(ci.half_width, 0.2);
+  EXPECT_GT(stats::min(series.d1()), -0.5);
+}
+
+TEST(Reproduction, WebSocketIsMostConsistentNativeMethod) {
+  // Appraisal ranks WebSocket above the HTTP-based native methods.
+  std::map<ProbeKind, std::vector<OverheadSeries>> results;
+  for (const auto kind : {ProbeKind::kWebSocket, ProbeKind::kXhrGet,
+                          ProbeKind::kDom}) {
+    results[kind].push_back(run(kind, BrowserId::kChrome, OsId::kUbuntu, 15));
+    results[kind].push_back(run(kind, BrowserId::kFirefox, OsId::kWindows7, 15));
+  }
+  const auto ranked = rank_methods(results);
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_EQ(ranked[0].kind, ProbeKind::kWebSocket);
+}
+
+TEST(Reproduction, FlashHttpHasWorstCrossBrowserConsistency) {
+  std::vector<OverheadSeries> flash, dom;
+  for (const auto b : {BrowserId::kChrome, BrowserId::kIe, BrowserId::kSafari}) {
+    flash.push_back(run(ProbeKind::kFlashGet, b, OsId::kWindows7, 15));
+    dom.push_back(run(ProbeKind::kDom, b, OsId::kWindows7, 15));
+  }
+  const auto fa = appraise_method(ProbeKind::kFlashGet, flash);
+  const auto da = appraise_method(ProbeKind::kDom, dom);
+  EXPECT_GT(fa.cross_case_spread_ms, 5 * da.cross_case_spread_ms);
+}
+
+TEST(Reproduction, CapturePcapDumpIsWriteable) {
+  ExperimentConfig cfg;
+  cfg.kind = ProbeKind::kXhrGet;
+  cfg.browser = BrowserId::kChrome;
+  cfg.os = OsId::kUbuntu;
+  cfg.runs = 1;
+  Experiment exp{cfg};
+  exp.run();
+  // Whatever is left in the capture (teardown packets from the inter-run
+  // gap) must serialize to a valid pcap: global header + records.
+  const std::string path = ::testing::TempDir() + "/bnm_integration.pcap";
+  EXPECT_GE(net::PcapWriter::write_file(exp.testbed().client().capture(), path),
+            24u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace bnm::core

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "core/knockon.h"
+
+namespace bnm::core {
+namespace {
+
+OverheadSeries series_with_rtts(std::vector<std::pair<double, double>> pairs) {
+  OverheadSeries s;
+  for (const auto& [browser_rtt, net_rtt] : pairs) {
+    OverheadSample sample;
+    sample.browser_rtt2_ms = browser_rtt;
+    sample.net_rtt2_ms = net_rtt;
+    s.samples.push_back(sample);
+  }
+  return s;
+}
+
+TEST(JitterReportTest, MeanAbsoluteDifference) {
+  // browser RTTs: 50, 54, 50 -> |4| + |4| / 2 = 4; net constant -> 0.
+  const auto s = series_with_rtts({{50, 50.1}, {54, 50.1}, {50, 50.1}});
+  const auto j = jitter_report(s);
+  EXPECT_DOUBLE_EQ(j.browser_jitter_ms, 4.0);
+  EXPECT_DOUBLE_EQ(j.net_jitter_ms, 0.0);
+  EXPECT_DOUBLE_EQ(j.inflation(), 0.0);  // guarded division
+}
+
+TEST(JitterReportTest, InflationRatio) {
+  const auto s = series_with_rtts({{50, 50.0}, {60, 50.5}, {50, 50.0}});
+  const auto j = jitter_report(s);
+  EXPECT_DOUBLE_EQ(j.browser_jitter_ms, 10.0);
+  EXPECT_DOUBLE_EQ(j.net_jitter_ms, 0.5);
+  EXPECT_DOUBLE_EQ(j.inflation(), 20.0);
+}
+
+TEST(JitterReportTest, TooFewSamples) {
+  const auto j = jitter_report(series_with_rtts({{50, 50}}));
+  EXPECT_DOUBLE_EQ(j.browser_jitter_ms, 0.0);
+}
+
+TEST(ThroughputExperimentTest, BrowserUnderestimatesMostForSmallPayloads) {
+  ThroughputExperiment::Config cfg;
+  cfg.payload_sizes = {1024, 256 * 1024};
+  cfg.runs_per_size = 3;
+  ThroughputExperiment exp{cfg};
+  const auto samples = exp.run();
+  ASSERT_EQ(samples.size(), 2u);
+
+  for (const auto& s : samples) {
+    EXPECT_GT(s.browser_ms, s.net_ms);  // overhead inflates duration
+    EXPECT_LT(s.browser_tput_mbps, s.net_tput_mbps);
+    EXPECT_GT(s.underestimation(), 1.0);
+  }
+  // Relative error shrinks with transfer size.
+  EXPECT_GT(samples[0].underestimation(), samples[1].underestimation());
+}
+
+TEST(ThroughputExperimentTest, WebSocketViaMeasuresAccurately) {
+  ThroughputExperiment::Config cfg;
+  cfg.via = ThroughputExperiment::Via::kWebSocket;
+  cfg.payload_sizes = {10 * 1024};
+  cfg.runs_per_size = 3;
+  ThroughputExperiment exp{cfg};
+  const auto samples = exp.run();
+  ASSERT_EQ(samples.size(), 1u);
+  // Socket path: under-estimation within a few percent.
+  EXPECT_GT(samples[0].underestimation(), 0.99);
+  EXPECT_LT(samples[0].underestimation(), 1.08);
+}
+
+TEST(ThroughputExperimentTest, WebSocketLessBiasedThanXhr) {
+  ThroughputExperiment::Config cfg;
+  cfg.payload_sizes = {10 * 1024};
+  cfg.runs_per_size = 3;
+  ThroughputExperiment xhr{cfg};
+  cfg.via = ThroughputExperiment::Via::kWebSocket;
+  ThroughputExperiment ws{cfg};
+  const auto xs = xhr.run();
+  const auto wss = ws.run();
+  ASSERT_EQ(xs.size(), 1u);
+  ASSERT_EQ(wss.size(), 1u);
+  EXPECT_LT(wss[0].underestimation(), xs[0].underestimation());
+}
+
+TEST(ThroughputExperimentTest, LargeTransferApproaches100Mbps) {
+  ThroughputExperiment::Config cfg;
+  cfg.payload_sizes = {4 * 1024 * 1024};
+  cfg.runs_per_size = 2;
+  ThroughputExperiment exp{cfg};
+  const auto samples = exp.run();
+  ASSERT_EQ(samples.size(), 1u);
+  // 4 MiB over 100 Mbps + 50 ms delay: capture-level throughput lands
+  // within [50, 100) Mbps.
+  EXPECT_GT(samples[0].net_tput_mbps, 50.0);
+  EXPECT_LT(samples[0].net_tput_mbps, 100.0);
+}
+
+}  // namespace
+}  // namespace bnm::core

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "sim/random.h"
+#include "stats/kstest.h"
+
+namespace bnm::stats {
+namespace {
+
+TEST(KolmogorovQ, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(kolmogorov_q(0.0), 1.0);
+  EXPECT_NEAR(kolmogorov_q(10.0), 0.0, 1e-12);
+  // Known point: Q(1.0) ~ 0.27.
+  EXPECT_NEAR(kolmogorov_q(1.0), 0.27, 0.01);
+  // Critical value: Q(1.36) ~ 0.049 (the classic 5% threshold).
+  EXPECT_NEAR(kolmogorov_q(1.36), 0.049, 0.003);
+}
+
+TEST(KolmogorovQ, MonotoneDecreasing) {
+  double prev = 1.0;
+  for (double l = 0.1; l < 3.0; l += 0.1) {
+    const double q = kolmogorov_q(l);
+    EXPECT_LE(q, prev + 1e-12);
+    prev = q;
+  }
+}
+
+TEST(KsTwoSample, IdenticalSamplesStatZero) {
+  const std::vector<double> xs{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  const auto r = ks_two_sample(xs, xs);
+  EXPECT_DOUBLE_EQ(r.statistic, 0.0);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+  EXPECT_FALSE(r.reject());
+}
+
+TEST(KsTwoSample, DisjointSamplesStatOne) {
+  const auto r = ks_two_sample({1, 2, 3, 4, 5, 6, 7, 8, 9, 10},
+                               {20, 21, 22, 23, 24, 25, 26, 27, 28, 29});
+  EXPECT_DOUBLE_EQ(r.statistic, 1.0);
+  EXPECT_TRUE(r.reject(0.01));
+}
+
+TEST(KsTwoSample, EmptyInputSafe) {
+  const auto r = ks_two_sample({}, {1, 2, 3});
+  EXPECT_DOUBLE_EQ(r.statistic, 0.0);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+}
+
+TEST(KsTwoSample, SameDistributionUsuallyNotRejected) {
+  sim::Rng rng{11};
+  int rejections = 0;
+  const int trials = 100;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<double> a, b;
+    for (int i = 0; i < 50; ++i) {
+      a.push_back(rng.normal(5, 2));
+      b.push_back(rng.normal(5, 2));
+    }
+    if (ks_two_sample(a, b).reject(0.05)) ++rejections;
+  }
+  // Expect ~5% false rejections; allow up to 12%.
+  EXPECT_LE(rejections, 12);
+}
+
+TEST(KsTwoSample, ShiftedDistributionRejected) {
+  sim::Rng rng{12};
+  std::vector<double> a, b;
+  for (int i = 0; i < 100; ++i) {
+    a.push_back(rng.normal(5, 1));
+    b.push_back(rng.normal(8, 1));  // 3 sigma shift
+  }
+  const auto r = ks_two_sample(a, b);
+  EXPECT_TRUE(r.reject(0.001));
+  EXPECT_GT(r.statistic, 0.5);
+}
+
+TEST(KsTwoSample, DifferentSpreadRejected) {
+  sim::Rng rng{13};
+  std::vector<double> a, b;
+  for (int i = 0; i < 200; ++i) {
+    a.push_back(rng.normal(0, 1));
+    b.push_back(rng.normal(0, 6));
+  }
+  EXPECT_TRUE(ks_two_sample(a, b).reject(0.01));
+}
+
+TEST(KsTwoSample, SymmetricInArguments) {
+  sim::Rng rng{14};
+  std::vector<double> a, b;
+  for (int i = 0; i < 40; ++i) {
+    a.push_back(rng.uniform(0, 1));
+    b.push_back(rng.uniform(0.2, 1.2));
+  }
+  const auto r1 = ks_two_sample(a, b);
+  const auto r2 = ks_two_sample(b, a);
+  EXPECT_DOUBLE_EQ(r1.statistic, r2.statistic);
+  EXPECT_DOUBLE_EQ(r1.p_value, r2.p_value);
+}
+
+}  // namespace
+}  // namespace bnm::stats

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "core/testbed.h"
+#include "methods/registry.h"
+
+namespace bnm::methods {
+namespace {
+
+using browser::BrowserId;
+using browser::OsId;
+
+TEST(Registry, PaperMethodsInFigureOrder) {
+  const auto methods = paper_methods();
+  ASSERT_EQ(methods.size(), 10u);
+  EXPECT_EQ(methods[0]->info().name, "XHR GET");
+  EXPECT_EQ(methods[3]->info().name, "WebSocket");
+  EXPECT_EQ(methods[9]->info().name, "Java applet TCP socket");
+}
+
+TEST(Registry, AllMethodsAddsUdp) {
+  const auto methods = all_methods();
+  ASSERT_EQ(methods.size(), 11u);
+  EXPECT_EQ(methods.back()->info().verb, "UDP");
+}
+
+TEST(Registry, MakeMethodMatchesKind) {
+  for (const auto kind : browser::all_probe_kinds()) {
+    EXPECT_EQ(make_method(kind)->info().kind, kind);
+  }
+}
+
+TEST(MethodInfoTest, Table1Metadata) {
+  const auto ws = make_method(ProbeKind::kWebSocket)->info();
+  EXPECT_EQ(ws.approach, "Socket-based");
+  EXPECT_EQ(ws.availability, "Native");
+  EXPECT_EQ(ws.same_origin_text(), "No");
+  EXPECT_EQ(ws.metrics_text(), "RTT, Tput");
+
+  const auto flash = make_method(ProbeKind::kFlashGet)->info();
+  EXPECT_EQ(flash.same_origin_text(), "Yes*");
+  EXPECT_EQ(flash.availability, "Plug-in");
+
+  const auto xhr = make_method(ProbeKind::kXhrGet)->info();
+  EXPECT_EQ(xhr.same_origin_text(), "Yes");
+
+  const auto udp = make_method(ProbeKind::kJavaUdp)->info();
+  EXPECT_TRUE(udp.measures_loss);
+  EXPECT_EQ(udp.metrics_text(), "RTT, Tput, Loss");
+}
+
+// Parameterized end-to-end method execution across a Windows and an
+// Ubuntu browser.
+struct MethodCase {
+  ProbeKind kind;
+  BrowserId browser;
+  OsId os;
+};
+
+class MethodRun : public ::testing::TestWithParam<MethodCase> {};
+
+TEST_P(MethodRun, TwoPhaseProtocolCompletes) {
+  const auto param = GetParam();
+  core::Testbed::Config cfg;
+  cfg.seed = 11 + static_cast<std::uint64_t>(param.kind);
+  cfg.client_os = param.os;
+  core::Testbed testbed{cfg};
+  auto browser = testbed.launch_browser(
+      browser::make_profile(param.browser, param.os), 0);
+
+  MethodContext ctx;
+  ctx.browser = browser.get();
+  ctx.http_server = testbed.http_endpoint();
+  ctx.tcp_echo = testbed.tcp_echo_endpoint();
+  ctx.udp_echo = testbed.udp_echo_endpoint();
+  ctx.ws_server = testbed.ws_endpoint();
+
+  auto method = make_method(param.kind);
+  std::optional<MethodRunResult> result;
+  method->run(ctx, [&](MethodRunResult r) { result = std::move(r); });
+  testbed.sim().scheduler().run();
+
+  ASSERT_TRUE(result.has_value()) << "method never completed";
+  ASSERT_TRUE(result->ok) << result->error;
+
+  // Both measurements have sane, ordered timestamps.
+  for (const auto* m : {&result->m1, &result->m2}) {
+    EXPECT_LT(m->true_send, m->true_recv);
+    // The browser-level RTT covers the 50 ms netem delay (quantization can
+    // shave up to one 15.6 ms granule).
+    EXPECT_GT(m->browser_rtt().ms_f(), 30.0);
+    EXPECT_LT(m->browser_rtt().ms_f(), 400.0);
+  }
+  // Second measurement strictly after the first.
+  EXPECT_GE(result->m2.true_send, result->m1.true_recv);
+}
+
+std::string case_name(const ::testing::TestParamInfo<MethodCase>& info) {
+  std::string n = probe_kind_name(info.param.kind);
+  for (auto& c : n) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return n + "_" + browser::browser_name(info.param.browser) + "_" +
+         browser::os_initial(info.param.os);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, MethodRun,
+    ::testing::Values(
+        MethodCase{ProbeKind::kXhrGet, BrowserId::kChrome, OsId::kUbuntu},
+        MethodCase{ProbeKind::kXhrGet, BrowserId::kIe, OsId::kWindows7},
+        MethodCase{ProbeKind::kXhrPost, BrowserId::kFirefox, OsId::kWindows7},
+        MethodCase{ProbeKind::kDom, BrowserId::kOpera, OsId::kUbuntu},
+        MethodCase{ProbeKind::kWebSocket, BrowserId::kChrome, OsId::kWindows7},
+        MethodCase{ProbeKind::kFlashGet, BrowserId::kOpera, OsId::kWindows7},
+        MethodCase{ProbeKind::kFlashPost, BrowserId::kSafari, OsId::kWindows7},
+        MethodCase{ProbeKind::kFlashSocket, BrowserId::kChrome, OsId::kUbuntu},
+        MethodCase{ProbeKind::kJavaGet, BrowserId::kFirefox, OsId::kWindows7},
+        MethodCase{ProbeKind::kJavaPost, BrowserId::kChrome, OsId::kUbuntu},
+        MethodCase{ProbeKind::kJavaSocket, BrowserId::kSafari, OsId::kWindows7},
+        MethodCase{ProbeKind::kJavaUdp, BrowserId::kFirefox, OsId::kUbuntu}),
+    case_name);
+
+TEST(MethodFailure, WebSocketOnIeFailsGracefully) {
+  core::Testbed::Config cfg;
+  cfg.client_os = OsId::kWindows7;
+  core::Testbed testbed{cfg};
+  auto ie = testbed.launch_browser(
+      browser::make_profile(BrowserId::kIe, OsId::kWindows7), 0);
+  MethodContext ctx;
+  ctx.browser = ie.get();
+  ctx.ws_server = testbed.ws_endpoint();
+  auto method = make_method(ProbeKind::kWebSocket);
+  std::optional<MethodRunResult> result;
+  method->run(ctx, [&](MethodRunResult r) { result = std::move(r); });
+  testbed.sim().scheduler().run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->ok);
+  EXPECT_NE(result->error.find("Table 2"), std::string::npos);
+}
+
+TEST(MethodBehavior, SocketMethodExcludesConnectionSetup) {
+  // For the Java socket method, the capture between the two probe
+  // timestamps must contain no SYN (the connection was pre-established in
+  // the preparation phase).
+  core::Testbed::Config cfg;
+  cfg.client_os = OsId::kUbuntu;
+  core::Testbed testbed{cfg};
+  auto chrome = testbed.launch_browser(
+      browser::make_profile(BrowserId::kChrome, OsId::kUbuntu), 0);
+  MethodContext ctx;
+  ctx.browser = chrome.get();
+  ctx.http_server = testbed.http_endpoint();
+  ctx.tcp_echo = testbed.tcp_echo_endpoint();
+  auto method = make_method(ProbeKind::kJavaSocket);
+  std::optional<MethodRunResult> result;
+  method->run(ctx, [&](MethodRunResult r) { result = std::move(r); });
+  testbed.sim().scheduler().run();
+  ASSERT_TRUE(result && result->ok);
+  for (const auto& rec : testbed.client().capture().records()) {
+    if (rec.packet.flags.syn && rec.packet.dst.port == 9000) {
+      EXPECT_LT(rec.true_time, result->m1.true_send);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bnm::methods

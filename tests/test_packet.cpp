@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "net/packet.h"
+
+namespace bnm::net {
+namespace {
+
+TEST(Packet, TcpSizes) {
+  Packet p;
+  p.protocol = Protocol::kTcp;
+  EXPECT_EQ(p.ip_size(), kIpHeaderBytes + kTcpHeaderBytes);
+  p.payload = to_bytes("hello");
+  EXPECT_EQ(p.ip_size(), kIpHeaderBytes + kTcpHeaderBytes + 5);
+  EXPECT_EQ(p.wire_size(), p.ip_size() + kEthernetOverheadBytes);
+}
+
+TEST(Packet, UdpSizes) {
+  Packet p;
+  p.protocol = Protocol::kUdp;
+  p.payload = to_bytes("xy");
+  EXPECT_EQ(p.ip_size(), kIpHeaderBytes + kUdpHeaderBytes + 2);
+}
+
+TEST(Packet, PureAckDetection) {
+  Packet p;
+  p.protocol = Protocol::kTcp;
+  p.flags.ack = true;
+  EXPECT_TRUE(p.is_pure_ack());
+  p.payload = to_bytes("x");
+  EXPECT_FALSE(p.is_pure_ack());
+  p.payload.clear();
+  p.flags.syn = true;
+  EXPECT_FALSE(p.is_pure_ack());  // SYN-ACK is not a pure ack
+  p.flags.syn = false;
+  p.flags.fin = true;
+  EXPECT_FALSE(p.is_pure_ack());
+}
+
+TEST(Packet, CarriesData) {
+  Packet p;
+  EXPECT_FALSE(p.carries_data());
+  p.payload = to_bytes("z");
+  EXPECT_TRUE(p.carries_data());
+}
+
+TEST(TcpFlagsTest, ToString) {
+  TcpFlags f;
+  EXPECT_EQ(f.to_string(), "-");
+  f.syn = true;
+  EXPECT_EQ(f.to_string(), "S");
+  f.ack = true;
+  EXPECT_EQ(f.to_string(), "S.");
+  f = TcpFlags{};
+  f.fin = true;
+  f.psh = true;
+  f.ack = true;
+  EXPECT_EQ(f.to_string(), "FP.");
+  f = TcpFlags{};
+  f.rst = true;
+  EXPECT_EQ(f.to_string(), "R");
+}
+
+TEST(Packet, ToStringMentionsEndpointsAndFlags) {
+  Packet p;
+  p.id = 12;
+  p.protocol = Protocol::kTcp;
+  p.src = {IpAddress{10, 0, 0, 1}, 5000};
+  p.dst = {IpAddress{10, 0, 0, 2}, 80};
+  p.flags.syn = true;
+  p.seq = 100;
+  const std::string s = p.to_string();
+  EXPECT_NE(s.find("10.0.0.1:5000"), std::string::npos);
+  EXPECT_NE(s.find("10.0.0.2:80"), std::string::npos);
+  EXPECT_NE(s.find("[S]"), std::string::npos);
+  EXPECT_NE(s.find("seq=100"), std::string::npos);
+}
+
+TEST(Bytes, RoundTrip) {
+  const std::string s = "the quick brown fox\x01\x02";
+  EXPECT_EQ(to_string(to_bytes(s)), s);
+  EXPECT_TRUE(to_bytes("").empty());
+}
+
+}  // namespace
+}  // namespace bnm::net

@@ -1,0 +1,86 @@
+// performance.now(): the High Resolution Time variant of the JS methods.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "browser/clock_set.h"
+#include "core/experiment.h"
+
+namespace bnm::browser {
+namespace {
+
+TEST(PerformanceNowClock, MicrosecondQuantization) {
+  PerformanceNowClock clock;
+  const auto t = sim::TimePoint::from_ns(1'234'567'890);
+  const auto r = clock.read(t);
+  EXPECT_LE(r, t);
+  EXPECT_LT(t - r, sim::Duration::micros(1));
+  EXPECT_EQ(r.ns_since_epoch() % 1000, 0);
+  EXPECT_EQ(clock.name(), "performance.now");
+  EXPECT_EQ(clock.resolution(), sim::Duration::micros(1));
+}
+
+TEST(PerformanceNowClock, InClockSet) {
+  ClockSet cs{OsId::kWindows7, sim::Rng{1}};
+  EXPECT_EQ(cs.get(ClockKind::kJsPerformanceNow).name(), "performance.now");
+}
+
+TEST(PerformanceNow, SupportMatchesEra) {
+  EXPECT_TRUE(make_profile(BrowserId::kChrome, OsId::kWindows7)
+                  .supports_performance_now);
+  EXPECT_TRUE(make_profile(BrowserId::kFirefox, OsId::kUbuntu)
+                  .supports_performance_now);
+  EXPECT_FALSE(
+      make_profile(BrowserId::kIe, OsId::kWindows7).supports_performance_now);
+  EXPECT_FALSE(make_profile(BrowserId::kSafari, OsId::kWindows7)
+                   .supports_performance_now);
+  EXPECT_FALSE(make_profile(BrowserId::kOpera, OsId::kUbuntu)
+                   .supports_performance_now);
+}
+
+TEST(PerformanceNow, ClockForUpgradesOnlySupportedJsKinds) {
+  const auto chrome = make_profile(BrowserId::kChrome, OsId::kWindows7);
+  EXPECT_EQ(chrome.clock_for(ProbeKind::kXhrGet, false, true),
+            ClockKind::kJsPerformanceNow);
+  EXPECT_EQ(chrome.clock_for(ProbeKind::kWebSocket, false, true),
+            ClockKind::kJsPerformanceNow);
+  // Plugin technologies keep their own clocks.
+  EXPECT_EQ(chrome.clock_for(ProbeKind::kFlashGet, false, true),
+            ClockKind::kFlashDate);
+  EXPECT_EQ(chrome.clock_for(ProbeKind::kJavaSocket, false, true),
+            ClockKind::kJavaDate);
+  // Unsupported browser falls back to Date.getTime().
+  const auto ie = make_profile(BrowserId::kIe, OsId::kWindows7);
+  EXPECT_EQ(ie.clock_for(ProbeKind::kXhrGet, false, true), ClockKind::kJsDate);
+}
+
+TEST(PerformanceNow, RemovesMillisecondQuantizationFromWebSocket) {
+  core::ExperimentConfig cfg;
+  cfg.kind = methods::ProbeKind::kWebSocket;
+  cfg.browser = BrowserId::kChrome;
+  cfg.os = OsId::kUbuntu;
+  cfg.runs = 20;
+
+  const auto date_series = core::run_experiment(cfg);
+  cfg.js_use_performance_now = true;
+  const auto perf_series = core::run_experiment(cfg);
+
+  // Date.getTime(): browser RTTs are whole milliseconds.
+  for (const auto& s : date_series.samples) {
+    EXPECT_NEAR(s.browser_rtt2_ms, std::round(s.browser_rtt2_ms), 1e-9);
+  }
+  // performance.now(): sub-millisecond readings appear.
+  bool fractional = false;
+  for (const auto& s : perf_series.samples) {
+    if (std::fabs(s.browser_rtt2_ms - std::round(s.browser_rtt2_ms)) > 1e-3) {
+      fractional = true;
+    }
+  }
+  EXPECT_TRUE(fractional);
+
+  // And the overhead spread tightens: no +-1 ms quantization noise.
+  EXPECT_LT(perf_series.d2_box().iqr(), date_series.d2_box().iqr());
+}
+
+}  // namespace
+}  // namespace bnm::browser

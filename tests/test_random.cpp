@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "sim/random.h"
+
+namespace bnm::sim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{42}, b{42};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a{1}, b{2};
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ForkIsDeterministicAndIndependent) {
+  Rng root{7};
+  Rng f1 = root.fork("alpha");
+  Rng f2 = Rng{7}.fork("alpha");
+  Rng f3 = root.fork("beta");
+  EXPECT_EQ(f1.next_u64(), f2.next_u64());
+  // Forks with different labels produce different streams.
+  Rng g1 = Rng{7}.fork("alpha");
+  EXPECT_NE(g1.next_u64(), f3.next_u64());
+}
+
+TEST(Rng, ForkDoesNotPerturbParent) {
+  Rng a{9}, b{9};
+  (void)a.fork("x");
+  (void)a.fork("y");
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng{3};
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanNearHalf) {
+  Rng rng{4};
+  double acc = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) acc += rng.uniform01();
+  EXPECT_NEAR(acc / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng{5};
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all five values hit
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng{6};
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(42, 42), 42);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng{8};
+  const int n = 200000;
+  double sum = 0, sum2 = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(10.0, 2.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng{9};
+  const int n = 200000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.05);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng{10};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceFrequency) {
+  Rng rng{11};
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.chance(0.25)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+TEST(Rng, DurationHelpersMatchUnits) {
+  Rng rng{12};
+  for (int i = 0; i < 100; ++i) {
+    const auto d = rng.uniform_ms(2.0, 5.0);
+    EXPECT_GE(d, sim::Duration::millis(2));
+    EXPECT_LT(d, sim::Duration::millis(5));
+  }
+}
+
+// Property: lognormal_med's median equals the requested median for any
+// (median, sigma) combination.
+class LognormalSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(LognormalSweep, MedianIsParameter) {
+  const auto [median, sigma] = GetParam();
+  Rng rng{static_cast<std::uint64_t>(median * 1000 + sigma * 100)};
+  std::vector<double> xs;
+  const int n = 40001;
+  xs.reserve(n);
+  for (int i = 0; i < n; ++i) xs.push_back(rng.lognormal_med(median, sigma));
+  std::nth_element(xs.begin(), xs.begin() + n / 2, xs.end());
+  EXPECT_NEAR(xs[n / 2], median, median * 0.05);
+  for (double x : xs) EXPECT_GT(x, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Medians, LognormalSweep,
+    ::testing::Combine(::testing::Values(0.5, 5.0, 20.0, 80.0),
+                       ::testing::Values(0.15, 0.45, 0.8)));
+
+}  // namespace
+}  // namespace bnm::sim

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "report/boxplot_render.h"
+#include "report/cdf_render.h"
+#include "report/table.h"
+
+namespace bnm::report {
+namespace {
+
+TEST(TextTableTest, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"short", "1"});
+  t.add_row({"a-much-longer-name", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("a-much-longer-name  22"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TextTableTest, ShortRowsPadded) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"only-one"});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_NO_THROW(t.render());
+}
+
+TEST(TextTableTest, RuleInsertedBetweenGroups) {
+  TextTable t({"x"});
+  t.add_row({"1"});
+  t.add_rule();
+  t.add_row({"2"});
+  const std::string out = t.render();
+  // Two rules total: one under the header, one between rows.
+  std::size_t rules = 0, pos = 0;
+  while ((pos = out.find("-\n", pos)) != std::string::npos) {
+    ++rules;
+    pos += 2;
+  }
+  EXPECT_EQ(rules, 2u);
+}
+
+TEST(TextTableTest, MarkdownFormat) {
+  TextTable t({"h1", "h2"});
+  t.add_row({"a", "b"});
+  const std::string md = t.render_markdown();
+  EXPECT_NE(md.find("| h1 | h2 |"), std::string::npos);
+  EXPECT_NE(md.find("|---|---|"), std::string::npos);
+  EXPECT_NE(md.find("| a | b |"), std::string::npos);
+}
+
+TEST(TextTableTest, CsvQuoting) {
+  TextTable t({"k", "v"});
+  t.add_row({"plain", "with,comma"});
+  t.add_row({"quote\"inside", "x"});
+  const std::string csv = t.render_csv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"quote\"\"inside\""), std::string::npos);
+  EXPECT_NE(csv.find("plain"), std::string::npos);
+}
+
+TEST(TextTableTest, FormatHelpers) {
+  EXPECT_EQ(TextTable::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::fmt(-0.5, 1), "-0.5");
+  EXPECT_EQ(TextTable::fmt_ci(2.5, 0.25), "2.50 +- 0.25");
+}
+
+TEST(BoxPlotRendererTest, MarksAllElements) {
+  stats::BoxStats b;
+  b.n = 50;
+  b.q1 = 2;
+  b.median = 5;
+  b.q3 = 8;
+  b.whisker_lo = 0;
+  b.whisker_hi = 10;
+  b.outliers_hi = {20};
+  BoxPlotRenderer r;
+  const std::string out = r.render({{"case A d1", b}});
+  EXPECT_NE(out.find("case A d1"), std::string::npos);
+  EXPECT_NE(out.find('M'), std::string::npos);
+  EXPECT_NE(out.find('['), std::string::npos);
+  EXPECT_NE(out.find(']'), std::string::npos);
+  EXPECT_NE(out.find('o'), std::string::npos);
+  EXPECT_NE(out.find("(ms)"), std::string::npos);
+}
+
+TEST(BoxPlotRendererTest, SharedScaleAcrossRows) {
+  stats::BoxStats narrow;
+  narrow.q1 = 1;
+  narrow.median = 2;
+  narrow.q3 = 3;
+  narrow.whisker_lo = 0;
+  narrow.whisker_hi = 4;
+  stats::BoxStats wide = narrow;
+  wide.whisker_hi = 100;
+  wide.q3 = 60;
+  BoxPlotRenderer r{BoxPlotRenderer::Options{40, true, true}};
+  const std::string out = r.render({{"narrow", narrow}, {"wide", wide}});
+  // The narrow row's glyphs crowd the left edge on the shared scale.
+  const auto narrow_line = out.substr(0, out.find('\n'));
+  const auto m = narrow_line.find('M');
+  EXPECT_LT(m, narrow_line.size() / 2);
+}
+
+TEST(BoxPlotRendererTest, EmptyInput) {
+  BoxPlotRenderer r;
+  EXPECT_EQ(r.render({}), "(no data)\n");
+}
+
+TEST(CdfRendererTest, PlotsMonotoneCurveWithLegend) {
+  stats::EmpiricalCdf cdf{{1, 2, 3, 4, 5}};
+  CdfRenderer r;
+  const std::string out = r.render({{"series-x", cdf}});
+  EXPECT_NE(out.find("series-x"), std::string::npos);
+  EXPECT_NE(out.find("1.00 |"), std::string::npos);
+  EXPECT_NE(out.find("0.00 |"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(CdfRendererTest, MultipleSeriesDistinctMarks) {
+  stats::EmpiricalCdf a{{1, 2, 3}};
+  stats::EmpiricalCdf b{{10, 20, 30}};
+  CdfRenderer r;
+  const std::string out = r.render({{"a", a}, {"b", b}});
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_NE(out.find("*=a"), std::string::npos);
+  EXPECT_NE(out.find("#=b"), std::string::npos);
+}
+
+TEST(CdfRendererTest, ExplicitRangeHonored) {
+  stats::EmpiricalCdf cdf{{5}};
+  CdfRenderer r{CdfRenderer::Options{40, 10, -16, 21}};
+  const std::string out = r.render({{"x", cdf}});
+  EXPECT_NE(out.find("-16.0"), std::string::npos);
+  EXPECT_NE(out.find("21.0"), std::string::npos);
+}
+
+TEST(CdfRendererTest, EmptyInput) {
+  CdfRenderer r;
+  EXPECT_EQ(r.render({}), "(no data)\n");
+}
+
+}  // namespace
+}  // namespace bnm::report

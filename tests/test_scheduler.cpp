@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/scheduler.h"
+
+namespace bnm::sim {
+namespace {
+
+TEST(Scheduler, StartsAtEpoch) {
+  Scheduler s;
+  EXPECT_EQ(s.now(), TimePoint::epoch());
+}
+
+TEST(Scheduler, ExecutesInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_after(Duration::millis(3), [&] { order.push_back(3); });
+  s.schedule_after(Duration::millis(1), [&] { order.push_back(1); });
+  s.schedule_after(Duration::millis(2), [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), TimePoint::epoch() + Duration::millis(3));
+}
+
+TEST(Scheduler, SameInstantIsFifo) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule_after(Duration::millis(5), [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Scheduler, NestedSchedulingFromCallback) {
+  Scheduler s;
+  std::vector<double> times;
+  s.schedule_after(Duration::millis(1), [&] {
+    times.push_back(s.now().ms_since_epoch_f());
+    s.schedule_after(Duration::millis(2), [&] {
+      times.push_back(s.now().ms_since_epoch_f());
+    });
+  });
+  s.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 3.0);
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler s;
+  bool ran = false;
+  auto h = s.schedule_after(Duration::millis(1), [&] { ran = true; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  s.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Scheduler, CancelIsIdempotentAndPostFireSafe) {
+  Scheduler s;
+  auto h = s.schedule_after(Duration::millis(1), [] {});
+  s.run();
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // no-op after firing
+  h.cancel();
+}
+
+TEST(Scheduler, DefaultHandleIsInert) {
+  EventHandle h;
+  EXPECT_FALSE(h.pending());
+  h.cancel();
+}
+
+TEST(Scheduler, NegativeDelayClampsToNow) {
+  Scheduler s;
+  s.schedule_after(Duration::millis(5), [] {});
+  s.run();
+  TimePoint fired;
+  s.schedule_after(Duration::millis(-10), [&] { fired = s.now(); });
+  s.run();
+  EXPECT_EQ(fired, TimePoint::epoch() + Duration::millis(5));
+}
+
+TEST(Scheduler, ScheduleAtPastClampsToNow) {
+  Scheduler s;
+  s.schedule_after(Duration::millis(5), [] {});
+  s.run();
+  TimePoint fired;
+  s.schedule_at(TimePoint::epoch(), [&] { fired = s.now(); });
+  s.run();
+  EXPECT_EQ(fired, s.now());
+}
+
+TEST(Scheduler, RunUntilStopsAtDeadlineAndAdvancesClock) {
+  Scheduler s;
+  int ran = 0;
+  s.schedule_after(Duration::millis(1), [&] { ++ran; });
+  s.schedule_after(Duration::millis(10), [&] { ++ran; });
+  s.run_until(TimePoint::epoch() + Duration::millis(5));
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(s.now(), TimePoint::epoch() + Duration::millis(5));
+  s.run();
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(Scheduler, RunUntilExecutesEventExactlyAtDeadline) {
+  Scheduler s;
+  int ran = 0;
+  s.schedule_after(Duration::millis(5), [&] { ++ran; });
+  s.run_until(TimePoint::epoch() + Duration::millis(5));
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(Scheduler, StepReturnsFalseWhenEmpty) {
+  Scheduler s;
+  EXPECT_FALSE(s.step());
+  s.schedule_after(Duration::zero(), [] {});
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+}
+
+TEST(Scheduler, PendingEventsCountsLiveOnly) {
+  Scheduler s;
+  auto h1 = s.schedule_after(Duration::millis(1), [] {});
+  s.schedule_after(Duration::millis(2), [] {});
+  EXPECT_EQ(s.pending_events(), 2u);
+  h1.cancel();
+  EXPECT_EQ(s.pending_events(), 1u);
+}
+
+TEST(Scheduler, ClearDropsEverything) {
+  Scheduler s;
+  bool ran = false;
+  s.schedule_after(Duration::millis(1), [&] { ran = true; });
+  s.clear();
+  s.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(s.pending_events(), 0u);
+}
+
+TEST(Scheduler, ExecutedEventsCounter) {
+  Scheduler s;
+  for (int i = 0; i < 5; ++i) s.schedule_after(Duration::millis(i), [] {});
+  s.run();
+  EXPECT_EQ(s.executed_events(), 5u);
+}
+
+TEST(Scheduler, ManyEventsStressOrdering) {
+  Scheduler s;
+  TimePoint last;
+  int count = 0;
+  for (int i = 0; i < 5000; ++i) {
+    s.schedule_after(Duration::micros((i * 7919) % 100000), [&] {
+      EXPECT_GE(s.now(), last);
+      last = s.now();
+      ++count;
+    });
+  }
+  s.run();
+  EXPECT_EQ(count, 5000);
+}
+
+}  // namespace
+}  // namespace bnm::sim

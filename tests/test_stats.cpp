@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/random.h"
+#include "stats/descriptive.h"
+
+namespace bnm::stats {
+namespace {
+
+TEST(Descriptive, MeanAndVariance) {
+  const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  // Sample variance with n-1: sum of squared devs = 32, / 7.
+  EXPECT_NEAR(variance(xs), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(stddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Descriptive, EmptyAndSingleton) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(variance({}), 0.0);
+  EXPECT_DOUBLE_EQ(variance({5.0}), 0.0);
+  EXPECT_DOUBLE_EQ(median({5.0}), 5.0);
+}
+
+TEST(Descriptive, MinMax) {
+  const std::vector<double> xs{3, -1, 4, 1, 5};
+  EXPECT_DOUBLE_EQ(min(xs), -1.0);
+  EXPECT_DOUBLE_EQ(max(xs), 5.0);
+}
+
+TEST(Descriptive, QuantileType7KnownValues) {
+  // R: quantile(c(1,2,3,4), type=7) -> 25% = 1.75, 50% = 2.5, 75% = 3.25
+  const std::vector<double> xs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 1.75);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.75), 3.25);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+}
+
+TEST(Descriptive, QuantileUnsortedInput) {
+  const std::vector<double> xs{9, 1, 5, 3, 7};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 5.0);
+}
+
+TEST(Descriptive, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median({1, 2, 3}), 2.0);
+  EXPECT_DOUBLE_EQ(median({1, 2, 3, 10}), 2.5);
+}
+
+TEST(Descriptive, Mad) {
+  // median = 3; |dev| = {2,1,0,1,2} -> median 1.
+  EXPECT_DOUBLE_EQ(mad({1, 2, 3, 4, 5}), 1.0);
+  EXPECT_DOUBLE_EQ(mad({}), 0.0);
+}
+
+TEST(Descriptive, Iqr) {
+  EXPECT_DOUBLE_EQ(iqr({1, 2, 3, 4}), 1.5);
+  EXPECT_DOUBLE_EQ(iqr({}), 0.0);
+}
+
+TEST(Descriptive, SummaryConsistent) {
+  const std::vector<double> xs{5, 1, 4, 2, 3};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.n, 5u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.q1, 2.0);
+  EXPECT_DOUBLE_EQ(s.q3, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+}
+
+TEST(Descriptive, SummaryEmpty) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.n, 0u);
+}
+
+// Property: for any sample, min <= q1 <= median <= q3 <= max, and the
+// quantile function is monotone in q.
+class QuantileProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantileProperty, OrderAndMonotonicity) {
+  sim::Rng rng{static_cast<std::uint64_t>(GetParam())};
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(rng.normal(0, 10));
+  const Summary s = summarize(xs);
+  EXPECT_LE(s.min, s.q1);
+  EXPECT_LE(s.q1, s.median);
+  EXPECT_LE(s.median, s.q3);
+  EXPECT_LE(s.q3, s.max);
+
+  double prev = s.min;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const double v = quantile(xs, q);
+    EXPECT_GE(v, prev - 1e-12);
+    prev = v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantileProperty, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace bnm::stats

@@ -1,0 +1,198 @@
+// Fast retransmit and optional congestion control (slow start + AIMD).
+#include <gtest/gtest.h>
+
+#include "net_fixture.h"
+
+namespace bnm::net {
+namespace {
+
+using test::TwoHostFixture;
+
+class CongestionTest : public TwoHostFixture {
+ protected:
+  void listen_sink(Port port = 9000) {
+    server->tcp_listen(port, [this](std::shared_ptr<TcpConnection> conn) {
+      accepted.push_back(conn);
+      TcpCallbacks cbs;
+      cbs.on_data = [this](const std::vector<std::uint8_t>& d) {
+        received += d.size();
+      };
+      conn->set_callbacks(std::move(cbs));
+    });
+  }
+
+  /// Client with congestion control enabled.
+  std::shared_ptr<TcpConnection> connect_cc(Endpoint to, TcpCallbacks cbs) {
+    // Reconfigure the client host's TCP defaults.
+    auto conn = client->tcp_connect(to, std::move(cbs));
+    return conn;
+  }
+
+  std::vector<std::shared_ptr<TcpConnection>> accepted;
+  std::size_t received = 0;
+};
+
+TEST_F(CongestionTest, DefaultConfigHasCongestionControlOff) {
+  TcpConfig cfg;
+  EXPECT_FALSE(cfg.congestion_control);
+  EXPECT_EQ(cfg.dupack_threshold, 3u);
+  EXPECT_EQ(cfg.initial_cwnd_segments, 10u);
+}
+
+TEST_F(CongestionTest, EffectiveWindowIsFixedWithoutCc) {
+  listen_sink();
+  auto conn = client->tcp_connect(server_ep(9000), {});
+  run_all();
+  EXPECT_EQ(conn->effective_window(), TcpConfig{}.send_window);
+}
+
+class CcHostFixture : public TwoHostFixture {
+ protected:
+  void SetUp() override {
+    build();
+    // Rebuild the client with congestion control on.
+    Host::Config cc;
+    cc.name = "cc-client";
+    cc.ip = IpAddress{10, 0, 0, 1};
+    cc.tcp.congestion_control = true;
+    client = std::make_unique<Host>(*sim, cc);
+    client->attach_link(link1.get(), Link::Side::kA);
+
+    server->tcp_listen(9000, [this](std::shared_ptr<TcpConnection> conn) {
+      TcpCallbacks cbs;
+      cbs.on_data = [this](const std::vector<std::uint8_t>& d) {
+        received += d.size();
+      };
+      conn->set_callbacks(std::move(cbs));
+    });
+  }
+  std::size_t received = 0;
+};
+
+TEST_F(CcHostFixture, InitialWindowIsTenSegments) {
+  auto conn = client->tcp_connect(server_ep(9000), {});
+  run_all();
+  EXPECT_EQ(conn->effective_window(), 10u * 1460u);
+}
+
+TEST_F(CcHostFixture, SlowStartGrowsWindowPerAck) {
+  std::shared_ptr<TcpConnection> conn;
+  TcpCallbacks cbs;
+  cbs.on_connect = [&] { conn->send(std::string(200 * 1460, 'x')); };
+  conn = client->tcp_connect(server_ep(9000), std::move(cbs));
+  run_all();
+  EXPECT_EQ(received, 200u * 1460u);
+  // cwnd grew well past the initial 10 segments.
+  EXPECT_GT(conn->cwnd_bytes(), 20.0 * 1460.0);
+}
+
+TEST_F(CcHostFixture, TransferTakesMultipleRoundTripsUnderSlowStart) {
+  // 100 segments at IW10 need several cwnd doublings; with ~0.1 ms RTT
+  // this is quick, so give the link a real delay via the server netem.
+  // (Rebuild with 20 ms netem.)
+  server_netem_ms = 20;
+  build();
+  Host::Config cc;
+  cc.name = "cc-client2";
+  cc.ip = IpAddress{10, 0, 0, 1};
+  cc.tcp.congestion_control = true;
+  client = std::make_unique<Host>(*sim, cc);
+  client->attach_link(link1.get(), Link::Side::kA);
+  std::size_t got = 0;
+  server->tcp_listen(9000, [&](std::shared_ptr<TcpConnection> conn) {
+    TcpCallbacks cbs;
+    cbs.on_data = [&](const std::vector<std::uint8_t>& d) { got += d.size(); };
+    conn->set_callbacks(std::move(cbs));
+  });
+
+  sim::TimePoint done;
+  std::shared_ptr<TcpConnection> conn;
+  TcpCallbacks cbs;
+  const std::size_t total = 100 * 1460;
+  cbs.on_connect = [&] { conn->send(std::string(total, 'y')); };
+  conn = client->tcp_connect(server_ep(9000), std::move(cbs));
+  // Track when the last ACK lands by draining fully.
+  run_all();
+  done = sim->now();
+  EXPECT_EQ(got, total);
+  // IW10 -> 20 -> 40 -> 80 -> 160: at least 4 windows => >= 4 ack RTTs
+  // (20 ms each) beyond the handshake.
+  EXPECT_GT(done - sim::TimePoint::epoch(), sim::Duration::millis(80));
+}
+
+class FastRetransmitFixture : public TwoHostFixture {
+ protected:
+  void SetUp() override {
+    build();
+    // Lossy direction client -> switch so data segments drop.
+    Link::Config lc;
+    lc.loss_probability = 0.05;
+    lc.name = "lossy1";
+    lossy = std::make_unique<Link>(*sim, lc);
+    Host::Config cc;
+    cc.name = "fr-client";
+    cc.ip = IpAddress{10, 0, 0, 1};
+    client = std::make_unique<Host>(*sim, cc);
+    fabric = std::make_unique<SwitchFabric>(*sim);
+    client->attach_link(lossy.get(), Link::Side::kA);
+    const auto p0 = fabric->add_port(lossy.get(), Link::Side::kB);
+    const auto p1 = fabric->add_port(link2.get(), Link::Side::kA);
+    fabric->learn(client->ip(), p0);
+    fabric->learn(server->ip(), p1);
+
+    server->tcp_listen(9000, [this](std::shared_ptr<TcpConnection> conn) {
+      TcpCallbacks cbs;
+      cbs.on_data = [this](const std::vector<std::uint8_t>& d) {
+        received += d.size();
+      };
+      conn->set_callbacks(std::move(cbs));
+    });
+  }
+  std::unique_ptr<Link> lossy;
+  std::size_t received = 0;
+};
+
+TEST_F(FastRetransmitFixture, DupAcksTriggerFastRetransmit) {
+  std::shared_ptr<TcpConnection> conn;
+  TcpCallbacks cbs;
+  const std::size_t total = 300 * 1460;
+  cbs.on_connect = [&] { conn->send(std::string(total, 'z')); };
+  conn = client->tcp_connect(server_ep(9000), std::move(cbs));
+  run_for(sim::Duration::seconds(120));
+  EXPECT_EQ(received, total);
+  // With 5% loss over 300 segments, fast retransmit fires well before
+  // most RTOs would.
+  EXPECT_GT(conn->fast_retransmissions(), 0u);
+}
+
+TEST_F(FastRetransmitFixture, RecoveryFasterThanRtoOnly) {
+  // Same transfer with fast retransmit disabled (threshold impossible).
+  Host::Config no_fr;
+  no_fr.name = "nofr-client";
+  no_fr.ip = IpAddress{10, 0, 0, 1};
+  no_fr.tcp.dupack_threshold = 1000000;
+  auto slow_client = std::make_unique<Host>(*sim, no_fr);
+  // Swap attachment: detach by rebuilding the fabric port mapping.
+  // (Simplest: run the fast-retransmit transfer first, then re-run the
+  // whole fixture logic with the new client.)
+  client = std::move(slow_client);
+  client->attach_link(lossy.get(), Link::Side::kA);
+  fabric->learn(client->ip(), 0);
+
+  std::shared_ptr<TcpConnection> conn;
+  TcpCallbacks cbs;
+  const std::size_t total = 100 * 1460;
+  const sim::TimePoint t0 = sim->now();
+  cbs.on_connect = [&] { conn->send(std::string(total, 'q')); };
+  conn = client->tcp_connect(server_ep(9000), std::move(cbs));
+  run_for(sim::Duration::seconds(300));
+  const auto rto_only_time = sim->now() - t0;
+  EXPECT_EQ(received, total);
+  EXPECT_EQ(conn->fast_retransmissions(), 0u);
+  EXPECT_GT(conn->retransmissions(), 0u);
+  // Sanity: it still completes, just via RTO (>= 200 ms stalls).
+  EXPECT_GT(rto_only_time, sim::Duration::millis(200));
+}
+
+}  // namespace
+}  // namespace bnm::net

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/testbed.h"
+#include "http/client.h"
+
+namespace bnm::core {
+namespace {
+
+using browser::OsId;
+
+TEST(TestbedTest, EndpointsMatchConfig) {
+  Testbed::Config cfg;
+  Testbed tb{cfg};
+  EXPECT_EQ(tb.http_endpoint().port, 80);
+  EXPECT_EQ(tb.tcp_echo_endpoint().port, 9000);
+  EXPECT_EQ(tb.udp_echo_endpoint().port, 9001);
+  EXPECT_EQ(tb.ws_endpoint().port, 8088);
+  EXPECT_EQ(tb.http_endpoint().ip.to_string(), "10.0.0.2");
+  EXPECT_EQ(tb.client().ip().to_string(), "10.0.0.1");
+}
+
+TEST(TestbedTest, HttpRttIncludesServerDelay) {
+  Testbed::Config cfg;
+  cfg.server_delay = sim::Duration::millis(50);
+  Testbed tb{cfg};
+  http::HttpClient client{tb.client()};
+  http::HttpRequest req;
+  req.method = "GET";
+  req.target = "/echo";
+  sim::TimePoint done;
+  const sim::TimePoint start = tb.sim().now();
+  client.request(tb.http_endpoint(), req,
+                 [&](http::HttpResponse r, http::HttpClient::TransferInfo) {
+                   EXPECT_EQ(r.body, "pong");
+                   done = tb.sim().now();
+                 });
+  tb.sim().scheduler().run();
+  // Handshake (1 delay) + request/response (1 delay) >= 100 ms.
+  EXPECT_GT(done - start, sim::Duration::millis(100));
+  EXPECT_LT(done - start, sim::Duration::millis(105));
+}
+
+TEST(TestbedTest, CustomServerDelayHonored) {
+  Testbed::Config cfg;
+  cfg.server_delay = sim::Duration::millis(10);
+  Testbed tb{cfg};
+  ASSERT_NE(tb.server().egress_netem(), nullptr);
+  EXPECT_EQ(tb.server().egress_netem()->config().delay,
+            sim::Duration::millis(10));
+}
+
+TEST(TestbedTest, ClientCaptureEnabledServerCaptureOff) {
+  Testbed::Config cfg;
+  Testbed tb{cfg};
+  http::HttpClient client{tb.client()};
+  http::HttpRequest req;
+  req.method = "GET";
+  req.target = "/echo";
+  client.request(tb.http_endpoint(), req,
+                 [](http::HttpResponse, http::HttpClient::TransferInfo) {});
+  tb.sim().scheduler().run();
+  EXPECT_GT(tb.client().capture().size(), 0u);
+  EXPECT_EQ(tb.server().capture().size(), 0u);
+}
+
+TEST(TestbedTest, LaunchBrowserSessionsAreIndependent) {
+  Testbed::Config cfg;
+  cfg.client_os = OsId::kWindows7;
+  Testbed tb{cfg};
+  const auto profile =
+      browser::make_profile(browser::BrowserId::kChrome, OsId::kWindows7);
+  auto b1 = tb.launch_browser(profile, 0);
+  auto b2 = tb.launch_browser(profile, 1);
+  // Separate HTTP stacks (pools), shared machine clocks.
+  EXPECT_NE(&b1->http(), &b2->http());
+  EXPECT_EQ(&b1->clock(browser::ClockKind::kJavaDate),
+            &b2->clock(browser::ClockKind::kJavaDate));
+}
+
+TEST(TestbedTest, ClocksFollowClientOs) {
+  Testbed::Config w;
+  w.client_os = OsId::kWindows7;
+  Testbed tbw{w};
+  std::set<std::int64_t> granules;
+  for (double s = 0; s < 3600; s += 11) {
+    granules.insert(tbw.clocks()
+                        .java_date()
+                        .granularity_at(sim::TimePoint::epoch() +
+                                        sim::Duration::from_seconds_f(s))
+                        .ns());
+  }
+  EXPECT_EQ(granules.size(), 2u);
+}
+
+}  // namespace
+}  // namespace bnm::core

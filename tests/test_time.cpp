@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "sim/time.h"
+
+namespace bnm::sim {
+namespace {
+
+TEST(Duration, FactoryUnitsAgree) {
+  EXPECT_EQ(Duration::seconds(1).ns(), 1'000'000'000);
+  EXPECT_EQ(Duration::millis(1).ns(), 1'000'000);
+  EXPECT_EQ(Duration::micros(1).ns(), 1'000);
+  EXPECT_EQ(Duration::nanos(1).ns(), 1);
+  EXPECT_EQ(Duration::minutes(2).ns(), Duration::seconds(120).ns());
+}
+
+TEST(Duration, FractionalFactoriesRound) {
+  EXPECT_EQ(Duration::from_millis_f(1.5).ns(), 1'500'000);
+  EXPECT_EQ(Duration::from_millis_f(-1.5).ns(), -1'500'000);
+  EXPECT_EQ(Duration::from_seconds_f(0.25).ns(), 250'000'000);
+  // Round-to-nearest, not truncation.
+  EXPECT_EQ(Duration::from_millis_f(0.0000006).ns(), 1);
+}
+
+TEST(Duration, Arithmetic) {
+  const Duration a = Duration::millis(10);
+  const Duration b = Duration::millis(4);
+  EXPECT_EQ((a + b).ms_f(), 14.0);
+  EXPECT_EQ((a - b).ms_f(), 6.0);
+  EXPECT_EQ((-a).ms_f(), -10.0);
+  EXPECT_EQ((a * 3).ms_f(), 30.0);
+  EXPECT_EQ((3 * a).ms_f(), 30.0);
+  EXPECT_EQ((a / 2).ms_f(), 5.0);
+  EXPECT_DOUBLE_EQ(a / b, 2.5);
+}
+
+TEST(Duration, CompoundAssignment) {
+  Duration d = Duration::millis(1);
+  d += Duration::millis(2);
+  EXPECT_EQ(d.ms_f(), 3.0);
+  d -= Duration::millis(5);
+  EXPECT_EQ(d.ms_f(), -2.0);
+  EXPECT_TRUE(d.is_negative());
+}
+
+TEST(Duration, Comparisons) {
+  EXPECT_LT(Duration::millis(1), Duration::millis(2));
+  EXPECT_EQ(Duration::millis(1), Duration::micros(1000));
+  EXPECT_GT(Duration::zero(), Duration::millis(-1));
+}
+
+TEST(Duration, Scaled) {
+  EXPECT_EQ(Duration::millis(10).scaled(0.5).ms_f(), 5.0);
+  EXPECT_EQ(Duration::millis(10).scaled(1.25).ms_f(), 12.5);
+}
+
+TEST(Duration, QuantizedFloorPositive) {
+  const Duration g = Duration::millis(15);
+  EXPECT_EQ(Duration::millis(0).quantized_floor(g), Duration::millis(0));
+  EXPECT_EQ(Duration::millis(14).quantized_floor(g), Duration::millis(0));
+  EXPECT_EQ(Duration::millis(15).quantized_floor(g), Duration::millis(15));
+  EXPECT_EQ(Duration::millis(44).quantized_floor(g), Duration::millis(30));
+}
+
+TEST(Duration, QuantizedFloorNegativeIsFloorNotTrunc) {
+  const Duration g = Duration::millis(10);
+  EXPECT_EQ(Duration::millis(-1).quantized_floor(g), Duration::millis(-10));
+  EXPECT_EQ(Duration::millis(-10).quantized_floor(g), Duration::millis(-10));
+  EXPECT_EQ(Duration::millis(-11).quantized_floor(g), Duration::millis(-20));
+}
+
+TEST(Duration, QuantizedFloorTrivialGranule) {
+  EXPECT_EQ(Duration::nanos(1234).quantized_floor(Duration::nanos(1)),
+            Duration::nanos(1234));
+  EXPECT_EQ(Duration::nanos(1234).quantized_floor(Duration::zero()),
+            Duration::nanos(1234));
+}
+
+TEST(Duration, ToStringPicksUnits) {
+  EXPECT_EQ(Duration::seconds(2).to_string(), "2s");
+  EXPECT_EQ(Duration::millis(50).to_string(), "50ms");
+  EXPECT_EQ(Duration::from_millis_f(15.625).to_string(), "15.625ms");
+  EXPECT_EQ(Duration::micros(3).to_string(), "3us");
+  EXPECT_EQ(Duration::nanos(7).to_string(), "7ns");
+  EXPECT_EQ(Duration::from_millis_f(-3.125).to_string(), "-3.125ms");
+}
+
+TEST(TimePoint, ArithmeticAndOrdering) {
+  const TimePoint t0 = TimePoint::epoch();
+  const TimePoint t1 = t0 + Duration::millis(5);
+  EXPECT_EQ((t1 - t0).ms_f(), 5.0);
+  EXPECT_LT(t0, t1);
+  EXPECT_EQ(t1 - Duration::millis(5), t0);
+  TimePoint t = t0;
+  t += Duration::seconds(1);
+  EXPECT_EQ(t.ns_since_epoch(), 1'000'000'000);
+}
+
+TEST(TimePoint, QuantizedFloor) {
+  const TimePoint t = TimePoint::epoch() + Duration::from_millis_f(52.3);
+  EXPECT_DOUBLE_EQ(t.quantized_floor(Duration::millis(15)).ms_since_epoch_f(),
+                   45.0);
+  EXPECT_DOUBLE_EQ(t.quantized_floor(Duration::millis(1)).ms_since_epoch_f(),
+                   52.0);
+}
+
+// Property: quantization never moves a point forward and never by >= g.
+class QuantizeSweep : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(QuantizeSweep, FloorWithinOneGranule) {
+  const Duration g = Duration::micros(GetParam());
+  for (std::int64_t ns = -50'000'000; ns <= 50'000'000; ns += 1'234'567) {
+    const TimePoint t = TimePoint::from_ns(ns);
+    const TimePoint q = t.quantized_floor(g);
+    EXPECT_LE(q, t);
+    EXPECT_LT(t - q, g);
+    EXPECT_EQ((q - TimePoint::epoch()).ns() % g.ns(), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Granules, QuantizeSweep,
+                         ::testing::Values(1000, 15625, 1000000, 15625000));
+
+}  // namespace
+}  // namespace bnm::sim

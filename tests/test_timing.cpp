@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "browser/clock_set.h"
+#include "browser/timing.h"
+
+namespace bnm::browser {
+namespace {
+
+sim::TimePoint at_ms(double ms) {
+  return sim::TimePoint::epoch() + sim::Duration::from_millis_f(ms);
+}
+
+TEST(PerfectClockTest, ReturnsExactTime) {
+  PerfectClock clock;
+  const auto t = at_ms(123.456789);
+  EXPECT_EQ(clock.read(t), t);
+  EXPECT_EQ(clock.resolution(), sim::Duration::nanos(1));
+}
+
+TEST(NanoClockTest, ExactWithConfigurableCallCost) {
+  NanoClock clock{sim::Duration::nanos(500)};
+  EXPECT_EQ(clock.read(at_ms(5)), at_ms(5));
+  EXPECT_EQ(clock.call_cost(), sim::Duration::nanos(500));
+  EXPECT_EQ(clock.name(), "System.nanoTime");
+}
+
+QuantizedClock::Config fixed_1ms() {
+  QuantizedClock::Config cfg;
+  cfg.granularities = {sim::Duration::millis(1)};
+  return cfg;
+}
+
+QuantizedClock::Config windows_like() {
+  QuantizedClock::Config cfg;
+  cfg.granularities = {sim::Duration::millis(1),
+                       sim::Duration::from_millis_f(15.625)};
+  cfg.epoch_min = sim::Duration::seconds(30);
+  cfg.epoch_max = sim::Duration::seconds(60);
+  return cfg;
+}
+
+TEST(QuantizedClockTest, NeverReadsAheadAndWithinOneGranule) {
+  QuantizedClock clock{fixed_1ms(), sim::Rng{11}};
+  for (double ms = 0.0; ms < 100.0; ms += 0.37) {
+    const auto t = at_ms(ms);
+    const auto r = clock.read(t);
+    EXPECT_LE(r, t);
+    EXPECT_LT(t - r, sim::Duration::millis(1));
+  }
+}
+
+TEST(QuantizedClockTest, ValuesAreMultiplesOfGranuleModuloPhase) {
+  QuantizedClock clock{fixed_1ms(), sim::Rng{12}};
+  std::set<std::int64_t> residues;
+  for (double ms = 0.0; ms < 50.0; ms += 0.21) {
+    const std::int64_t r = clock.read(at_ms(ms)).ns_since_epoch() % 1'000'000;
+    residues.insert(r < 0 ? r + 1'000'000 : r);  // mathematical modulus
+  }
+  // All reads share one residue: the phase offset.
+  EXPECT_EQ(residues.size(), 1u);
+}
+
+TEST(QuantizedClockTest, MonotoneNonDecreasing) {
+  QuantizedClock clock{windows_like(), sim::Rng{13}};
+  sim::TimePoint prev = clock.read(at_ms(0));
+  for (double ms = 0.5; ms < 200000.0; ms += 333.3) {
+    const auto r = clock.read(at_ms(ms));
+    EXPECT_GE(r, prev);
+    prev = r;
+  }
+}
+
+TEST(QuantizedClockTest, NominalResolutionIsAlways1ms) {
+  QuantizedClock clock{windows_like(), sim::Rng{14}};
+  EXPECT_EQ(clock.resolution(), sim::Duration::millis(1));
+  EXPECT_EQ(clock.name(), "Date.getTime");
+}
+
+TEST(QuantizedClockTest, RegimeSwitchesBetweenConfiguredGranularities) {
+  QuantizedClock clock{windows_like(), sim::Rng{15}};
+  std::set<std::int64_t> seen;
+  for (double s = 0; s < 1200; s += 5) {
+    seen.insert(clock.granularity_at(at_ms(s * 1000)).ns());
+  }
+  EXPECT_EQ(seen.size(), 2u);
+  EXPECT_TRUE(seen.count(1'000'000));
+  EXPECT_TRUE(seen.count(15'625'000));
+}
+
+TEST(QuantizedClockTest, RegimesPersistForEpochDuration) {
+  QuantizedClock clock{windows_like(), sim::Rng{16}};
+  // Sample every second; count switches over 20 minutes. Epochs are 30-60 s,
+  // so expect roughly 20*60/45 ~ 27 switches; definitely fewer than 60.
+  int switches = 0;
+  auto prev = clock.granularity_at(at_ms(0));
+  for (double s = 1; s < 1200; s += 1) {
+    const auto g = clock.granularity_at(at_ms(s * 1000));
+    if (g != prev) ++switches;
+    prev = g;
+  }
+  EXPECT_GT(switches, 10);
+  EXPECT_LT(switches, 60);
+}
+
+TEST(QuantizedClockTest, SingleGranularityNeverSwitches) {
+  QuantizedClock clock{fixed_1ms(), sim::Rng{17}};
+  for (double s = 0; s < 3600; s += 10) {
+    EXPECT_EQ(clock.granularity_at(at_ms(s * 1000)), sim::Duration::millis(1));
+  }
+}
+
+TEST(QuantizedClockTest, IntervalErrorBoundedByGranule) {
+  // Measuring a 50.3 ms interval with a 15.625 ms clock gives one of the
+  // two adjacent multiples - the mechanism behind Fig. 4's two levels.
+  QuantizedClock::Config cfg;
+  cfg.granularities = {sim::Duration::from_millis_f(15.625)};
+  QuantizedClock clock{cfg, sim::Rng{18}};
+  std::set<std::int64_t> diffs;
+  for (double start = 0; start < 200.0; start += 0.731) {
+    const auto a = clock.read(at_ms(start));
+    const auto b = clock.read(at_ms(start + 50.3));
+    diffs.insert((b - a).ns());
+  }
+  ASSERT_EQ(diffs.size(), 2u);
+  const auto lo = *diffs.begin();
+  const auto hi = *diffs.rbegin();
+  EXPECT_EQ(hi - lo, 15'625'000);
+  EXPECT_NEAR(static_cast<double>(lo) / 1e6, 46.875, 1e-6);
+}
+
+TEST(QuantizedClockTest, ReadNoiseShiftsBackwardOnly) {
+  QuantizedClock::Config cfg = fixed_1ms();
+  cfg.read_noise = sim::Duration::millis(10);
+  QuantizedClock clock{cfg, sim::Rng{19}};
+  for (double ms = 20; ms < 60; ms += 0.9) {
+    const auto r = clock.read(at_ms(ms));
+    EXPECT_LE(r, at_ms(ms));
+    EXPECT_GT(r, at_ms(ms - 12.0));
+  }
+}
+
+TEST(ClockSetTest, WindowsJavaClockIsBimodalUbuntuIsNot) {
+  ClockSet win{OsId::kWindows7, sim::Rng{20}};
+  ClockSet ubu{OsId::kUbuntu, sim::Rng{21}};
+  std::set<std::int64_t> win_g, ubu_g;
+  for (double s = 0; s < 3600; s += 7) {
+    win_g.insert(win.java_date().granularity_at(at_ms(s * 1000)).ns());
+    ubu_g.insert(ubu.java_date().granularity_at(at_ms(s * 1000)).ns());
+  }
+  EXPECT_EQ(win_g.size(), 2u);
+  EXPECT_EQ(ubu_g.size(), 1u);
+}
+
+TEST(ClockSetTest, GetMapsKinds) {
+  ClockSet cs{OsId::kWindows7, sim::Rng{22}};
+  EXPECT_EQ(cs.get(ClockKind::kJsDate).name(), "Date.getTime");
+  EXPECT_EQ(cs.get(ClockKind::kFlashDate).name(), "Date.getTime");
+  EXPECT_EQ(cs.get(ClockKind::kJavaDate).name(), "Date.getTime");
+  EXPECT_EQ(cs.get(ClockKind::kJavaNano).name(), "System.nanoTime");
+  EXPECT_EQ(&cs.get(ClockKind::kJavaDate), &cs.java_date());
+}
+
+TEST(ClockSetTest, JsAndJavaClocksAreIndependentInstances) {
+  ClockSet cs{OsId::kWindows7, sim::Rng{23}};
+  EXPECT_NE(static_cast<TimingApi*>(&cs.js_date()),
+            static_cast<TimingApi*>(&cs.java_date()));
+}
+
+}  // namespace
+}  // namespace bnm::browser

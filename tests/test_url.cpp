@@ -1,0 +1,49 @@
+#include <gtest/gtest.h>
+
+#include "browser/url.h"
+
+namespace bnm::browser {
+namespace {
+
+const net::Endpoint kOrigin{net::IpAddress{10, 0, 0, 2}, 80};
+
+TEST(ParseUrl, RelativeResolvesAgainstOrigin) {
+  const auto u = parse_url("/echo?r=1", kOrigin);
+  ASSERT_TRUE(u.has_value());
+  EXPECT_FALSE(u->absolute);
+  EXPECT_EQ(u->endpoint, kOrigin);
+  EXPECT_EQ(u->path, "/echo?r=1");
+}
+
+TEST(ParseUrl, AbsoluteWithPort) {
+  const auto u = parse_url("http://10.0.0.3:8088/ws", kOrigin);
+  ASSERT_TRUE(u.has_value());
+  EXPECT_TRUE(u->absolute);
+  EXPECT_EQ(u->endpoint.ip.to_string(), "10.0.0.3");
+  EXPECT_EQ(u->endpoint.port, 8088);
+  EXPECT_EQ(u->path, "/ws");
+}
+
+TEST(ParseUrl, AbsoluteDefaultsPort80AndRootPath) {
+  const auto u = parse_url("http://10.0.0.3", kOrigin);
+  ASSERT_TRUE(u.has_value());
+  EXPECT_EQ(u->endpoint.port, 80);
+  EXPECT_EQ(u->path, "/");
+}
+
+TEST(ParseUrl, AbsoluteWithPathNoPort) {
+  const auto u = parse_url("http://10.0.0.3/crossdomain.xml", kOrigin);
+  ASSERT_TRUE(u.has_value());
+  EXPECT_EQ(u->endpoint.port, 80);
+  EXPECT_EQ(u->path, "/crossdomain.xml");
+}
+
+TEST(ParseUrl, RejectsMalformed) {
+  EXPECT_FALSE(parse_url("", kOrigin).has_value());
+  EXPECT_FALSE(parse_url("echo", kOrigin).has_value());
+  EXPECT_FALSE(parse_url("ftp://10.0.0.3/x", kOrigin).has_value());
+  EXPECT_FALSE(parse_url("http://not-an-ip/x", kOrigin).has_value());
+}
+
+}  // namespace
+}  // namespace bnm::browser

@@ -106,14 +106,21 @@ void delay_sweep_section() {
   // d1 - d2 = one handshake (the netem delay) + the Flash first-use cost;
   // sweeping the delay should move d1 - d2 by exactly the delta.
   std::vector<double> delays, gaps;
-  for (const int delay_ms : {25, 50, 100}) {
+  const int delay_steps[] = {25, 50, 100};
+  std::vector<core::ExperimentConfig> batch;
+  for (const int delay_ms : delay_steps) {
     core::ExperimentConfig cfg;
     cfg.browser = browser::BrowserId::kOpera;
     cfg.os = browser::OsId::kWindows7;
     cfg.kind = methods::ProbeKind::kFlashGet;
     cfg.runs = 30;
     cfg.testbed.server_delay = sim::Duration::millis(delay_ms);
-    const auto series = core::run_experiment(cfg);
+    batch.push_back(std::move(cfg));
+  }
+  const auto results = core::run_matrix(batch, benchutil::options().jobs);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const int delay_ms = delay_steps[i];
+    const auto& series = results[i];
     const double d1 = series.d1_box().median;
     const double d2 = series.d2_box().median;
     table.add_row({std::to_string(delay_ms) + " ms", T::fmt(d1, 1),
@@ -339,7 +346,8 @@ void event_loop_load_section() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  benchutil::init(argc, argv);
   throughput_section();
   jitter_section();
   delay_sweep_section();

@@ -4,14 +4,22 @@
 // qualitative (shape) checks, not absolute-number assertions - the paper's
 // absolute values came from 2012-era hardware and real browsers, ours from
 // the calibrated testbed simulator.
+//
+// Common CLI, shared by every bench binary (call benchutil::init first):
+//   --runs=N   repetitions per experiment cell (default 50, the paper's)
+//   --jobs=N   worker threads for experiment matrices (default: all cores)
+// Anything else is returned as a positional argument (e.g. fig3's CSV path).
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "core/experiment.h"
+#include "core/parallel_runner.h"
 #include "report/boxplot_render.h"
 #include "report/cdf_render.h"
 #include "report/table.h"
@@ -20,6 +28,46 @@ namespace bnm::benchutil {
 
 /// Default repetition count (the paper's "we run it for 50 times").
 inline constexpr int kRuns = 50;
+
+struct Options {
+  int runs = kRuns;
+  int jobs = 0;  ///< 0 = auto (hardware concurrency)
+  std::vector<std::string> positional;
+};
+
+inline Options& options() {
+  static Options opts;
+  return opts;
+}
+
+/// Parse the shared bench CLI into options(). Returns the options for
+/// convenience; exits with a usage message on malformed flags.
+inline Options& init(int argc, char** argv) {
+  Options& opts = options();
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto int_flag = [&](const char* prefix, int& out) {
+      if (arg.rfind(prefix, 0) != 0) return false;
+      char* end = nullptr;
+      const long v = std::strtol(arg.c_str() + std::strlen(prefix), &end, 10);
+      if (end == nullptr || *end != '\0' || v <= 0) {
+        std::fprintf(stderr, "invalid value in '%s'\n", arg.c_str());
+        std::exit(2);
+      }
+      out = static_cast<int>(v);
+      return true;
+    };
+    if (int_flag("--runs=", opts.runs) || int_flag("--jobs=", opts.jobs)) {
+      continue;
+    }
+    if (arg == "--help" || arg == "-h") {
+      std::printf("usage: %s [--runs=N] [--jobs=N] [args...]\n", argv[0]);
+      std::exit(0);
+    }
+    opts.positional.push_back(arg);
+  }
+  return opts;
+}
 
 /// Banner for a table/figure section.
 inline void banner(const std::string& title) {
@@ -32,21 +80,46 @@ inline void shape_check(bool ok, const std::string& what) {
   std::printf("  [%s] %s\n", ok ? "OK" : "DEVIATES", what.c_str());
 }
 
-/// Run one case and return the series (prints a progress dot).
-inline core::OverheadSeries run_case(browser::BrowserId b, browser::OsId os,
-                                     methods::ProbeKind kind,
-                                     int runs = kRuns,
-                                     bool java_nanotime = false,
-                                     bool appletviewer = false) {
+inline void progress_dot() {
+  std::printf(".");
+  std::fflush(stdout);
+}
+
+/// Build one matrix cell. runs <= 0 picks up the --runs value.
+inline core::ExperimentConfig make_config(browser::BrowserId b,
+                                          browser::OsId os,
+                                          methods::ProbeKind kind,
+                                          int runs = 0,
+                                          bool java_nanotime = false,
+                                          bool appletviewer = false) {
   core::ExperimentConfig cfg;
   cfg.browser = b;
   cfg.os = os;
   cfg.kind = kind;
-  cfg.runs = runs;
+  cfg.runs = runs > 0 ? runs : options().runs;
   cfg.java_use_nanotime = java_nanotime;
   cfg.java_via_appletviewer = appletviewer;
-  std::fflush(stdout);
-  return core::run_experiment(cfg);
+  return cfg;
+}
+
+/// Run one case and return the series (prints a progress dot).
+inline core::OverheadSeries run_case(browser::BrowserId b, browser::OsId os,
+                                     methods::ProbeKind kind,
+                                     int runs = 0,
+                                     bool java_nanotime = false,
+                                     bool appletviewer = false) {
+  progress_dot();
+  return core::run_experiment(
+      make_config(b, os, kind, runs, java_nanotime, appletviewer));
+}
+
+/// Run a batch of cells through the parallel runner, honouring --jobs and
+/// printing one progress dot per completed cell. Results in input order,
+/// byte-identical to running each cell serially.
+inline std::vector<core::OverheadSeries> run_cases(
+    const std::vector<core::ExperimentConfig>& cells) {
+  return core::run_matrix(cells, options().jobs,
+                          [](std::size_t, std::size_t) { progress_dot(); });
 }
 
 /// Box-plot rows ("<label> d1" / "<label> d2") for one series.

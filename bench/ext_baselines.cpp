@@ -104,18 +104,30 @@ void mobile_extension() {
   banner("C. Mobile platforms (no plug-ins): method overheads");
   report::TextTable table({"platform", "method", "median d2 (ms)", "IQR (ms)"});
   double mob_ws = 1e9, mob_xhr = 0;
-  for (const auto platform : {browser::MobilePlatform::kIosSafari,
-                              browser::MobilePlatform::kAndroidChrome}) {
-    for (const auto kind : {methods::ProbeKind::kWebSocket,
-                            methods::ProbeKind::kDom,
-                            methods::ProbeKind::kXhrGet}) {
+  const browser::MobilePlatform platforms[] = {
+      browser::MobilePlatform::kIosSafari,
+      browser::MobilePlatform::kAndroidChrome};
+  const methods::ProbeKind kinds[] = {methods::ProbeKind::kWebSocket,
+                                      methods::ProbeKind::kDom,
+                                      methods::ProbeKind::kXhrGet};
+  // 2 platforms x 3 methods as one parallel batch.
+  std::vector<core::ExperimentConfig> batch;
+  for (const auto platform : platforms) {
+    for (const auto kind : kinds) {
       core::ExperimentConfig cfg;
       cfg.kind = kind;
       cfg.browser = browser::BrowserId::kChrome;  // clock/label basis
       cfg.os = browser::OsId::kUbuntu;
       cfg.runs = 30;
       cfg.custom_profile = browser::make_mobile_profile(platform);
-      const auto series = core::run_experiment(cfg);
+      batch.push_back(std::move(cfg));
+    }
+  }
+  const auto results = core::run_matrix(batch, benchutil::options().jobs);
+  std::size_t idx = 0;
+  for (const auto platform : platforms) {
+    for (const auto kind : kinds) {
+      const auto& series = results[idx++];
       const auto box = series.d2_box();
       table.add_row({browser::mobile_platform_name(platform),
                      probe_kind_name(kind), T::fmt(box.median, 2),
@@ -243,7 +255,8 @@ void dns_in_preparation() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  benchutil::init(argc, argv);
   ippm_baseline();
   cross_traffic_ablation();
   mobile_extension();

@@ -13,7 +13,8 @@ using benchutil::banner;
 using benchutil::shape_check;
 using T = report::TextTable;
 
-int main() {
+int main(int argc, char** argv) {
+  benchutil::init(argc, argv);
   banner("Extension: browser-level vs capture-level loss rates");
   report::TextTable loss_table({"configured loss", "probes", "browser loss",
                                 "capture loss", "disagreement"});

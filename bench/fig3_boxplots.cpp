@@ -53,21 +53,24 @@ PanelExpectation expectation(methods::ProbeKind k) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const auto& opts = benchutil::init(argc, argv);
   banner("Figure 3: box plots of the delay overheads (by method)");
   std::printf(
       "testbed: 100 Mbps switched Ethernet, +50 ms server-side netem delay,\n"
-      "50 runs per case; d1 = fresh object, d2 = object reused (paper's\n"
-      "delta-d1 / delta-d2). Units: ms.\n");
+      "%d runs per case; d1 = fresh object, d2 = object reused (paper's\n"
+      "delta-d1 / delta-d2). Units: ms.\n",
+      opts.runs);
 
   // Optional raw-sample export for external plotting:
-  //   fig3_boxplots /path/to/fig3_samples.csv
+  //   fig3_boxplots [--runs=N] [--jobs=N] /path/to/fig3_samples.csv
   std::FILE* csv = nullptr;
-  if (argc > 1) {
-    csv = std::fopen(argv[1], "w");
+  if (!opts.positional.empty()) {
+    csv = std::fopen(opts.positional.front().c_str(), "w");
     if (csv) {
       std::fprintf(csv, "method,case,run,d1_ms,d2_ms,net_rtt2_ms\n");
     } else {
-      std::fprintf(stderr, "cannot open %s for CSV export\n", argv[1]);
+      std::fprintf(stderr, "cannot open %s for CSV export\n",
+                   opts.positional.front().c_str());
     }
   }
 
@@ -92,6 +95,8 @@ int main(int argc, char** argv) {
     int in_range = 0, cases_run = 0;
     std::vector<core::OverheadSeries> panel_series;
 
+    // One panel = one batch of independent cells for the parallel runner.
+    std::vector<core::ExperimentConfig> cells;
     for (const auto& c : browser::paper_cases()) {
       // Table 2: IE9 and Safari 5 lack WebSocket; skip those cases like
       // the paper's Figure 3(d) does.
@@ -99,9 +104,11 @@ int main(int argc, char** argv) {
         const auto profile = browser::make_profile(c.browser, c.os);
         if (!profile.supports_websocket) continue;
       }
-      const auto series = benchutil::run_case(c.browser, c.os, kind);
+      cells.push_back(benchutil::make_config(c.browser, c.os, kind));
+    }
+    for (const auto& series : benchutil::run_cases(cells)) {
       if (series.samples.empty()) {
-        std::printf("  %s: FAILED (%s)\n", c.label().c_str(),
+        std::printf("  %s: FAILED (%s)\n", series.case_label.c_str(),
                     series.first_error.c_str());
         continue;
       }

@@ -12,7 +12,8 @@ using namespace bnm;
 using benchutil::banner;
 using benchutil::shape_check;
 
-int main() {
+int main(int argc, char** argv) {
+  benchutil::init(argc, argv);
   banner("Figure 4(a): CDFs of delta-d, Java applet socket in Windows browsers");
 
   std::vector<report::CdfSeries> curves;
@@ -23,9 +24,22 @@ int main() {
       browser::BrowserId::kChrome, browser::BrowserId::kFirefox,
       browser::BrowserId::kIe, browser::BrowserId::kOpera,
       browser::BrowserId::kSafari};
+
+  // Five browser cells plus the appletviewer variant as one parallel batch.
+  std::vector<core::ExperimentConfig> batch;
   for (const auto b : browsers) {
-    const auto series = benchutil::run_case(b, browser::OsId::kWindows7,
-                                            methods::ProbeKind::kJavaSocket);
+    batch.push_back(benchutil::make_config(b, browser::OsId::kWindows7,
+                                           methods::ProbeKind::kJavaSocket));
+  }
+  batch.push_back(benchutil::make_config(
+      browser::BrowserId::kChrome, browser::OsId::kWindows7,
+      methods::ProbeKind::kJavaSocket, /*runs=*/0,
+      /*java_nanotime=*/false, /*appletviewer=*/true));
+  const auto results = benchutil::run_cases(batch);
+
+  for (std::size_t bi = 0; bi < std::size(browsers); ++bi) {
+    const auto b = browsers[bi];
+    const auto& series = results[bi];
     if (series.samples.empty()) continue;
     const std::string initial = browser::browser_initial(b);
     curves.push_back({"d1," + initial, stats::EmpiricalCdf{series.d1()}});
@@ -55,10 +69,7 @@ int main() {
                   report::TextTable::fmt(observed_gap, 1) + " ms)");
 
   banner("Figure 4(b): same applet launched with appletviewer (no browser)");
-  const auto av =
-      benchutil::run_case(browser::BrowserId::kChrome, browser::OsId::kWindows7,
-                          methods::ProbeKind::kJavaSocket, benchutil::kRuns,
-                          /*java_nanotime=*/false, /*appletviewer=*/true);
+  const auto& av = results.back();
   std::vector<report::CdfSeries> av_curves;
   av_curves.push_back({"d1", stats::EmpiricalCdf{av.d1()}});
   av_curves.push_back({"d2", stats::EmpiricalCdf{av.d2()}});

@@ -73,7 +73,8 @@ void probe_os(browser::OsId os) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  benchutil::init(argc, argv);
   probe_os(browser::OsId::kWindows7);
   probe_os(browser::OsId::kUbuntu);
 

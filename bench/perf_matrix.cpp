@@ -1,0 +1,319 @@
+// Performance harness for the experiment pipeline. Three sections:
+//
+//   1. Full Figure-3 matrix, serial (jobs=1) vs parallel (--jobs, default
+//      all cores), with a byte-identity check between the two result sets.
+//   2. Capture window extraction: linear scan (the old
+//      network_rtt_in_window behaviour) vs first_index_at_or_after.
+//   3. Scheduler event throughput: cancellable schedule_at path (pooled
+//      control blocks) vs fire-and-forget post_at path.
+//
+// Emits BENCH_perf_matrix.json in the working directory so CI (or a human)
+// can track the numbers. The speedup section reports whatever the host
+// offers; on a single-core machine the parallel run cannot win and the
+// harness says so instead of failing.
+//
+//   $ perf_matrix [--runs=N] [--jobs=N]   (default 12 runs per cell)
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "net/capture.h"
+#include "sim/simulation.h"
+
+using namespace bnm;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+std::vector<core::ExperimentConfig> full_matrix(int runs) {
+  std::vector<core::ExperimentConfig> cells;
+  for (const auto& who : browser::paper_cases()) {
+    for (const auto kind : browser::all_probe_kinds()) {
+      core::ExperimentConfig cfg;
+      cfg.browser = who.browser;
+      cfg.os = who.os;
+      cfg.kind = kind;
+      cfg.runs = runs;
+      cells.push_back(cfg);
+    }
+  }
+  return cells;
+}
+
+bool identical(const core::OverheadSeries& a, const core::OverheadSeries& b) {
+  if (a.case_label != b.case_label || a.method_name != b.method_name ||
+      a.failures != b.failures || a.first_error != b.first_error ||
+      a.samples.size() != b.samples.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    const auto& x = a.samples[i];
+    const auto& y = b.samples[i];
+    if (x.d1_ms != y.d1_ms || x.d2_ms != y.d2_ms ||
+        x.browser_rtt1_ms != y.browser_rtt1_ms ||
+        x.browser_rtt2_ms != y.browser_rtt2_ms ||
+        x.net_rtt1_ms != y.net_rtt1_ms || x.net_rtt2_ms != y.net_rtt2_ms ||
+        x.connections_opened1 != y.connections_opened1 ||
+        x.connections_opened2 != y.connections_opened2) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct MatrixTimings {
+  std::size_t cells = 0;
+  int runs = 0;
+  int jobs = 0;
+  double serial_ms = 0;
+  double parallel_ms = 0;
+  bool identical = true;
+  double speedup() const {
+    return parallel_ms > 0 ? serial_ms / parallel_ms : 0.0;
+  }
+};
+
+MatrixTimings bench_matrix(int runs, int jobs_flag) {
+  MatrixTimings t;
+  const auto cells = full_matrix(runs);
+  t.cells = cells.size();
+  t.runs = runs;
+  t.jobs = core::resolve_jobs(jobs_flag, cells.size());
+
+  std::printf("matrix: %zu cells x %d runs\n", t.cells, runs);
+  std::printf("  serial (jobs=1)    ... ");
+  std::fflush(stdout);
+  const auto s0 = Clock::now();
+  const auto serial = core::run_matrix(cells, 1);
+  const auto s1 = Clock::now();
+  t.serial_ms = ms_between(s0, s1);
+  std::printf("%8.1f ms\n", t.serial_ms);
+
+  std::printf("  parallel (jobs=%d)  ... ", t.jobs);
+  std::fflush(stdout);
+  const auto p0 = Clock::now();
+  const auto parallel = core::run_matrix(cells, t.jobs);
+  const auto p1 = Clock::now();
+  t.parallel_ms = ms_between(p0, p1);
+  std::printf("%8.1f ms   (%.2fx)\n", t.parallel_ms, t.speedup());
+
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (!identical(serial[i], parallel[i])) {
+      t.identical = false;
+      std::printf("  !! cell %zu (%s %s) differs between serial and parallel\n",
+                  i, serial[i].case_label.c_str(),
+                  serial[i].method_name.c_str());
+    }
+  }
+  std::printf("  results byte-identical: %s\n", t.identical ? "yes" : "NO");
+  return t;
+}
+
+struct CaptureTimings {
+  std::size_t records = 0;
+  std::size_t windows = 0;
+  double linear_ms = 0;
+  double indexed_ms = 0;
+  double speedup() const {
+    return indexed_ms > 0 ? linear_ms / indexed_ms : 0.0;
+  }
+};
+
+CaptureTimings bench_capture_scan() {
+  CaptureTimings t;
+  constexpr std::size_t kRecords = 40000;
+  constexpr std::size_t kWindows = 4000;
+  t.records = kRecords;
+  t.windows = kWindows;
+
+  // Populate a capture the way an experiment does: records appended as the
+  // simulation clock advances, one per simulated millisecond.
+  sim::Simulation sim;
+  net::PacketCapture capture{sim};
+  for (std::size_t i = 0; i < kRecords; ++i) {
+    sim.scheduler().post_at(
+        sim::TimePoint::epoch() + sim::Duration::millis(static_cast<double>(i)),
+        [&capture, i] {
+          net::Packet p;
+          p.id = i;
+          p.payload = {0x42};
+          capture.record(i % 2 ? net::CaptureDirection::kInbound
+                               : net::CaptureDirection::kOutbound,
+                         p);
+        });
+  }
+  sim.scheduler().run();
+  const auto& records = capture.records();
+
+  // Late windows are the worst case for the linear scan (an experiment's
+  // run N re-scans all records of runs 1..N-1).
+  std::vector<sim::TimePoint> starts;
+  starts.reserve(kWindows);
+  for (std::size_t w = 0; w < kWindows; ++w) {
+    const double at_ms =
+        static_cast<double>(kRecords) * 0.5 +
+        static_cast<double>(w % (kRecords / 2));
+    starts.push_back(sim::TimePoint::epoch() + sim::Duration::millis(at_ms));
+  }
+
+  std::size_t sum_linear = 0, sum_indexed = 0;
+  const auto l0 = Clock::now();
+  for (const auto from : starts) {
+    std::size_t i = 0;
+    while (i < records.size() && records[i].true_time < from) ++i;
+    sum_linear += i;
+  }
+  const auto l1 = Clock::now();
+  t.linear_ms = ms_between(l0, l1);
+
+  const auto b0 = Clock::now();
+  for (const auto from : starts) {
+    sum_indexed += capture.first_index_at_or_after(from);
+  }
+  const auto b1 = Clock::now();
+  t.indexed_ms = ms_between(b0, b1);
+
+  std::printf("capture scan: %zu records, %zu window lookups\n", t.records,
+              t.windows);
+  std::printf("  linear scan        ... %8.2f ms\n", t.linear_ms);
+  std::printf("  binary search      ... %8.2f ms   (%.0fx)\n", t.indexed_ms,
+              t.speedup());
+  if (sum_linear != sum_indexed) {
+    std::printf("  !! index mismatch: linear=%zu indexed=%zu\n", sum_linear,
+                sum_indexed);
+    t.indexed_ms = -1;  // poison: the JSON shows something went wrong
+  }
+  return t;
+}
+
+struct SchedulerTimings {
+  std::size_t events = 0;
+  double handle_ns_per_event = 0;
+  double post_ns_per_event = 0;
+  std::size_t pooled_blocks = 0;
+};
+
+SchedulerTimings bench_scheduler() {
+  SchedulerTimings t;
+  constexpr std::size_t kEvents = 200000;
+  constexpr std::size_t kBatch = 1000;  // queue depth per drain cycle
+  t.events = kEvents;
+
+  volatile std::uint64_t sink = 0;
+
+  // Cancellable path: every event carries a control block; the pool should
+  // keep allocations to ~queue-depth after the first batch.
+  {
+    sim::Scheduler sched;
+    const auto h0 = Clock::now();
+    for (std::size_t done = 0; done < kEvents; done += kBatch) {
+      for (std::size_t i = 0; i < kBatch; ++i) {
+        sched.schedule_after(sim::Duration::millis(1),
+                             [&sink] { sink = sink + 1; });
+      }
+      sched.run();
+    }
+    const auto h1 = Clock::now();
+    t.handle_ns_per_event = ms_between(h0, h1) * 1e6 / kEvents;
+    t.pooled_blocks = sched.pooled_control_blocks();
+  }
+
+  // Fire-and-forget path: no control blocks at all.
+  {
+    sim::Scheduler sched;
+    const auto p0 = Clock::now();
+    for (std::size_t done = 0; done < kEvents; done += kBatch) {
+      for (std::size_t i = 0; i < kBatch; ++i) {
+        sched.post_after(sim::Duration::millis(1),
+                         [&sink] { sink = sink + 1; });
+      }
+      sched.run();
+    }
+    const auto p1 = Clock::now();
+    t.post_ns_per_event = ms_between(p0, p1) * 1e6 / kEvents;
+  }
+
+  std::printf("scheduler: %zu events, batches of %zu\n", t.events, kBatch);
+  std::printf("  schedule_after     ... %8.1f ns/event  (%zu pooled blocks)\n",
+              t.handle_ns_per_event, t.pooled_blocks);
+  std::printf("  post_after         ... %8.1f ns/event\n",
+              t.post_ns_per_event);
+  return t;
+}
+
+void write_json(const char* path, unsigned hw, const MatrixTimings& m,
+                const CaptureTimings& c, const SchedulerTimings& s) {
+  std::FILE* f = std::fopen(path, "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"hardware_concurrency\": %u,\n", hw);
+  std::fprintf(f, "  \"matrix\": {\n");
+  std::fprintf(f, "    \"cells\": %zu,\n", m.cells);
+  std::fprintf(f, "    \"runs_per_cell\": %d,\n", m.runs);
+  std::fprintf(f, "    \"jobs\": %d,\n", m.jobs);
+  std::fprintf(f, "    \"serial_ms\": %.3f,\n", m.serial_ms);
+  std::fprintf(f, "    \"parallel_ms\": %.3f,\n", m.parallel_ms);
+  std::fprintf(f, "    \"speedup\": %.3f,\n", m.speedup());
+  std::fprintf(f, "    \"identical\": %s\n", m.identical ? "true" : "false");
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"capture_scan\": {\n");
+  std::fprintf(f, "    \"records\": %zu,\n", c.records);
+  std::fprintf(f, "    \"window_lookups\": %zu,\n", c.windows);
+  std::fprintf(f, "    \"linear_ms\": %.3f,\n", c.linear_ms);
+  std::fprintf(f, "    \"indexed_ms\": %.3f,\n", c.indexed_ms);
+  std::fprintf(f, "    \"speedup\": %.1f\n", c.speedup());
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"scheduler\": {\n");
+  std::fprintf(f, "    \"events\": %zu,\n", s.events);
+  std::fprintf(f, "    \"schedule_ns_per_event\": %.1f,\n",
+               s.handle_ns_per_event);
+  std::fprintf(f, "    \"post_ns_per_event\": %.1f,\n", s.post_ns_per_event);
+  std::fprintf(f, "    \"pooled_control_blocks\": %zu\n", s.pooled_blocks);
+  std::fprintf(f, "  }\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchutil::options().runs = 12;  // perf default; --runs=N overrides
+  const auto& opts = benchutil::init(argc, argv);
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  benchutil::banner("perf_matrix: experiment pipeline performance");
+  std::printf("hardware_concurrency: %u\n\n", hw);
+
+  const MatrixTimings m = bench_matrix(opts.runs, opts.jobs);
+  std::printf("\n");
+  const CaptureTimings c = bench_capture_scan();
+  std::printf("\n");
+  const SchedulerTimings s = bench_scheduler();
+
+  write_json("BENCH_perf_matrix.json", hw, m, c, s);
+
+  if (!m.identical) {
+    std::fprintf(stderr, "FAIL: parallel results differ from serial\n");
+    return 1;
+  }
+  if (hw < 4) {
+    std::printf("note: only %u core(s) visible - speedup is not meaningful "
+                "on this host (expect >=3x at jobs=4 on 4+ cores)\n", hw);
+  } else {
+    benchutil::shape_check(m.speedup() >= 3.0 || m.jobs < 4,
+                           "parallel full matrix >=3x over serial at jobs>=4");
+  }
+  return 0;
+}

@@ -9,7 +9,8 @@ using namespace bnm;
 using benchutil::banner;
 using benchutil::shape_check;
 
-int main() {
+int main(int argc, char** argv) {
+  benchutil::init(argc, argv);
   banner("Table 1: browser-based network measurement methods (from registry)");
 
   report::TextTable table({"Approach", "Technology", "Availability", "Method",

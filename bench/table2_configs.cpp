@@ -6,7 +6,8 @@ using namespace bnm;
 using benchutil::banner;
 using benchutil::shape_check;
 
-int main() {
+int main(int argc, char** argv) {
+  benchutil::init(argc, argv);
   banner("Table 2: browser/system configurations (from profiles)");
 
   report::TextTable table(

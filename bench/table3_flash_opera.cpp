@@ -20,7 +20,8 @@ constexpr PaperRow kPaperGet[] = {{"O (W)", 101.1, 19.8}, {"O (U)", 105.3, 19.8}
 constexpr PaperRow kPaperPost[] = {{"O (W)", 100.1, 69.6}, {"O (U)", 105.6, 68.1}};
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  benchutil::init(argc, argv);
   banner("Table 3: median delta-d1 / delta-d2, Flash HTTP methods in Opera");
 
   report::TextTable table({"method", "case", "paper d1", "measured d1",
@@ -35,13 +36,27 @@ int main() {
 
   const browser::OsId oses[] = {browser::OsId::kWindows7, browser::OsId::kUbuntu};
   const bool post_flags[] = {false, true};
+
+  // All five cells (4 Opera + the Chrome contrast) run as one parallel batch.
+  std::vector<core::ExperimentConfig> batch;
   for (bool post : post_flags) {
-    const auto kind =
-        post ? methods::ProbeKind::kFlashPost : methods::ProbeKind::kFlashGet;
+    for (const auto os : oses) {
+      batch.push_back(benchutil::make_config(
+          browser::BrowserId::kOpera, os,
+          post ? methods::ProbeKind::kFlashPost : methods::ProbeKind::kFlashGet));
+    }
+  }
+  batch.push_back(benchutil::make_config(browser::BrowserId::kChrome,
+                                         browser::OsId::kWindows7,
+                                         methods::ProbeKind::kFlashGet));
+  const auto results = benchutil::run_cases(batch);
+
+  std::size_t next = 0;
+  for (bool post : post_flags) {
     int row_idx = 0;
     for (const auto os : oses) {
-      const auto series =
-          benchutil::run_case(browser::BrowserId::kOpera, os, kind);
+      (void)os;
+      const auto& series = results[next++];
       double conn1 = 0, conn2 = 0;
       for (const auto& s : series.samples) {
         conn1 += s.connections_opened1;
@@ -79,9 +94,7 @@ int main() {
                   T::fmt(gw.d2_med, 1) + ")");
 
   // Contrast: a browser that reuses the container-page connection.
-  const auto chrome = benchutil::run_case(browser::BrowserId::kChrome,
-                                          browser::OsId::kWindows7,
-                                          methods::ProbeKind::kFlashGet);
+  const auto& chrome = results[next];
   double cconn1 = 0;
   for (const auto& s : chrome.samples) cconn1 += s.connections_opened1;
   shape_check(cconn1 / static_cast<double>(chrome.samples.size()) <= 0.01,

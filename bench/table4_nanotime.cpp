@@ -26,9 +26,11 @@ constexpr PaperRow kPaper[] = {
 };
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto& opts = benchutil::init(argc, argv);
   banner("Table 4: Java applet overheads in Windows with System.nanoTime()");
-  std::printf("mean +- 95%% CI over 50 runs, ms; paper values in parentheses\n\n");
+  std::printf("mean +- 95%% CI over %d runs, ms; paper values in parentheses\n\n",
+              opts.runs);
 
   report::TextTable table({"browser", "GET d1", "GET d2", "POST d1", "POST d2",
                            "Socket d1", "Socket d2"});
@@ -43,20 +45,24 @@ int main() {
   bool no_underestimation = true;
   double worst_ci = 0;
 
+  // 5 browsers x 3 methods = 15 independent cells, one parallel batch.
+  std::vector<core::ExperimentConfig> batch;
+  for (const auto b : browsers) {
+    for (const auto kind : {methods::ProbeKind::kJavaGet,
+                            methods::ProbeKind::kJavaPost,
+                            methods::ProbeKind::kJavaSocket}) {
+      batch.push_back(benchutil::make_config(b, browser::OsId::kWindows7, kind,
+                                             /*runs=*/0,
+                                             /*java_nanotime=*/true));
+    }
+  }
+  const auto results = benchutil::run_cases(batch);
+
   for (std::size_t i = 0; i < std::size(browsers); ++i) {
     const auto b = browsers[i];
-    const auto get =
-        benchutil::run_case(b, browser::OsId::kWindows7,
-                            methods::ProbeKind::kJavaGet, benchutil::kRuns,
-                            /*java_nanotime=*/true);
-    const auto post =
-        benchutil::run_case(b, browser::OsId::kWindows7,
-                            methods::ProbeKind::kJavaPost, benchutil::kRuns,
-                            /*java_nanotime=*/true);
-    const auto sock =
-        benchutil::run_case(b, browser::OsId::kWindows7,
-                            methods::ProbeKind::kJavaSocket, benchutil::kRuns,
-                            /*java_nanotime=*/true);
+    const auto& get = results[i * 3];
+    const auto& post = results[i * 3 + 1];
+    const auto& sock = results[i * 3 + 2];
 
     auto cell = [&](const stats::ConfidenceInterval& ci, double paper) {
       worst_ci = std::max(worst_ci, ci.half_width);

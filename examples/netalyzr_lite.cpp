@@ -8,12 +8,16 @@
 //   4. download throughput,
 //   5. a packet-level trace of one measurement (why the numbers differ).
 //
-//   $ netalyzr_lite [browser] [os] [--impaired]
+//   $ netalyzr_lite [browser] [os] [--impaired] [--jobs=N]
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <iterator>
 #include <string>
+#include <vector>
 
 #include "core/experiment.h"
+#include "core/parallel_runner.h"
 #include "core/granularity.h"
 #include "core/knockon.h"
 #include "core/loss_experiment.h"
@@ -44,10 +48,13 @@ int main(int argc, char** argv) {
   browser::BrowserId b = browser::BrowserId::kChrome;
   browser::OsId os = browser::OsId::kWindows7;
   bool impaired = false;
+  int jobs = 0;  // 0 = all cores (core::run_matrix resolves it)
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--impaired") {
       impaired = true;
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      jobs = std::atoi(arg.c_str() + 7);
     } else if (arg == "ubuntu") {
       os = browser::OsId::kUbuntu;
     } else if (arg == "windows") {
@@ -69,16 +76,24 @@ int main(int argc, char** argv) {
   section("1. round-trip time (three in-browser opinions)");
   report::TextTable rtt({"method", "RTT median (ms)", "spread (IQR, ms)",
                          "trust"});
-  for (const auto kind : {methods::ProbeKind::kJavaSocket,
-                          methods::ProbeKind::kWebSocket,
-                          methods::ProbeKind::kXhrGet}) {
+  const methods::ProbeKind rtt_kinds[] = {methods::ProbeKind::kJavaSocket,
+                                          methods::ProbeKind::kWebSocket,
+                                          methods::ProbeKind::kXhrGet};
+  // The three opinions are independent experiments: one parallel batch.
+  std::vector<core::ExperimentConfig> rtt_cells;
+  for (const auto kind : rtt_kinds) {
     core::ExperimentConfig cfg;
     cfg.kind = kind;
     cfg.browser = b;
     cfg.os = os;
     cfg.runs = 25;
     cfg.java_use_nanotime = true;  // this tool read Section 5
-    const auto series = core::run_experiment(cfg);
+    rtt_cells.push_back(std::move(cfg));
+  }
+  const auto rtt_results = core::run_matrix(rtt_cells, jobs);
+  for (std::size_t ki = 0; ki < std::size(rtt_kinds); ++ki) {
+    const auto kind = rtt_kinds[ki];
+    const auto& series = rtt_results[ki];
     if (series.samples.empty()) {
       rtt.add_row({probe_kind_name(kind), "n/a", "", series.first_error});
       continue;

@@ -1,0 +1,150 @@
+#include "core/parallel_runner.h"
+
+#include <algorithm>
+#include <exception>
+#include <string>
+#include <utility>
+
+namespace bnm::core {
+
+ThreadPool::ThreadPool(int jobs) {
+  if (jobs <= 0) {
+    jobs = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  jobs_ = std::max(jobs, 1);
+  workers_.reserve(static_cast<std::size_t>(jobs_));
+  for (int i = 0; i < jobs_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  wait_idle();
+  {
+    std::lock_guard<std::mutex> lock{mu_};
+    stopping_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock{mu_};
+    queue_.push_back(std::move(task));
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock{mu_};
+  idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+std::size_t ThreadPool::tasks_failed() const {
+  std::lock_guard<std::mutex> lock{mu_};
+  return failed_;
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock{mu_};
+  for (;;) {
+    task_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // stopping_ and drained
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    ++in_flight_;
+    lock.unlock();
+    try {
+      task();
+    } catch (...) {
+      lock.lock();
+      ++failed_;
+      lock.unlock();
+    }
+    lock.lock();
+    --in_flight_;
+    if (queue_.empty() && in_flight_ == 0) idle_.notify_all();
+  }
+}
+
+int resolve_jobs(int jobs, std::size_t cells) {
+  if (jobs <= 0) {
+    jobs = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  jobs = std::max(jobs, 1);
+  if (cells > 0) {
+    jobs = static_cast<int>(
+        std::min<std::size_t>(static_cast<std::size_t>(jobs), cells));
+  }
+  return jobs;
+}
+
+namespace {
+
+OverheadSeries run_cell_guarded(const ExperimentConfig& config,
+                                const CellRunner& cell) {
+  try {
+    return cell(config);
+  } catch (const std::exception& e) {
+    OverheadSeries failed;
+    failed.config = config;
+    failed.failures = config.runs;
+    failed.first_error = std::string{"uncaught exception: "} + e.what();
+    return failed;
+  } catch (...) {
+    OverheadSeries failed;
+    failed.config = config;
+    failed.failures = config.runs;
+    failed.first_error = "uncaught exception (non-standard)";
+    return failed;
+  }
+}
+
+}  // namespace
+
+std::vector<OverheadSeries> run_matrix_with(
+    const std::vector<ExperimentConfig>& cells, int jobs,
+    const CellRunner& cell, MatrixProgress progress) {
+  std::vector<OverheadSeries> results(cells.size());
+  if (cells.empty()) return results;
+
+  jobs = resolve_jobs(jobs, cells.size());
+  if (jobs == 1) {
+    // Degenerate serial path: same per-cell computation on the calling
+    // thread — the reference the parallel path must match byte for byte.
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      results[i] = run_cell_guarded(cells[i], cell);
+      if (progress) progress(i + 1, cells.size());
+    }
+    return results;
+  }
+
+  ThreadPool pool{jobs};
+  std::mutex progress_mu;
+  std::size_t done = 0;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    pool.submit([&, i] {
+      results[i] = run_cell_guarded(cells[i], cell);
+      if (progress) {
+        std::lock_guard<std::mutex> lock{progress_mu};
+        progress(++done, cells.size());
+      } else {
+        std::lock_guard<std::mutex> lock{progress_mu};
+        ++done;
+      }
+    });
+  }
+  pool.wait_idle();
+  return results;
+}
+
+std::vector<OverheadSeries> run_matrix(const std::vector<ExperimentConfig>& cells,
+                                       int jobs, MatrixProgress progress) {
+  return run_matrix_with(
+      cells, jobs,
+      [](const ExperimentConfig& config) { return run_experiment(config); },
+      std::move(progress));
+}
+
+}  // namespace bnm::core

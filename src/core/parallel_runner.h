@@ -1,0 +1,83 @@
+// Parallel experiment matrix runner.
+//
+// The paper's results are a matrix of (browser x OS x method x config)
+// cells, each repeated 50 times. Every Experiment owns an independent
+// Testbed whose seed is derived from its config alone (experiment.cc), so
+// cells share no mutable state and shard cleanly across worker threads:
+// run_matrix(cells, jobs) produces byte-identical results to running the
+// same cells serially, in input order, in 1/jobs the wall-clock time.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace bnm::core {
+
+/// Fixed-size worker pool. Tasks are plain closures; a task that throws is
+/// counted (tasks_failed()) and the pool keeps serving — one poisoned cell
+/// must never wedge a matrix run.
+class ThreadPool {
+ public:
+  /// jobs <= 0 selects std::thread::hardware_concurrency() (at least 1).
+  explicit ThreadPool(int jobs = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int jobs() const { return jobs_; }
+
+  void submit(std::function<void()> task);
+  /// Block until every submitted task has finished.
+  void wait_idle();
+
+  /// Tasks whose exceptions the pool swallowed.
+  std::size_t tasks_failed() const;
+
+ private:
+  void worker_loop();
+
+  int jobs_ = 1;
+  mutable std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t in_flight_ = 0;
+  std::size_t failed_ = 0;
+  bool stopping_ = false;
+};
+
+/// Per-cell completion callback: (cells finished so far, total cells).
+/// Invoked under a lock, in completion (not input) order.
+using MatrixProgress = std::function<void(std::size_t done, std::size_t total)>;
+
+/// The function a worker applies to one cell. run_matrix() uses
+/// run_experiment; tests inject faulty runners through run_matrix_with.
+using CellRunner = std::function<OverheadSeries(const ExperimentConfig&)>;
+
+/// Resolve a jobs request: <= 0 means hardware concurrency, and the answer
+/// is clamped to [1, cells] so a small matrix never spawns idle workers.
+int resolve_jobs(int jobs, std::size_t cells);
+
+/// Run every cell and return the series in input order. jobs == 1 (or a
+/// single cell) degenerates to a plain serial loop on the calling thread.
+/// A cell whose runner throws yields a series with failures == runs and
+/// first_error describing the exception; the remaining cells still run.
+std::vector<OverheadSeries> run_matrix(const std::vector<ExperimentConfig>& cells,
+                                       int jobs = 0,
+                                       MatrixProgress progress = nullptr);
+
+/// run_matrix with an injectable cell runner (exception-handling tests,
+/// cached/memoized runners, ...).
+std::vector<OverheadSeries> run_matrix_with(
+    const std::vector<ExperimentConfig>& cells, int jobs,
+    const CellRunner& cell, MatrixProgress progress = nullptr);
+
+}  // namespace bnm::core

@@ -1,5 +1,6 @@
 #include "net/capture.h"
 
+#include <algorithm>
 #include <set>
 #include <tuple>
 #include <utility>
@@ -26,6 +27,13 @@ void PacketCapture::record(CaptureDirection direction, const Packet& packet) {
   rec.direction = direction;
   rec.packet = packet;
   records_.push_back(std::move(rec));
+}
+
+std::size_t PacketCapture::first_index_at_or_after(sim::TimePoint t) const {
+  const auto it = std::lower_bound(
+      records_.begin(), records_.end(), t,
+      [](const CaptureRecord& r, sim::TimePoint at) { return r.true_time < at; });
+  return static_cast<std::size_t>(it - records_.begin());
 }
 
 std::vector<CaptureRecord> PacketCapture::select(const CaptureFilter& filter) const {

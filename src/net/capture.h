@@ -56,6 +56,12 @@ class PacketCapture {
   void clear() { records_.clear(); }
   std::size_t size() const { return records_.size(); }
 
+  /// Index of the first record with true_time >= t (== size() if none).
+  /// Records are appended at the current simulated instant, so true_time is
+  /// non-decreasing and the lookup is a binary search — window extraction
+  /// over a long capture is O(log n + window) instead of a full scan.
+  std::size_t first_index_at_or_after(sim::TimePoint t) const;
+
   /// Records matching `filter`, in capture order.
   std::vector<CaptureRecord> select(const CaptureFilter& filter) const;
   /// First record at or after `from` matching `filter`.

@@ -1,0 +1,122 @@
+// Small-buffer callback for the scheduler's event hot path.
+//
+// Every simulated packet, timer and browser task schedules a closure; with
+// std::function most of those closures spill to the heap (libstdc++ gives
+// them 16 bytes of inline storage) and each Entry copy re-allocates. This
+// type keeps callables up to kInlineBytes inside the event itself, is
+// move-only (queue entries are moved, never copied), and falls back to a
+// single heap cell for oversized captures.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace bnm::sim {
+
+/// Move-only type-erased `void()` callable with inline storage.
+class SmallCallback {
+ public:
+  /// Inline capacity: fits `this` + a Packet-sized value capture or several
+  /// pointers/shared_ptrs, which covers the simulator's common closures.
+  static constexpr std::size_t kInlineBytes = 64;
+
+  SmallCallback() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallCallback> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  SmallCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      *reinterpret_cast<void**>(buf_) = new Fn(std::forward<F>(f));
+      ops_ = &kHeapOps<Fn>;
+    }
+  }
+
+  SmallCallback(SmallCallback&& o) noexcept { move_from(o); }
+  SmallCallback& operator=(SmallCallback&& o) noexcept {
+    if (this != &o) {
+      reset();
+      move_from(o);
+    }
+    return *this;
+  }
+  SmallCallback(const SmallCallback&) = delete;
+  SmallCallback& operator=(const SmallCallback&) = delete;
+
+  ~SmallCallback() { reset(); }
+
+  void operator()() { ops_->call(buf_); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  /// True if the callable lives in the inline buffer (no heap allocation).
+  /// Exposed for the substrate micro-benchmarks and tests.
+  bool is_inline() const { return ops_ != nullptr && ops_->inline_storage; }
+
+ private:
+  struct Ops {
+    void (*call)(void* buf);
+    /// Move-construct into `dst` from `src` and destroy the source.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* buf) noexcept;
+    bool inline_storage;
+  };
+
+  template <typename Fn>
+  static constexpr bool fits_inline() {
+    return sizeof(Fn) <= kInlineBytes &&
+           alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps = {
+      [](void* buf) { (*std::launder(reinterpret_cast<Fn*>(buf)))(); },
+      [](void* dst, void* src) noexcept {
+        Fn* s = std::launder(reinterpret_cast<Fn*>(src));
+        ::new (dst) Fn(std::move(*s));
+        s->~Fn();
+      },
+      [](void* buf) noexcept {
+        std::launder(reinterpret_cast<Fn*>(buf))->~Fn();
+      },
+      /*inline_storage=*/true,
+  };
+
+  template <typename Fn>
+  static constexpr Ops kHeapOps = {
+      [](void* buf) { (**reinterpret_cast<Fn**>(buf))(); },
+      [](void* dst, void* src) noexcept {
+        *reinterpret_cast<void**>(dst) = *reinterpret_cast<void**>(src);
+      },
+      [](void* buf) noexcept { delete *reinterpret_cast<Fn**>(buf); },
+      /*inline_storage=*/false,
+  };
+
+  void move_from(SmallCallback& o) noexcept {
+    ops_ = o.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, o.buf_);
+      o.ops_ = nullptr;
+    }
+  }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace bnm::sim

@@ -1,5 +1,6 @@
 #include "sim/scheduler.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -11,30 +12,76 @@ void EventHandle::cancel() {
 
 bool EventHandle::pending() const { return alive_ && *alive_; }
 
-EventHandle Scheduler::schedule_at(TimePoint at, std::function<void()> fn) {
-  assert(fn && "scheduling an empty callback");
-  if (at < now_) at = now_;  // never schedule into the past
-  auto alive = std::make_shared<bool>(true);
-  queue_.push(Entry{at, next_seq_++, std::move(fn), alive});
-  return EventHandle{std::move(alive)};
+std::shared_ptr<bool> Scheduler::acquire_block() {
+  if (!free_blocks_.empty()) {
+    std::shared_ptr<bool> block = std::move(free_blocks_.back());
+    free_blocks_.pop_back();
+    *block = true;
+    return block;
+  }
+  return std::make_shared<bool>(true);
 }
 
-EventHandle Scheduler::schedule_after(Duration delay, std::function<void()> fn) {
+void Scheduler::release_block(std::shared_ptr<bool>&& block) {
+  // Recycle only when no EventHandle still references the block; otherwise
+  // the handle keeps it alive and it is freed when the handle dies.
+  if (block.use_count() == 1) {
+    free_blocks_.push_back(std::move(block));
+  } else {
+    block.reset();
+  }
+}
+
+void Scheduler::push_entry(TimePoint at, SmallCallback fn,
+                           std::shared_ptr<bool> alive) {
+  if (at < now_) at = now_;  // never schedule into the past
+  heap_.push_back(Entry{at, next_seq_++, std::move(fn), std::move(alive)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+}
+
+Scheduler::Entry Scheduler::pop_entry() {
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Entry e = std::move(heap_.back());
+  heap_.pop_back();
+  return e;
+}
+
+EventHandle Scheduler::schedule_at(TimePoint at, SmallCallback fn) {
+  assert(fn && "scheduling an empty callback");
+  std::shared_ptr<bool> alive = acquire_block();
+  EventHandle handle{alive};
+  push_entry(at, std::move(fn), std::move(alive));
+  return handle;
+}
+
+EventHandle Scheduler::schedule_after(Duration delay, SmallCallback fn) {
   if (delay.is_negative()) delay = Duration::zero();
   return schedule_at(now_ + delay, std::move(fn));
 }
 
+void Scheduler::post_at(TimePoint at, SmallCallback fn) {
+  assert(fn && "scheduling an empty callback");
+  push_entry(at, std::move(fn), nullptr);
+}
+
+void Scheduler::post_after(Duration delay, SmallCallback fn) {
+  if (delay.is_negative()) delay = Duration::zero();
+  post_at(now_ + delay, std::move(fn));
+}
+
 bool Scheduler::step() {
-  while (!queue_.empty()) {
-    Entry e = queue_.top();
-    queue_.pop();
-    if (!*e.alive) {
-      if (cancelled_in_queue_ > 0) --cancelled_in_queue_;
+  while (!heap_.empty()) {
+    Entry e = pop_entry();
+    if (e.alive && !*e.alive) {
+      release_block(std::move(e.alive));
       continue;  // skip dead entries
     }
     assert(e.at >= now_);
     now_ = e.at;
-    *e.alive = false;  // fired; handle reports !pending()
+    if (e.alive) {
+      *e.alive = false;  // fired; handle reports !pending()
+      release_block(std::move(e.alive));
+    }
     ++executed_;
     e.fn();
     return true;
@@ -48,10 +95,11 @@ void Scheduler::run() {
 }
 
 void Scheduler::run_until(TimePoint deadline) {
-  while (!queue_.empty()) {
-    const Entry& top = queue_.top();
-    if (!*top.alive) {
-      queue_.pop();
+  while (!heap_.empty()) {
+    const Entry& top = heap_.front();
+    if (top.alive && !*top.alive) {
+      Entry dead = pop_entry();
+      release_block(std::move(dead.alive));
       continue;
     }
     if (top.at > deadline) break;
@@ -61,20 +109,21 @@ void Scheduler::run_until(TimePoint deadline) {
 }
 
 std::size_t Scheduler::pending_events() const {
-  // The queue may hold dead entries that have not surfaced yet; count live
-  // ones by scanning a copy only when asked (tests and diagnostics only).
-  auto copy = queue_;
   std::size_t live = 0;
-  while (!copy.empty()) {
-    if (*copy.top().alive) ++live;
-    copy.pop();
+  for (const Entry& e : heap_) {
+    if (!e.alive || *e.alive) ++live;
   }
   return live;
 }
 
 void Scheduler::clear() {
-  while (!queue_.empty()) queue_.pop();
-  cancelled_in_queue_ = 0;
+  for (Entry& e : heap_) {
+    if (e.alive) {
+      *e.alive = false;  // outstanding handles must report !pending()
+      release_block(std::move(e.alive));
+    }
+  }
+  heap_.clear();
 }
 
 }  // namespace bnm::sim

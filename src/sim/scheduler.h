@@ -6,15 +6,20 @@
 //
 // Cancellation is supported through EventHandle tokens — cancelling marks
 // the queue entry dead; the entry is skipped (and freed) when it surfaces.
+//
+// Hot-path design: entries store a SmallCallback (no heap allocation for
+// typical closures), the heap is an explicit std::vector (entries are moved
+// out, never copied out as std::priority_queue forces), and the per-event
+// liveness control blocks are recycled through a free list once their last
+// handle is gone. Fire-and-forget work should use post_at()/post_after(),
+// which skip the control block entirely.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
-#include <string>
 #include <vector>
 
+#include "sim/callback.h"
 #include "sim/time.h"
 
 namespace bnm::sim {
@@ -48,9 +53,14 @@ class Scheduler {
   TimePoint now() const { return now_; }
 
   /// Schedule `fn` to run at absolute time `at` (must be >= now()).
-  EventHandle schedule_at(TimePoint at, std::function<void()> fn);
+  EventHandle schedule_at(TimePoint at, SmallCallback fn);
   /// Schedule `fn` to run `delay` after now(). Negative delays clamp to 0.
-  EventHandle schedule_after(Duration delay, std::function<void()> fn);
+  EventHandle schedule_after(Duration delay, SmallCallback fn);
+
+  /// Fire-and-forget variants: no cancellation handle, no control-block
+  /// allocation. Prefer these on hot paths that never cancel.
+  void post_at(TimePoint at, SmallCallback fn);
+  void post_after(Duration delay, SmallCallback fn);
 
   /// Execute the next pending event; returns false if the queue is empty.
   bool step();
@@ -65,15 +75,20 @@ class Scheduler {
   /// Total events executed so far (for micro-benchmarks and tests).
   std::uint64_t executed_events() const { return executed_; }
 
+  /// Control blocks currently parked for reuse (observability for the
+  /// substrate micro-benchmarks).
+  std::size_t pooled_control_blocks() const { return free_blocks_.size(); }
+
   /// Drop every queued event (used between experiment repetitions).
+  /// Outstanding handles for dropped events report !pending().
   void clear();
 
  private:
   struct Entry {
     TimePoint at;
     std::uint64_t seq;
-    std::function<void()> fn;
-    std::shared_ptr<bool> alive;
+    SmallCallback fn;
+    std::shared_ptr<bool> alive;  ///< null => fire-and-forget (always live)
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
@@ -82,11 +97,17 @@ class Scheduler {
     }
   };
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  void push_entry(TimePoint at, SmallCallback fn, std::shared_ptr<bool> alive);
+  std::shared_ptr<bool> acquire_block();
+  void release_block(std::shared_ptr<bool>&& block);
+  /// Pop the earliest entry off the heap (caller owns the result).
+  Entry pop_entry();
+
+  std::vector<Entry> heap_;
+  std::vector<std::shared_ptr<bool>> free_blocks_;
   TimePoint now_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
-  std::size_t cancelled_in_queue_ = 0;
 };
 
 }  // namespace bnm::sim

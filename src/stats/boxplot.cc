@@ -7,35 +7,65 @@
 
 namespace bnm::stats {
 
-BoxStats box_stats(std::vector<double> xs) {
-  assert(!xs.empty());
-  std::sort(xs.begin(), xs.end());
+namespace {
 
-  BoxStats b;
-  b.n = xs.size();
-  b.q1 = quantile_sorted(xs, 0.25);
-  b.median = quantile_sorted(xs, 0.5);
-  b.q3 = quantile_sorted(xs, 0.75);
-
+// Whiskers and outliers for quantiles already in `b`; `first`/`last` bound
+// the scan order so the sorted path keeps its ascending outlier output and
+// the unsorted path can run over raw data (outliers sorted afterwards).
+template <typename It>
+void scan_whiskers(BoxStats& b, It first, It last) {
   const double fence_lo = b.q1 - 1.5 * b.iqr();
   const double fence_hi = b.q3 + 1.5 * b.iqr();
 
   b.whisker_lo = b.q1;  // fallbacks if everything on a side is an outlier
   b.whisker_hi = b.q3;
   bool saw_inlier = false;
-  for (double x : xs) {
+  for (It it = first; it != last; ++it) {
+    const double x = *it;
     if (x < fence_lo) {
       b.outliers_lo.push_back(x);
     } else if (x > fence_hi) {
       b.outliers_hi.push_back(x);
+    } else if (!saw_inlier) {
+      b.whisker_lo = x;
+      b.whisker_hi = x;
+      saw_inlier = true;
     } else {
-      if (!saw_inlier) {
-        b.whisker_lo = x;
-        saw_inlier = true;
-      }
-      b.whisker_hi = x;  // xs is sorted; last inlier wins
+      b.whisker_lo = std::min(b.whisker_lo, x);
+      b.whisker_hi = std::max(b.whisker_hi, x);
     }
   }
+}
+
+}  // namespace
+
+BoxStats box_stats(std::vector<double> xs) {
+  assert(!xs.empty());
+
+  BoxStats b;
+  b.n = xs.size();
+  // Three selections on one scratch buffer instead of a full sort: the box
+  // needs only Q1/median/Q3, and the whisker scan below is order-free.
+  b.q1 = quantile_select(xs, 0.25);
+  b.median = quantile_select(xs, 0.5);
+  b.q3 = quantile_select(xs, 0.75);
+
+  scan_whiskers(b, xs.begin(), xs.end());
+  std::sort(b.outliers_lo.begin(), b.outliers_lo.end());
+  std::sort(b.outliers_hi.begin(), b.outliers_hi.end());
+  return b;
+}
+
+BoxStats box_stats_sorted(const std::vector<double>& sorted) {
+  assert(!sorted.empty());
+  assert(std::is_sorted(sorted.begin(), sorted.end()));
+
+  BoxStats b;
+  b.n = sorted.size();
+  b.q1 = quantile_sorted(sorted, 0.25);
+  b.median = quantile_sorted(sorted, 0.5);
+  b.q3 = quantile_sorted(sorted, 0.75);
+  scan_whiskers(b, sorted.begin(), sorted.end());  // outliers come out sorted
   return b;
 }
 

@@ -32,7 +32,12 @@ struct BoxStats {
 };
 
 /// Compute box statistics with the Tukey 1.5*IQR fence. Undefined for empty
-/// input (asserts in debug builds).
+/// input (asserts in debug builds). Selection-based: O(n) quantiles plus a
+/// linear whisker/outlier scan; only the (small) outlier lists are sorted.
 BoxStats box_stats(std::vector<double> xs);
+
+/// Same statistics from an already ascending-sorted sample — the sorted
+/// whisker-scan path for callers that keep sorted data around (CDFs).
+BoxStats box_stats_sorted(const std::vector<double>& sorted);
 
 }  // namespace bnm::stats

@@ -44,9 +44,25 @@ double quantile_sorted(const std::vector<double>& sorted, double q) {
   return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
 }
 
+double quantile_select(std::vector<double>& xs, double q) {
+  assert(!xs.empty());
+  assert(q >= 0.0 && q <= 1.0);
+  if (xs.size() == 1) return xs.front();
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  const auto nth = xs.begin() + static_cast<std::ptrdiff_t>(lo);
+  std::nth_element(xs.begin(), nth, xs.end());
+  const double vlo = *nth;
+  if (frac == 0.0 || lo + 1 >= xs.size()) return vlo;
+  // The interpolation partner is the smallest element of the upper
+  // partition — one linear pass instead of a second selection.
+  const double vhi = *std::min_element(nth + 1, xs.end());
+  return vlo + frac * (vhi - vlo);
+}
+
 double quantile(std::vector<double> xs, double q) {
-  std::sort(xs.begin(), xs.end());
-  return quantile_sorted(xs, q);
+  return quantile_select(xs, q);
 }
 
 double median(const std::vector<double>& xs) { return quantile(xs, 0.5); }
@@ -62,9 +78,10 @@ double mad(const std::vector<double>& xs) {
 
 double iqr(const std::vector<double>& xs) {
   if (xs.empty()) return 0.0;
-  std::vector<double> s = xs;
-  std::sort(s.begin(), s.end());
-  return quantile_sorted(s, 0.75) - quantile_sorted(s, 0.25);
+  std::vector<double> scratch = xs;
+  const double q1 = quantile_select(scratch, 0.25);
+  const double q3 = quantile_select(scratch, 0.75);
+  return q3 - q1;
 }
 
 Summary summarize(std::vector<double> xs) {

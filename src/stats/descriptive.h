@@ -19,9 +19,14 @@ double max(const std::vector<double>& xs);
 
 /// Linear-interpolation quantile (type 7, the R/NumPy default).
 /// `q` in [0, 1]. Input need not be sorted. Undefined for empty input.
+/// Selection-based (std::nth_element): O(n), no full sort.
 double quantile(std::vector<double> xs, double q);
 /// Quantile of an already ascending-sorted vector (no copy).
 double quantile_sorted(const std::vector<double>& sorted, double q);
+/// In-place selection quantile over a scratch buffer the caller owns;
+/// partially reorders `xs`. Lets one buffer serve several quantiles
+/// without a copy per call (boxplot, iqr).
+double quantile_select(std::vector<double>& xs, double q);
 
 double median(const std::vector<double>& xs);
 

@@ -1,11 +1,18 @@
 // The full Figure-3 matrix at reduced scale: every method on every
 // Table-2 case (plus nanoTime and appletviewer variants) must produce
 // clean samples with sane bounds. This is the smoke net under the benches.
+//
+// Cells go through the parallel matrix runner (core/parallel_runner.h),
+// the same entry point the benches use. ctest executes each parameterized
+// case in its own process (gtest_discover_tests), so every process runs
+// exactly its own cell — run_matrix with a single-cell batch — rather than
+// caching the whole matrix per process.
 #include <gtest/gtest.h>
 
 #include <cmath>
 
 #include "core/experiment.h"
+#include "core/parallel_runner.h"
 
 namespace bnm::core {
 namespace {
@@ -39,7 +46,9 @@ TEST_P(FullMatrix, FiveRunsProduceSaneOverheads) {
   cfg.os = param.who.os;
   cfg.kind = param.kind;
   cfg.runs = 5;
-  const auto series = run_experiment(cfg);
+  const auto results = run_matrix({cfg});
+  ASSERT_EQ(results.size(), 1u);
+  const OverheadSeries& series = results.front();
 
   if (!supported) {
     EXPECT_TRUE(series.samples.empty());

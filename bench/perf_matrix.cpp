@@ -79,6 +79,12 @@ struct MatrixTimings {
   double speedup() const {
     return parallel_ms > 0 ? serial_ms / parallel_ms : 0.0;
   }
+  /// With one worker the "parallel" run is just a second serial run, and
+  /// with one visible core extra workers only timeslice it, so in either
+  /// case the measured speedup is noise, not signal.
+  bool parallel_meaningful() const {
+    return jobs > 1 && std::thread::hardware_concurrency() > 1;
+  }
 };
 
 MatrixTimings bench_matrix(int runs, int jobs_flag) {
@@ -103,7 +109,8 @@ MatrixTimings bench_matrix(int runs, int jobs_flag) {
   const auto parallel = core::run_matrix(cells, t.jobs);
   const auto p1 = Clock::now();
   t.parallel_ms = ms_between(p0, p1);
-  std::printf("%8.1f ms   (%.2fx)\n", t.parallel_ms, t.speedup());
+  std::printf("%8.1f ms   (%.2fx)%s\n", t.parallel_ms, t.speedup(),
+              t.parallel_meaningful() ? "" : "  [1 core/worker: not meaningful]");
 
   for (std::size_t i = 0; i < cells.size(); ++i) {
     if (!identical(serial[i], parallel[i])) {
@@ -144,7 +151,7 @@ CaptureTimings bench_capture_scan() {
         [&capture, i] {
           net::Packet p;
           p.id = i;
-          p.payload = {0x42};
+          p.payload = std::vector<std::uint8_t>{0x42};
           capture.record(i % 2 ? net::CaptureDirection::kInbound
                                : net::CaptureDirection::kOutbound,
                          p);
@@ -265,6 +272,8 @@ void write_json(const char* path, unsigned hw, const MatrixTimings& m,
   std::fprintf(f, "    \"serial_ms\": %.3f,\n", m.serial_ms);
   std::fprintf(f, "    \"parallel_ms\": %.3f,\n", m.parallel_ms);
   std::fprintf(f, "    \"speedup\": %.3f,\n", m.speedup());
+  std::fprintf(f, "    \"parallel_meaningful\": %s,\n",
+               m.parallel_meaningful() ? "true" : "false");
   std::fprintf(f, "    \"identical\": %s\n", m.identical ? "true" : "false");
   std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"capture_scan\": {\n");
@@ -308,9 +317,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "FAIL: parallel results differ from serial\n");
     return 1;
   }
-  if (hw < 4) {
-    std::printf("note: only %u core(s) visible - speedup is not meaningful "
-                "on this host (expect >=3x at jobs=4 on 4+ cores)\n", hw);
+  if (!m.parallel_meaningful() || hw < 4) {
+    std::printf("note: only %u core(s) visible (jobs=%d) - speedup is not "
+                "meaningful on this host (expect >=3x at jobs=4 on 4+ "
+                "cores)\n", hw, m.jobs);
   } else {
     benchutil::shape_check(m.speedup() >= 3.0 || m.jobs < 4,
                            "parallel full matrix >=3x over serial at jobs>=4");

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus an AddressSanitizer pass.
+#
+#   scripts/check.sh          # full: plain build + ctest, then ASan build + ctest
+#   scripts/check.sh --fast   # plain build + ctest only (skip the ASan pass)
+#
+# Exits non-zero on the first failing step. Build trees: build/ (plain)
+# and build-asan/ (ASan); both are incremental across invocations.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+FAST=0
+for arg in "$@"; do
+  case "$arg" in
+    --fast) FAST=1 ;;
+    *) echo "usage: scripts/check.sh [--fast]" >&2; exit 2 ;;
+  esac
+done
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+# Prefer Ninja, but never fight an already-configured tree's generator.
+gen_for() {
+  if [[ ! -f "$1/CMakeCache.txt" ]] && command -v ninja >/dev/null 2>&1; then
+    echo "-G Ninja"
+  fi
+}
+
+step "tier-1: configure"
+# shellcheck disable=SC2046
+cmake -B build -S . $(gen_for build)
+
+step "tier-1: build"
+cmake --build build -j
+
+step "tier-1: ctest (-L tier1)"
+ctest --test-dir build -L tier1 --output-on-failure
+
+if [[ "$FAST" == 1 ]]; then
+  echo
+  echo "check.sh: tier-1 OK (ASan pass skipped with --fast)"
+  exit 0
+fi
+
+step "asan: configure (BNM_SANITIZE=address)"
+# shellcheck disable=SC2046
+cmake -B build-asan -S . $(gen_for build-asan) -DBNM_SANITIZE=address
+
+step "asan: build tests"
+cmake --build build-asan -j --target bnm_tests
+
+step "asan: ctest"
+ctest --test-dir build-asan --output-on-failure
+
+echo
+echo "check.sh: tier-1 + ASan OK"

@@ -103,7 +103,7 @@ void FlashRuntime::Socket::do_connect(net::Endpoint target) {
       if (on_connect_) on_connect_();
     });
   };
-  cbs.on_data = [this, &b](const std::vector<std::uint8_t>& bytes) {
+  cbs.on_data = [this, &b](const net::Payload& bytes) {
     const sim::Duration dispatch =
         b.sample_recv_dispatch(ProbeKind::kFlashSocket, current_is_first_);
     b.event_loop().post(dispatch, [this, data = net::to_string(bytes)] {

@@ -71,7 +71,7 @@ void JavaAppletRuntime::Socket::connect(net::Endpoint target) {
       if (on_connect_) on_connect_();
     });
   };
-  cbs.on_data = [this, &b](const std::vector<std::uint8_t>& bytes) {
+  cbs.on_data = [this, &b](const net::Payload& bytes) {
     const sim::Duration dispatch =
         runtime_.recv_dispatch(ProbeKind::kJavaSocket, current_is_first_);
     b.sim().scheduler().schedule_after(
@@ -107,7 +107,7 @@ JavaAppletRuntime::DatagramSocket::DatagramSocket(JavaAppletRuntime& runtime)
     : runtime_{runtime} {
   Browser& b = runtime_.browser();
   sock_ = b.host().udp_open([this, &b](net::Endpoint src,
-                                       const std::vector<std::uint8_t>& bytes) {
+                                       const net::Payload& bytes) {
     const sim::Duration dispatch =
         runtime_.recv_dispatch(ProbeKind::kJavaUdp, current_is_first_);
     b.sim().scheduler().schedule_after(

@@ -37,7 +37,7 @@ std::vector<IppmSample> PoissonRttStream::run() {
   std::map<int, Pending> pending;
 
   auto socket = testbed_->client().udp_open(
-      [&](net::Endpoint, const std::vector<std::uint8_t>& payload) {
+      [&](net::Endpoint, const net::Payload& payload) {
         const int seq = probe_seq(net::to_string(payload));
         const auto it = pending.find(seq);
         if (it != pending.end() && !it->second.received) {

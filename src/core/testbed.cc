@@ -98,7 +98,7 @@ void Testbed::start_services() {
                       [](std::shared_ptr<net::TcpConnection> conn) {
                         net::TcpCallbacks cbs;
                         auto weak = std::weak_ptr<net::TcpConnection>(conn);
-                        cbs.on_data = [weak](const std::vector<std::uint8_t>& d) {
+                        cbs.on_data = [weak](const net::Payload& d) {
                           if (auto c = weak.lock()) c->send(d);
                         };
                         cbs.on_close = [weak] {
@@ -110,7 +110,7 @@ void Testbed::start_services() {
   // UDP echo.
   udp_echo_ = server_->udp_open(
       config_.udp_echo_port,
-      [this](net::Endpoint src, const std::vector<std::uint8_t>& d) {
+      [this](net::Endpoint src, const net::Payload& d) {
         udp_echo_->send_to(src, d);
       });
 
@@ -118,7 +118,7 @@ void Testbed::start_services() {
   if (config_.cross_traffic_mbps > 0.0) {
     traffic_sink_ = server_->udp_open(
         kTrafficSinkPort,
-        [](net::Endpoint, const std::vector<std::uint8_t>&) {});
+        [](net::Endpoint, const net::Payload&) {});
   }
 
   // WebSocket echo.

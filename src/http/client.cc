@@ -123,8 +123,8 @@ void HttpClient::start_on(const std::shared_ptr<PoolEntry>& entry,
   auto self = this;
   auto cb_shared = std::make_shared<ResponseCallback>(std::move(cb));
   cbs.on_data = [self, entry, server, cb_shared, opts,
-                 info](const std::vector<std::uint8_t>& bytes) mutable {
-    entry->parser.feed(net::to_string(bytes));
+                 info](const net::Payload& bytes) mutable {
+    entry->parser.feed(bytes);
     if (entry->parser.failed()) {
       entry->alive = false;
       self->release_slot(server, *entry);

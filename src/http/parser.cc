@@ -21,6 +21,12 @@ void MessageParser::feed(const std::string& bytes) {
   advance();
 }
 
+void MessageParser::feed(const net::Payload& bytes) {
+  if (failed()) return;
+  buffer_.append(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+  advance();
+}
+
 bool MessageParser::take_line(std::string& line) {
   const auto pos = buffer_.find("\r\n");
   if (pos == std::string::npos) return false;

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "http/message.h"
+#include "net/payload.h"
 
 namespace bnm::http {
 
@@ -30,6 +31,8 @@ class MessageParser {
 
   /// Append bytes to the internal buffer. Call done()/take_*() afterwards.
   void feed(const std::string& bytes);
+  /// Same, straight from a payload view (no intermediate string copy).
+  void feed(const net::Payload& bytes);
 
   bool failed() const { return error_ != ParseError::kNone; }
   ParseError error() const { return error_; }

@@ -106,7 +106,7 @@ void WebServer::on_accept(std::shared_ptr<net::TcpConnection> conn) {
   auto state = std::make_shared<ConnState>();
   state->conn = std::move(conn);
   net::TcpCallbacks cbs;
-  cbs.on_data = [this, state](const std::vector<std::uint8_t>& bytes) {
+  cbs.on_data = [this, state](const net::Payload& bytes) {
     on_data(state, bytes);
   };
   cbs.on_close = [state] {
@@ -117,9 +117,9 @@ void WebServer::on_accept(std::shared_ptr<net::TcpConnection> conn) {
 }
 
 void WebServer::on_data(const std::shared_ptr<ConnState>& state,
-                        const std::vector<std::uint8_t>& bytes) {
+                        const net::Payload& bytes) {
   if (state->closing) return;
-  state->parser.feed(net::to_string(bytes));
+  state->parser.feed(bytes);
   if (state->parser.failed()) {
     HttpResponse bad = HttpResponse::make(400, "bad request");
     bad.headers.set("Connection", "close");

@@ -64,7 +64,7 @@ class WebServer {
   void install_default_routes();
   void on_accept(std::shared_ptr<net::TcpConnection> conn);
   void on_data(const std::shared_ptr<ConnState>& state,
-               const std::vector<std::uint8_t>& bytes);
+               const net::Payload& bytes);
   void dispatch(const std::shared_ptr<ConnState>& state, HttpRequest request);
   HttpResponse handle(const HttpRequest& request);
 

@@ -25,7 +25,13 @@ void PacketCapture::record(CaptureDirection direction, const Packet& packet) {
     rec.timestamp += rng_.uniform_ms(0.0, config_.timestamp_jitter.ms_f());
   }
   rec.direction = direction;
+  // Metadata copy + shared payload view — never a byte copy. snap_len
+  // truncation is a narrower view of the same buffer.
   rec.packet = packet;
+  rec.wire_payload_len = packet.payload_size();
+  if (config_.snap_len < rec.wire_payload_len) {
+    rec.packet.payload = packet.payload.first(config_.snap_len);
+  }
   records_.push_back(std::move(rec));
 }
 
@@ -61,13 +67,13 @@ std::optional<CaptureRecord> PacketCapture::last(const CaptureFilter& filter) co
 
 CaptureFilter PacketCapture::outbound_data() {
   return [](const CaptureRecord& r) {
-    return r.direction == CaptureDirection::kOutbound && r.packet.carries_data();
+    return r.direction == CaptureDirection::kOutbound && r.carries_data();
   };
 }
 
 CaptureFilter PacketCapture::inbound_data() {
   return [](const CaptureRecord& r) {
-    return r.direction == CaptureDirection::kInbound && r.packet.carries_data();
+    return r.direction == CaptureDirection::kInbound && r.carries_data();
   };
 }
 

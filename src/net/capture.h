@@ -29,7 +29,17 @@ struct CaptureRecord {
   sim::TimePoint timestamp;  ///< capture clock (true time + jitter)
   sim::TimePoint true_time;  ///< exact simulated instant (for calibration)
   CaptureDirection direction = CaptureDirection::kOutbound;
+  /// The captured packet. Its payload is a zero-copy view sharing the
+  /// in-flight packet's buffer, possibly truncated to the tap's snap_len
+  /// (like a real tcpdump -s capture).
   Packet packet;
+  /// Payload length of the packet on the wire (>= packet.payload_size()
+  /// when the tap truncates). Analysis should use this, not the stored
+  /// view's size, for byte accounting.
+  std::size_t wire_payload_len = 0;
+
+  /// Whether the on-wire packet carried data (snap-len-proof).
+  bool carries_data() const { return wire_payload_len > 0; }
 
   std::string to_string() const;
 };
@@ -44,7 +54,14 @@ class PacketCapture {
     sim::Duration timestamp_jitter = sim::Duration::zero();
     std::string name = "pcap";
     bool enabled = true;
+    /// Payload bytes retained per record (tcpdump's -s). The default keeps
+    /// the whole payload; either way the tap stores a shared view — a
+    /// capture never deep-copies payload bytes, so a long capture costs
+    /// O(records), not O(bytes). 0 = headers + timestamps only, the
+    /// DlyLoc-style metadata-weight tap.
+    std::size_t snap_len = kNoSnapLen;
   };
+  static constexpr std::size_t kNoSnapLen = static_cast<std::size_t>(-1);
 
   explicit PacketCapture(sim::Simulation& sim)
       : PacketCapture(sim, Config{}) {}

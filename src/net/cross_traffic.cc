@@ -27,7 +27,7 @@ void CrossTrafficGenerator::start() {
   if (running_) return;
   running_ = true;
   if (!socket_) {
-    socket_ = source_.udp_open([](Endpoint, const std::vector<std::uint8_t>&) {
+    socket_ = source_.udp_open([](Endpoint, const Payload&) {
       // Sink replies are not expected; drop anything that comes back.
     });
   }

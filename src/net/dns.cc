@@ -35,7 +35,7 @@ bool put_qname(std::vector<std::uint8_t>& out, const std::string& name) {
   return true;
 }
 
-std::optional<std::string> read_qname(const std::vector<std::uint8_t>& wire,
+std::optional<std::string> read_qname(const Payload& wire,
                                       std::size_t& pos) {
   std::string name;
   while (pos < wire.size()) {
@@ -51,7 +51,7 @@ std::optional<std::string> read_qname(const std::vector<std::uint8_t>& wire,
   return std::nullopt;
 }
 
-std::optional<std::uint16_t> read_u16(const std::vector<std::uint8_t>& wire,
+std::optional<std::uint16_t> read_u16(const Payload& wire,
                                       std::size_t& pos) {
   if (pos + 2 > wire.size()) return std::nullopt;
   const std::uint16_t v =
@@ -90,8 +90,7 @@ std::vector<std::uint8_t> DnsMessage::encode() const {
   return out;
 }
 
-std::optional<DnsMessage> DnsMessage::decode(
-    const std::vector<std::uint8_t>& wire) {
+std::optional<DnsMessage> DnsMessage::decode(const Payload& wire) {
   std::size_t pos = 0;
   DnsMessage msg;
   const auto id = read_u16(wire, pos);
@@ -140,7 +139,7 @@ std::optional<DnsMessage> DnsMessage::decode(
 
 DnsServer::DnsServer(Host& host, Port port) : host_{host} {
   socket_ = host_.udp_open(
-      port, [this](Endpoint src, const std::vector<std::uint8_t>& data) {
+      port, [this](Endpoint src, const Payload& data) {
         const auto query = DnsMessage::decode(data);
         if (!query || query->is_response) return;
         ++queries_;
@@ -167,7 +166,7 @@ void DnsServer::add_record(const std::string& name, IpAddress address) {
 DnsResolver::DnsResolver(Host& host, Endpoint server)
     : host_{host}, server_{server} {
   socket_ = host_.udp_open(
-      [this](Endpoint src, const std::vector<std::uint8_t>& data) {
+      [this](Endpoint src, const Payload& data) {
         on_datagram(src, data);
       });
 }
@@ -209,8 +208,7 @@ void DnsResolver::resolve(const std::string& name, Callback cb) {
   socket_->send_to(server_, query.encode());
 }
 
-void DnsResolver::on_datagram(Endpoint src,
-                              const std::vector<std::uint8_t>& data) {
+void DnsResolver::on_datagram(Endpoint src, const Payload& data) {
   if (src != server_) return;
   const auto reply = DnsMessage::decode(data);
   if (!reply || !reply->is_response) return;

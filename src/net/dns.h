@@ -33,7 +33,7 @@ struct DnsMessage {
 
   /// RFC 1035 wire encoding (header + question [+ answer]).
   std::vector<std::uint8_t> encode() const;
-  static std::optional<DnsMessage> decode(const std::vector<std::uint8_t>& wire);
+  static std::optional<DnsMessage> decode(const Payload& wire);
 };
 
 /// Authoritative server with a static zone, listening on UDP 53.
@@ -81,7 +81,7 @@ class DnsResolver {
     sim::EventHandle timeout;
   };
 
-  void on_datagram(Endpoint src, const std::vector<std::uint8_t>& data);
+  void on_datagram(Endpoint src, const Payload& data);
 
   Host& host_;
   Endpoint server_;

@@ -109,11 +109,11 @@ void Host::deregister_connection(const FourTuple& tuple) {
   connections_.erase(tuple);
 }
 
-void Host::handle_packet(const Packet& packet) {
+void Host::handle_packet(Packet packet) {
   capture_.record(CaptureDirection::kInbound, packet);
   sim_.trace().emit(sim_.now(), config_.name, "rx " + packet.to_string());
-  sim_.scheduler().schedule_after(config_.stack_delay,
-                                  [this, pkt = packet]() { demux(pkt); });
+  sim_.scheduler().schedule_after(
+      config_.stack_delay, [this, pkt = std::move(packet)]() { demux(pkt); });
 }
 
 void Host::demux(const Packet& packet) {

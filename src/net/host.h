@@ -83,7 +83,7 @@ class Host : public PacketSink {
   void deregister_connection(const FourTuple& tuple);
 
   // PacketSink: packet arrived from the wire.
-  void handle_packet(const Packet& packet) override;
+  void handle_packet(Packet packet) override;
 
  private:
   void demux(const Packet& packet);

@@ -51,7 +51,7 @@ void Link::transmit(Side side, Packet packet) {
                                         pkt = std::move(packet)]() mutable {
     --dp->in_flight;
     ++dp->delivered;
-    sink->handle_packet(pkt);
+    sink->handle_packet(std::move(pkt));
   });
 }
 

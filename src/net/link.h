@@ -17,11 +17,13 @@
 
 namespace bnm::net {
 
-/// Anything that can accept a delivered packet (hosts, switches).
+/// Anything that can accept a delivered packet (hosts, switches). Packets
+/// are handed over by value and moved the whole way down the pipeline —
+/// with refcounted payloads that is a metadata move, no byte copies.
 class PacketSink {
  public:
   virtual ~PacketSink() = default;
-  virtual void handle_packet(const Packet& packet) = 0;
+  virtual void handle_packet(Packet packet) = 0;
 };
 
 class Link {

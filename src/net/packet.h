@@ -2,7 +2,10 @@
 //
 // Packets are value types; every hop works on its own copy, so mutation at
 // one node can never be observed retroactively by another (the same property
-// a real wire gives you).
+// a real wire gives you). Payload bytes live in immutable refcounted
+// buffers (net/payload.h), so copying a packet copies metadata only — the
+// isolation invariant holds by construction (copy-on-write), not by
+// duplicating bytes at every hop.
 #pragma once
 
 #include <cstdint>
@@ -10,6 +13,7 @@
 #include <vector>
 
 #include "net/address.h"
+#include "net/payload.h"
 
 namespace bnm::net {
 
@@ -49,7 +53,7 @@ struct Packet {
   std::uint32_t ack = 0;
   std::uint16_t window = 65535;
 
-  std::vector<std::uint8_t> payload;
+  Payload payload;
 
   std::size_t payload_size() const { return payload.size(); }
   /// IP datagram size: transport header + payload (+ IP header).
@@ -67,6 +71,7 @@ struct Packet {
 };
 
 /// Convert between byte vectors and strings (HTTP layer convenience).
+/// to_string(const Payload&) lives in net/payload.h.
 std::vector<std::uint8_t> to_bytes(const std::string& s);
 std::string to_string(const std::vector<std::uint8_t>& b);
 

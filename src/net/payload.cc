@@ -1,0 +1,170 @@
+#include "net/payload.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+
+namespace bnm::net {
+
+namespace {
+
+std::atomic<std::uint64_t> g_deep_copy_bytes{0};
+std::atomic<std::uint64_t> g_aliased_bytes{0};
+std::atomic<std::uint64_t> g_buffers_allocated{0};
+
+void count_deep(std::size_t bytes) {
+  if (bytes) g_deep_copy_bytes.fetch_add(bytes, std::memory_order_relaxed);
+}
+void count_alias(std::size_t bytes) {
+  if (bytes) g_aliased_bytes.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+// The empty view needs no buffer at all.
+const std::uint8_t* empty_data() {
+  static const std::uint8_t b = 0;
+  return &b;
+}
+
+}  // namespace
+
+std::uint64_t PayloadStats::deep_copy_bytes() {
+  return g_deep_copy_bytes.load(std::memory_order_relaxed);
+}
+std::uint64_t PayloadStats::aliased_bytes() {
+  return g_aliased_bytes.load(std::memory_order_relaxed);
+}
+std::uint64_t PayloadStats::buffers_allocated() {
+  return g_buffers_allocated.load(std::memory_order_relaxed);
+}
+void PayloadStats::reset() {
+  g_deep_copy_bytes.store(0, std::memory_order_relaxed);
+  g_aliased_bytes.store(0, std::memory_order_relaxed);
+  g_buffers_allocated.store(0, std::memory_order_relaxed);
+}
+
+Payload::Payload(std::vector<std::uint8_t> bytes) {
+  if (bytes.empty()) return;
+  size_ = bytes.size();
+  buf_ = std::make_shared<std::vector<std::uint8_t>>(std::move(bytes));
+  g_buffers_allocated.fetch_add(1, std::memory_order_relaxed);
+}
+
+Payload::Payload(const std::string& bytes)
+    : Payload{std::vector<std::uint8_t>{bytes.begin(), bytes.end()}} {
+  count_deep(size_);
+}
+
+Payload Payload::copy_of(const void* data, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  count_deep(len);
+  return Payload{std::vector<std::uint8_t>{p, p + len}};
+}
+
+Payload::Payload(const Payload& other)
+    : buf_{other.buf_}, offset_{other.offset_}, size_{other.size_} {
+  count_alias(size_);
+}
+
+Payload& Payload::operator=(const Payload& other) {
+  if (this != &other) {
+    buf_ = other.buf_;
+    offset_ = other.offset_;
+    size_ = other.size_;
+    count_alias(size_);
+  }
+  return *this;
+}
+
+Payload::Payload(Payload&& other) noexcept
+    : buf_{std::move(other.buf_)}, offset_{other.offset_}, size_{other.size_} {
+  other.offset_ = 0;
+  other.size_ = 0;
+}
+
+Payload& Payload::operator=(Payload&& other) noexcept {
+  if (this != &other) {
+    buf_ = std::move(other.buf_);
+    offset_ = other.offset_;
+    size_ = other.size_;
+    other.offset_ = 0;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+const std::uint8_t* Payload::data() const {
+  return buf_ ? buf_->data() + offset_ : empty_data();
+}
+
+Payload Payload::subview(std::size_t offset, std::size_t len) const {
+  if (offset >= size_) return Payload{};
+  len = std::min(len, size_ - offset);
+  if (len == 0) return Payload{};
+  count_alias(len);
+  return Payload{buf_, offset_ + offset, len};
+}
+
+void Payload::clear() {
+  buf_.reset();
+  offset_ = 0;
+  size_ = 0;
+}
+
+void Payload::assign(std::size_t count, std::uint8_t value) {
+  *this = Payload{std::vector<std::uint8_t>(count, value)};
+}
+
+std::uint8_t* Payload::mutable_bytes() {
+  if (!buf_) return nullptr;  // empty view: nothing to write
+  if (buf_.use_count() != 1 || offset_ != 0 || size_ != buf_->size()) {
+    // Shared (or a partial view): clone so other holders keep the original.
+    count_deep(size_);
+    buf_ = std::make_shared<std::vector<std::uint8_t>>(begin(), end());
+    g_buffers_allocated.fetch_add(1, std::memory_order_relaxed);
+    offset_ = 0;
+  }
+  return buf_->data();
+}
+
+std::vector<std::uint8_t> Payload::as_vector() const {
+  count_deep(size_);
+  return {begin(), end()};
+}
+
+std::string Payload::as_string() const {
+  count_deep(size_);
+  return {begin(), end()};
+}
+
+bool Payload::operator==(const Payload& other) const {
+  if (size_ != other.size_) return false;
+  if (size_ == 0) return true;
+  if (shares_buffer_with(other) && offset_ == other.offset_) return true;
+  return std::memcmp(data(), other.data(), size_) == 0;
+}
+
+bool Payload::operator==(const std::vector<std::uint8_t>& other) const {
+  if (size_ != other.size()) return false;
+  return size_ == 0 || std::memcmp(data(), other.data(), size_) == 0;
+}
+
+Payload gather(const Payload* parts, std::size_t count, std::size_t skip_front,
+               std::size_t total) {
+  std::vector<std::uint8_t> out;
+  out.reserve(total);
+  for (std::size_t i = 0; i < count && out.size() < total; ++i) {
+    const Payload& part = parts[i];
+    std::size_t off = 0;
+    if (i == 0) off = std::min(skip_front, part.size());
+    const std::size_t take =
+        std::min(part.size() - off, total - out.size());
+    out.insert(out.end(), part.begin() + static_cast<std::ptrdiff_t>(off),
+               part.begin() + static_cast<std::ptrdiff_t>(off + take));
+  }
+  count_deep(out.size());
+  return Payload{std::move(out)};
+}
+
+std::string to_string(const Payload& p) { return p.as_string(); }
+
+}  // namespace bnm::net

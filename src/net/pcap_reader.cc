@@ -29,9 +29,9 @@ std::uint32_t u32be(const unsigned char* p) {
 
 }  // namespace
 
-std::optional<Packet> PcapReader::parse_frame(const std::string& frame) {
+std::optional<Packet> PcapReader::parse_frame(const Payload& frame) {
   if (frame.size() < kIpHeaderBytes) return std::nullopt;
-  const auto* p = reinterpret_cast<const unsigned char*>(frame.data());
+  const unsigned char* p = frame.data();
   if ((p[0] >> 4) != 4) return std::nullopt;  // IPv4 only
   const std::size_t ihl = static_cast<std::size_t>(p[0] & 0x0f) * 4;
   if (ihl < kIpHeaderBytes || frame.size() < ihl) return std::nullopt;
@@ -65,7 +65,7 @@ std::optional<Packet> PcapReader::parse_frame(const std::string& frame) {
     pkt.flags.psh = flags & 0x08;
     pkt.flags.ack = flags & 0x10;
     pkt.window = u16be(t + 14);
-    pkt.payload.assign(t + data_offset, t + remaining);
+    pkt.payload = frame.subview(ihl + data_offset, remaining - data_offset);
   } else if (proto == 17) {
     pkt.protocol = Protocol::kUdp;
     if (remaining < kUdpHeaderBytes) return std::nullopt;
@@ -73,7 +73,7 @@ std::optional<Packet> PcapReader::parse_frame(const std::string& frame) {
     pkt.dst.port = u16be(t + 2);
     const std::size_t udp_len = u16be(t + 4);
     if (udp_len < kUdpHeaderBytes || udp_len > remaining) return std::nullopt;
-    pkt.payload.assign(t + kUdpHeaderBytes, t + udp_len);
+    pkt.payload = frame.subview(ihl + kUdpHeaderBytes, udp_len - kUdpHeaderBytes);
   } else {
     return std::nullopt;  // other protocols not modelled
   }
@@ -114,12 +114,15 @@ PcapReader::Result PcapReader::read(std::istream& in) {
       result.error = Error::kTruncated;
       return result;
     }
-    std::string frame(incl_len, '\0');
-    if (!in.read(frame.data(), static_cast<std::streamsize>(incl_len))) {
+    std::vector<std::uint8_t> bytes(incl_len);
+    if (!in.read(reinterpret_cast<char*>(bytes.data()),
+                 static_cast<std::streamsize>(incl_len))) {
       result.error = Error::kTruncated;
       return result;
     }
     (void)orig_len;
+    // One buffer per frame; the parsed packet's payload aliases it.
+    const Payload frame{std::move(bytes)};
     const auto packet = parse_frame(frame);
     if (!packet) {
       result.error = Error::kBadIpHeader;

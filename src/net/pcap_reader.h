@@ -43,8 +43,9 @@ class PcapReader {
   static Result read_file(const std::string& path);
 
   /// Parse one on-wire IPv4 frame (header + transport + payload) into a
-  /// Packet. Returns nullopt on malformed input. Exposed for tests.
-  static std::optional<Packet> parse_frame(const std::string& frame);
+  /// Packet. The packet's payload is a zero-copy subview of `frame`'s
+  /// buffer. Returns nullopt on malformed input. Exposed for tests.
+  static std::optional<Packet> parse_frame(const Payload& frame);
 };
 
 }  // namespace bnm::net

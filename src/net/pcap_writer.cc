@@ -1,5 +1,6 @@
 #include "net/pcap_writer.h"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <stdexcept>
@@ -9,16 +10,16 @@ namespace bnm::net {
 
 namespace {
 
-void put_u16be(std::string& s, std::uint16_t v) {
-  s.push_back(static_cast<char>(v >> 8));
-  s.push_back(static_cast<char>(v & 0xff));
+void put_u16be(std::vector<std::uint8_t>& f, std::uint16_t v) {
+  f.push_back(static_cast<std::uint8_t>(v >> 8));
+  f.push_back(static_cast<std::uint8_t>(v & 0xff));
 }
 
-void put_u32be(std::string& s, std::uint32_t v) {
-  s.push_back(static_cast<char>(v >> 24));
-  s.push_back(static_cast<char>((v >> 16) & 0xff));
-  s.push_back(static_cast<char>((v >> 8) & 0xff));
-  s.push_back(static_cast<char>(v & 0xff));
+void put_u32be(std::vector<std::uint8_t>& f, std::uint32_t v) {
+  f.push_back(static_cast<std::uint8_t>(v >> 24));
+  f.push_back(static_cast<std::uint8_t>((v >> 16) & 0xff));
+  f.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+  f.push_back(static_cast<std::uint8_t>(v & 0xff));
 }
 
 void put_u16le(std::ostream& out, std::uint16_t v) {
@@ -46,14 +47,19 @@ std::uint16_t PcapWriter::internet_checksum(const std::uint8_t* data,
   return static_cast<std::uint16_t>(~sum & 0xffff);
 }
 
-std::string PcapWriter::synthesize_frame(const Packet& packet) {
-  std::string f;
-  f.reserve(packet.ip_size());
+std::vector<std::uint8_t> PcapWriter::synthesize_frame(const Packet& packet) {
+  return synthesize_frame(packet, packet.payload.size());
+}
+
+std::vector<std::uint8_t> PcapWriter::synthesize_frame(
+    const Packet& packet, std::size_t wire_payload_len) {
+  std::vector<std::uint8_t> f;
+  f.reserve(kIpHeaderBytes + kTcpHeaderBytes + packet.payload.size());
 
   const bool tcp = packet.protocol == Protocol::kTcp;
   const std::size_t total =
       kIpHeaderBytes + (tcp ? kTcpHeaderBytes : kUdpHeaderBytes) +
-      packet.payload.size();
+      wire_payload_len;
 
   // --- IPv4 header (20 bytes, no options) ---
   f.push_back(0x45);  // version 4, IHL 5
@@ -62,14 +68,13 @@ std::string PcapWriter::synthesize_frame(const Packet& packet) {
   put_u16be(f, static_cast<std::uint16_t>(packet.id & 0xffff));  // IP ID
   put_u16be(f, 0x4000);                                          // DF
   f.push_back(64);  // TTL
-  f.push_back(static_cast<char>(packet.protocol));
+  f.push_back(static_cast<std::uint8_t>(packet.protocol));
   put_u16be(f, 0);  // checksum placeholder
   put_u32be(f, packet.src.ip.raw());
   put_u32be(f, packet.dst.ip.raw());
-  const std::uint16_t csum = internet_checksum(
-      reinterpret_cast<const std::uint8_t*>(f.data()), kIpHeaderBytes);
-  f[10] = static_cast<char>(csum >> 8);
-  f[11] = static_cast<char>(csum & 0xff);
+  const std::uint16_t csum = internet_checksum(f.data(), kIpHeaderBytes);
+  f[10] = static_cast<std::uint8_t>(csum >> 8);
+  f[11] = static_cast<std::uint8_t>(csum & 0xff);
 
   if (tcp) {
     // --- TCP header (20 bytes, no options) ---
@@ -84,7 +89,7 @@ std::string PcapWriter::synthesize_frame(const Packet& packet) {
     if (packet.flags.rst) flags |= 0x04;
     if (packet.flags.psh) flags |= 0x08;
     if (packet.flags.ack) flags |= 0x10;
-    f.push_back(static_cast<char>(flags));
+    f.push_back(flags);
     put_u16be(f, packet.window);
     put_u16be(f, 0);  // checksum (offloaded)
     put_u16be(f, 0);  // urgent pointer
@@ -92,11 +97,11 @@ std::string PcapWriter::synthesize_frame(const Packet& packet) {
     // --- UDP header (8 bytes) ---
     put_u16be(f, packet.src.port);
     put_u16be(f, packet.dst.port);
-    put_u16be(f, static_cast<std::uint16_t>(kUdpHeaderBytes + packet.payload.size()));
+    put_u16be(f, static_cast<std::uint16_t>(kUdpHeaderBytes + wire_payload_len));
     put_u16be(f, 0);  // checksum (optional for IPv4)
   }
 
-  f.append(packet.payload.begin(), packet.payload.end());
+  f.insert(f.end(), packet.payload.begin(), packet.payload.end());
   return f;
 }
 
@@ -112,13 +117,22 @@ std::size_t PcapWriter::write(const PacketCapture& capture, std::ostream& out) {
   std::size_t written = 24;
 
   for (const auto& rec : capture.records()) {
-    const std::string frame = synthesize_frame(rec.packet);
+    // wire_payload_len only differs from the stored payload when the
+    // capture snapped; hand-built records may leave it 0, so never let it
+    // understate what we actually hold.
+    const std::size_t wire_len =
+        std::max(rec.wire_payload_len, rec.packet.payload.size());
+    const std::vector<std::uint8_t> frame =
+        synthesize_frame(rec.packet, wire_len);
+    const std::size_t orig_len =
+        frame.size() + (wire_len - rec.packet.payload.size());
     const std::int64_t us = rec.timestamp.ns_since_epoch() / 1000;
     put_u32le(out, static_cast<std::uint32_t>(us / 1'000'000));
     put_u32le(out, static_cast<std::uint32_t>(us % 1'000'000));
     put_u32le(out, static_cast<std::uint32_t>(frame.size()));
-    put_u32le(out, static_cast<std::uint32_t>(frame.size()));
-    out.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+    put_u32le(out, static_cast<std::uint32_t>(orig_len));
+    out.write(reinterpret_cast<const char*>(frame.data()),
+              static_cast<std::streamsize>(frame.size()));
     written += 16 + frame.size();
   }
   return written;

@@ -5,11 +5,17 @@
 // IPv4 and TCP/UDP headers are synthesized from packet metadata; the IPv4
 // header checksum is computed for real, transport checksums are left zero
 // (as many capture setups with checksum offload do).
+//
+// Records captured under a snap length are written with real pcap snaplen
+// semantics: the frame headers describe the original (wire) payload length
+// while only the truncated bytes are included, and the per-record header's
+// orig_len exceeds incl_len accordingly.
 #pragma once
 
 #include <cstdint>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "net/capture.h"
 
@@ -30,7 +36,13 @@ class PcapWriter {
 
   /// Synthesize the on-wire bytes (IPv4 + transport + payload) for one
   /// packet; exposed for tests.
-  static std::string synthesize_frame(const Packet& packet);
+  static std::vector<std::uint8_t> synthesize_frame(const Packet& packet);
+
+  /// As above, but the length fields in the IP/UDP headers describe
+  /// `wire_payload_len` bytes of payload even if `packet.payload` holds
+  /// fewer (a snap-truncated capture record).
+  static std::vector<std::uint8_t> synthesize_frame(
+      const Packet& packet, std::size_t wire_payload_len);
 
   /// RFC 1071 internet checksum over `data` (exposed for tests).
   static std::uint16_t internet_checksum(const std::uint8_t* data,

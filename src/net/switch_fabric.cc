@@ -17,7 +17,7 @@ void SwitchFabric::learn(IpAddress ip, std::size_t port) {
   table_[ip] = port;
 }
 
-void SwitchFabric::handle_packet(const Packet& packet) {
+void SwitchFabric::handle_packet(Packet packet) {
   const auto it = table_.find(packet.dst.ip);
   if (it == table_.end()) {
     ++dropped_no_route_;
@@ -28,7 +28,7 @@ void SwitchFabric::handle_packet(const Packet& packet) {
   const PortRef out = ports_.at(it->second);
   ++forwarded_;
   sim_.scheduler().schedule_after(config_.forwarding_latency,
-                                  [out, pkt = packet]() mutable {
+                                  [out, pkt = std::move(packet)]() mutable {
                                     out.link->transmit(out.side, std::move(pkt));
                                   });
 }

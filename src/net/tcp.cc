@@ -81,38 +81,70 @@ void TcpConnection::start_active_open() {
   arm_rto();
 }
 
-void TcpConnection::send(std::vector<std::uint8_t> data) {
+void TcpConnection::send(Payload data) {
   assert(!fin_pending_ && !fin_sent_ && "send after close()");
-  send_buffer_.insert(send_buffer_.end(), data.begin(), data.end());
+  if (!data.empty()) {
+    send_buffered_ += data.size();
+    send_buffer_.push_back(std::move(data));
+  }
   pump_send();
 }
 
-void TcpConnection::send(const std::string& data) {
-  send(std::vector<std::uint8_t>{data.begin(), data.end()});
+void TcpConnection::send(std::vector<std::uint8_t> data) {
+  send(Payload{std::move(data)});
+}
+
+void TcpConnection::send(const std::string& data) { send(Payload{data}); }
+
+Payload TcpConnection::dequeue_chunk(std::size_t take) {
+  assert(take <= send_buffered_);
+  send_buffered_ -= take;
+  Payload& front = send_buffer_.front();
+  if (take < front.size()) {
+    // Partial consumption: the segment is a sub-view, the remainder stays
+    // queued as a sub-view of the same buffer. No bytes move.
+    Payload chunk = front.first(take);
+    front.remove_prefix(take);
+    return chunk;
+  }
+  if (take == front.size()) {
+    Payload chunk = std::move(front);
+    send_buffer_.pop_front();
+    return chunk;
+  }
+  // The segment spans queued buffers (only possible when a window-limited
+  // sender coalesces several small send() calls): gather-copy this one.
+  std::vector<Payload> parts;
+  std::size_t have = 0;
+  while (have < take) {
+    have += send_buffer_.front().size();
+    parts.push_back(std::move(send_buffer_.front()));
+    send_buffer_.pop_front();
+  }
+  Payload chunk = gather(parts.data(), parts.size(), 0, take);
+  if (have > take) {
+    // Re-queue the unconsumed tail of the last buffer as a view.
+    send_buffer_.push_front(parts.back().skip(parts.back().size() - (have - take)));
+  }
+  return chunk;
 }
 
 void TcpConnection::pump_send() {
   if (state_ != State::kEstablished && state_ != State::kCloseWait) {
     return;  // data flows once established; SYN queues it via send_buffer_
   }
-  while (!send_buffer_.empty()) {
+  while (send_buffered_ > 0) {
     const std::uint32_t in_flight = snd_nxt_ - snd_una_;
     const std::size_t window = effective_window();
     if (in_flight >= window) break;  // wait for ACKs
     const std::size_t room = window - in_flight;
-    const std::size_t take =
-        std::min({config_.mss, send_buffer_.size(), room});
-    std::vector<std::uint8_t> chunk{send_buffer_.begin(),
-                                    send_buffer_.begin() +
-                                        static_cast<std::ptrdiff_t>(take)};
-    send_buffer_.erase(send_buffer_.begin(),
-                       send_buffer_.begin() + static_cast<std::ptrdiff_t>(take));
-    transmit_segment(std::move(chunk), /*fin=*/false);
+    const std::size_t take = std::min({config_.mss, send_buffered_, room});
+    transmit_segment(dequeue_chunk(take), /*fin=*/false);
   }
   maybe_send_fin();
 }
 
-void TcpConnection::transmit_segment(std::vector<std::uint8_t> chunk, bool fin) {
+void TcpConnection::transmit_segment(Payload chunk, bool fin) {
   Packet seg;
   seg.protocol = Protocol::kTcp;
   seg.src = tuple_.local;
@@ -165,7 +197,7 @@ void TcpConnection::close() {
 }
 
 void TcpConnection::maybe_send_fin() {
-  if (!fin_pending_ || fin_sent_ || !send_buffer_.empty()) return;
+  if (!fin_pending_ || fin_sent_ || send_buffered_ > 0) return;
   // A close() before the handshake completes (e.g. an acceptor that
   // rejects immediately) defers the FIN until ESTABLISHED; pump_send()
   // retries it then.
@@ -344,7 +376,7 @@ void TcpConnection::handle_ack(std::uint32_t ack, bool pure_ack) {
   }
 
   // ACKs open send-window room: push more queued data.
-  if (!send_buffer_.empty()) pump_send();
+  if (send_buffered_ > 0) pump_send();
 
   // ACK of our FIN advances teardown.
   if (fin_sent_ && snd_una_ == snd_nxt_) {

@@ -24,10 +24,13 @@ namespace bnm::net {
 
 class Host;
 
-/// Application callbacks for one connection. All are optional.
+/// Application callbacks for one connection. All are optional. on_data
+/// hands out an immutable payload view aliasing the sender's buffer — no
+/// bytes are copied on the delivery path; call as_vector()/as_string() (or
+/// keep the view) as needed.
 struct TcpCallbacks {
   std::function<void()> on_connect;  ///< handshake complete (client side)
-  std::function<void(const std::vector<std::uint8_t>&)> on_data;
+  std::function<void(const Payload&)> on_data;
   std::function<void()> on_close;  ///< peer sent FIN
   std::function<void()> on_reset;  ///< connection aborted by RST
 };
@@ -84,7 +87,10 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
 
   void set_callbacks(TcpCallbacks cbs) { cbs_ = std::move(cbs); }
 
-  /// Queue application bytes; segments go out subject to MSS.
+  /// Queue application bytes; segments go out subject to MSS. Segmentation
+  /// takes zero-copy sub-views of the queued buffers (a deep copy happens
+  /// only when one segment spans two queued buffers).
+  void send(Payload data);
   void send(std::vector<std::uint8_t> data);
   void send(const std::string& data);
 
@@ -114,7 +120,10 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
  private:
   void enter(State next);
   void pump_send();
-  void transmit_segment(std::vector<std::uint8_t> chunk, bool fin);
+  /// Zero-copy view of the next `take` bytes of the send queue; dequeues
+  /// what it returns. Deep-copies only when `take` spans queued buffers.
+  Payload dequeue_chunk(std::size_t take);
+  void transmit_segment(Payload chunk, bool fin);
   void send_control(TcpFlags flags, std::uint32_t seq);
   void send_ack_now();
   void schedule_delayed_ack();
@@ -137,7 +146,10 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
   std::uint32_t iss_;       ///< initial send sequence
   std::uint32_t snd_una_;   ///< oldest unacked
   std::uint32_t snd_nxt_;   ///< next seq to send
-  std::deque<std::uint8_t> send_buffer_;
+  /// Queued application buffers, consumed front-to-first as zero-copy
+  /// sub-views; send_buffered_ tracks the total queued byte count.
+  std::deque<Payload> send_buffer_;
+  std::size_t send_buffered_ = 0;
   bool fin_pending_ = false;
   bool fin_sent_ = false;
 
@@ -153,7 +165,8 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
   // Receive side.
   std::uint32_t irs_ = 0;      ///< initial receive sequence
   std::uint32_t rcv_nxt_ = 0;  ///< next expected
-  std::map<std::uint32_t, std::vector<std::uint8_t>> reassembly_;
+  /// Out-of-order segments held as views aliasing the sender's buffers.
+  std::map<std::uint32_t, Payload> reassembly_;
   sim::EventHandle delack_timer_;
   bool fin_received_ = false;
 

@@ -9,7 +9,7 @@ namespace bnm::net {
 UdpSocket::UdpSocket(Host& host, Port local_port, ReceiveCallback on_receive)
     : host_{host}, local_port_{local_port}, on_receive_{std::move(on_receive)} {}
 
-void UdpSocket::send_to(Endpoint remote, std::vector<std::uint8_t> payload) {
+void UdpSocket::send_to(Endpoint remote, Payload payload) {
   Packet pkt;
   pkt.protocol = Protocol::kUdp;
   pkt.src = Endpoint{host_.ip(), local_port_};

@@ -15,9 +15,9 @@ class Host;
 
 class UdpSocket {
  public:
-  /// (source endpoint, payload)
-  using ReceiveCallback =
-      std::function<void(Endpoint, const std::vector<std::uint8_t>&)>;
+  /// (source endpoint, payload). The payload is a zero-copy view of the
+  /// datagram's buffer.
+  using ReceiveCallback = std::function<void(Endpoint, const Payload&)>;
 
   UdpSocket(Host& host, Port local_port, ReceiveCallback on_receive);
 
@@ -26,7 +26,7 @@ class UdpSocket {
 
   Port local_port() const { return local_port_; }
 
-  void send_to(Endpoint remote, std::vector<std::uint8_t> payload);
+  void send_to(Endpoint remote, Payload payload);
 
   std::uint64_t datagrams_sent() const { return sent_; }
   std::uint64_t datagrams_received() const { return received_; }

@@ -81,8 +81,8 @@ void WebSocketConnection::close(std::uint16_t code, const std::string& reason) {
   tcp_->close();
 }
 
-void WebSocketConnection::on_tcp_data(const std::vector<std::uint8_t>& bytes) {
-  decoder_.feed(net::to_string(bytes));
+void WebSocketConnection::on_tcp_data(const net::Payload& bytes) {
+  decoder_.feed(bytes);
   if (decoder_.failed()) {
     open_ = false;
     tcp_->abort();
@@ -159,12 +159,12 @@ void WebSocketClient::connect(net::Endpoint server, const std::string& path,
     pending->tcp->send(req.serialize());
   };
   cbs.on_data = [this, pending, on_open = std::move(on_open)](
-                    const std::vector<std::uint8_t>& bytes) mutable {
+                    const net::Payload& bytes) mutable {
     if (pending->ws) {
       pending->ws->on_tcp_data(bytes);
       return;
     }
-    pending->parser.feed(net::to_string(bytes));
+    pending->parser.feed(bytes);
     if (pending->parser.failed()) {
       if (on_error_) on_error_("handshake parse error");
       pending->tcp->abort();
@@ -204,12 +204,12 @@ void WebSocketServer::on_accept(std::shared_ptr<net::TcpConnection> conn) {
   auto pending = std::make_shared<Pending>();
   pending->tcp = std::move(conn);
   net::TcpCallbacks cbs;
-  cbs.on_data = [this, pending](const std::vector<std::uint8_t>& bytes) {
+  cbs.on_data = [this, pending](const net::Payload& bytes) {
     if (pending->ws) {
       pending->ws->on_tcp_data(bytes);
       return;
     }
-    pending->parser.feed(net::to_string(bytes));
+    pending->parser.feed(bytes);
     if (pending->parser.failed()) {
       pending->tcp->abort();
       return;

@@ -53,7 +53,7 @@ class WebSocketConnection
   std::uint64_t messages_received() const { return messages_received_; }
 
   /// Wire-level entry: bytes arrived on the underlying TCP connection.
-  void on_tcp_data(const std::vector<std::uint8_t>& bytes);
+  void on_tcp_data(const net::Payload& bytes);
   void on_tcp_closed();
 
  private:

@@ -80,6 +80,13 @@ void FrameDecoder::feed(const std::string& bytes) {
   }
 }
 
+void FrameDecoder::feed(const net::Payload& bytes) {
+  if (failed()) return;
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+  while (try_decode_one()) {
+  }
+}
+
 bool FrameDecoder::try_decode_one() {
   if (failed() || buffer_.size() < 2) return false;
 

@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "net/payload.h"
+
 namespace bnm::ws {
 
 enum class Opcode : std::uint8_t {
@@ -47,6 +49,8 @@ class FrameDecoder {
                      kControlFragmented };
 
   void feed(const std::string& bytes);
+  /// Same, straight from a payload view (no intermediate string copy).
+  void feed(const net::Payload& bytes);
   /// Next complete frame, if any.
   std::optional<Frame> take();
 

@@ -129,7 +129,7 @@ TEST(PcapWriter, InternetChecksumKnownVector) {
 TEST(PcapWriter, SynthesizedTcpFrameFields) {
   Packet p = tcp_packet(kClient, kServer, {.syn = true}, "");
   p.seq = 0x01020304;
-  const std::string f = PcapWriter::synthesize_frame(p);
+  const std::vector<std::uint8_t> f = PcapWriter::synthesize_frame(p);
   ASSERT_EQ(f.size(), kIpHeaderBytes + kTcpHeaderBytes);
   EXPECT_EQ(static_cast<unsigned char>(f[0]), 0x45);  // IPv4, IHL 5
   EXPECT_EQ(static_cast<unsigned char>(f[9]), 6);     // protocol TCP
@@ -162,14 +162,15 @@ TEST(PcapWriter, SynthesizedUdpFrame) {
   p.src = {IpAddress{10, 0, 0, 1}, 1234};
   p.dst = {IpAddress{10, 0, 0, 2}, 9001};
   p.payload = to_bytes("ping");
-  const std::string f = PcapWriter::synthesize_frame(p);
+  const std::vector<std::uint8_t> f = PcapWriter::synthesize_frame(p);
   ASSERT_EQ(f.size(), kIpHeaderBytes + kUdpHeaderBytes + 4);
   EXPECT_EQ(static_cast<unsigned char>(f[9]), 17);  // protocol UDP
   // UDP length field = header + payload.
   EXPECT_EQ((static_cast<unsigned char>(f[24]) << 8) |
                 static_cast<unsigned char>(f[25]),
             12);
-  EXPECT_EQ(f.substr(kIpHeaderBytes + kUdpHeaderBytes), "ping");
+  EXPECT_EQ(std::string(f.begin() + kIpHeaderBytes + kUdpHeaderBytes, f.end()),
+            "ping");
 }
 
 TEST(PcapWriter, StreamLayout) {

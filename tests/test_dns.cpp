@@ -51,7 +51,7 @@ TEST(DnsMessageTest, NxdomainRoundTrip) {
 
 TEST(DnsMessageTest, RejectsGarbage) {
   EXPECT_FALSE(DnsMessage::decode({}).has_value());
-  EXPECT_FALSE(DnsMessage::decode({1, 2, 3}).has_value());
+  EXPECT_FALSE(DnsMessage::decode(std::vector<std::uint8_t>{1, 2, 3}).has_value());
   // Oversized label (64) is invalid.
   DnsMessage q;
   q.qname = std::string(64, 'x');

@@ -59,9 +59,9 @@ TEST(PcapReader, ParseFrameRoundTripsUdp) {
 }
 
 TEST(PcapReader, ParseFrameRejectsGarbage) {
-  EXPECT_FALSE(PcapReader::parse_frame("").has_value());
-  EXPECT_FALSE(PcapReader::parse_frame("too short").has_value());
-  std::string frame = PcapWriter::synthesize_frame(sample_tcp());
+  EXPECT_FALSE(PcapReader::parse_frame({}).has_value());
+  EXPECT_FALSE(PcapReader::parse_frame(Payload{std::string{"too short"}}).has_value());
+  std::vector<std::uint8_t> frame = PcapWriter::synthesize_frame(sample_tcp());
   frame[0] = 0x65;  // IPv6-ish version nibble
   EXPECT_FALSE(PcapReader::parse_frame(frame).has_value());
 }

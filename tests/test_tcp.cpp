@@ -17,7 +17,7 @@ class TcpTest : public TwoHostFixture {
       accepted.push_back(conn);
       TcpCallbacks cbs;
       auto weak = std::weak_ptr<TcpConnection>(conn);
-      cbs.on_data = [weak](const std::vector<std::uint8_t>& d) {
+      cbs.on_data = [weak](const Payload& d) {
         if (auto c = weak.lock()) c->send(d);
       };
       cbs.on_close = [weak] {
@@ -61,7 +61,7 @@ TEST_F(TcpTest, EchoRoundtripDeliversPayload) {
   listen_echo();
   std::string received;
   TcpCallbacks cbs;
-  cbs.on_data = [&](const std::vector<std::uint8_t>& d) {
+  cbs.on_data = [&](const Payload& d) {
     received += to_string(d);
   };
   std::shared_ptr<TcpConnection> conn;
@@ -76,7 +76,7 @@ TEST_F(TcpTest, DataQueuedBeforeConnectFlushesAfterHandshake) {
   listen_echo();
   std::string received;
   TcpCallbacks cbs;
-  cbs.on_data = [&](const std::vector<std::uint8_t>& d) {
+  cbs.on_data = [&](const Payload& d) {
     received += to_string(d);
   };
   auto conn = client->tcp_connect(server_ep(9000), std::move(cbs));
@@ -90,7 +90,7 @@ TEST_F(TcpTest, LargeSendIsSegmentedByMss) {
   const std::string big(5000, 'x');
   std::size_t received = 0;
   TcpCallbacks cbs;
-  cbs.on_data = [&](const std::vector<std::uint8_t>& d) { received += d.size(); };
+  cbs.on_data = [&](const Payload& d) { received += d.size(); };
   std::shared_ptr<TcpConnection> conn;
   cbs.on_connect = [&] { conn->send(big); };
   conn = client->tcp_connect(server_ep(9000), std::move(cbs));
@@ -147,7 +147,7 @@ TEST_F(TcpTest, CloseAfterSendDeliversEverythingFirst) {
   std::string received;
   std::shared_ptr<TcpConnection> conn;
   TcpCallbacks cbs;
-  cbs.on_data = [&](const std::vector<std::uint8_t>& d) {
+  cbs.on_data = [&](const Payload& d) {
     received += to_string(d);
   };
   cbs.on_connect = [&] {
@@ -242,7 +242,7 @@ TEST_F(LossyTcpTest, RetransmissionRecoversFromLoss) {
   std::size_t received = 0;
   std::shared_ptr<TcpConnection> conn;
   TcpCallbacks cbs;
-  cbs.on_data = [&](const std::vector<std::uint8_t>& d) { received += d.size(); };
+  cbs.on_data = [&](const Payload& d) { received += d.size(); };
   cbs.on_connect = [&] { conn->send(std::string(20000, 'r')); };
   conn = client->tcp_connect(server_ep(9000), std::move(cbs));
   // Allow plenty of simulated time for RTO-driven recovery.

@@ -14,7 +14,7 @@ class CongestionTest : public TwoHostFixture {
     server->tcp_listen(port, [this](std::shared_ptr<TcpConnection> conn) {
       accepted.push_back(conn);
       TcpCallbacks cbs;
-      cbs.on_data = [this](const std::vector<std::uint8_t>& d) {
+      cbs.on_data = [this](const Payload& d) {
         received += d.size();
       };
       conn->set_callbacks(std::move(cbs));
@@ -60,7 +60,7 @@ class CcHostFixture : public TwoHostFixture {
 
     server->tcp_listen(9000, [this](std::shared_ptr<TcpConnection> conn) {
       TcpCallbacks cbs;
-      cbs.on_data = [this](const std::vector<std::uint8_t>& d) {
+      cbs.on_data = [this](const Payload& d) {
         received += d.size();
       };
       conn->set_callbacks(std::move(cbs));
@@ -101,7 +101,7 @@ TEST_F(CcHostFixture, TransferTakesMultipleRoundTripsUnderSlowStart) {
   std::size_t got = 0;
   server->tcp_listen(9000, [&](std::shared_ptr<TcpConnection> conn) {
     TcpCallbacks cbs;
-    cbs.on_data = [&](const std::vector<std::uint8_t>& d) { got += d.size(); };
+    cbs.on_data = [&](const Payload& d) { got += d.size(); };
     conn->set_callbacks(std::move(cbs));
   });
 
@@ -142,7 +142,7 @@ class FastRetransmitFixture : public TwoHostFixture {
 
     server->tcp_listen(9000, [this](std::shared_ptr<TcpConnection> conn) {
       TcpCallbacks cbs;
-      cbs.on_data = [this](const std::vector<std::uint8_t>& d) {
+      cbs.on_data = [this](const Payload& d) {
         received += d.size();
       };
       conn->set_callbacks(std::move(cbs));

@@ -120,7 +120,7 @@ TEST(HttpPipelining, ServerAnswersBackToBackRequestsInOrder) {
     r2.target = "/payload?size=5";
     conn->send(r1.serialize() + r2.serialize());
   };
-  cbs.on_data = [&](const std::vector<std::uint8_t>& d) {
+  cbs.on_data = [&](const Payload& d) {
     received += to_string(d);
   };
   conn = tb.client().tcp_connect(tb.http_endpoint(), std::move(cbs));
@@ -144,7 +144,7 @@ TEST(HttpBadRequest, MalformedInputGets400AndClose) {
   std::shared_ptr<TcpConnection> conn;
   TcpCallbacks cbs;
   cbs.on_connect = [&] { conn->send(std::string{"THIS IS NOT HTTP\r\n\r\n"}); };
-  cbs.on_data = [&](const std::vector<std::uint8_t>& d) {
+  cbs.on_data = [&](const Payload& d) {
     received += to_string(d);
   };
   cbs.on_close = [&] { closed = true; };

@@ -11,13 +11,13 @@ class UdpTest : public TwoHostFixture {};
 
 TEST_F(UdpTest, EchoRoundtrip) {
   std::shared_ptr<UdpSocket> srv;
-  srv = server->udp_open(9001, [&](Endpoint src, const std::vector<std::uint8_t>& d) {
+  srv = server->udp_open(9001, [&](Endpoint src, const Payload& d) {
     srv->send_to(src, d);
   });
 
   std::string got;
   Endpoint from;
-  auto cli = client->udp_open([&](Endpoint src, const std::vector<std::uint8_t>& d) {
+  auto cli = client->udp_open([&](Endpoint src, const Payload& d) {
     got = to_string(d);
     from = src;
   });
@@ -31,7 +31,7 @@ TEST_F(UdpTest, EchoRoundtrip) {
 }
 
 TEST_F(UdpTest, UnboundPortSilentlyDrops) {
-  auto cli = client->udp_open([](Endpoint, const std::vector<std::uint8_t>&) {
+  auto cli = client->udp_open([](Endpoint, const Payload&) {
     FAIL() << "nothing should come back";
   });
   cli->send_to(server_ep(4242), to_bytes("void"));
@@ -40,19 +40,19 @@ TEST_F(UdpTest, UnboundPortSilentlyDrops) {
 }
 
 TEST_F(UdpTest, EphemeralPortsAreDistinct) {
-  auto s1 = client->udp_open([](Endpoint, const std::vector<std::uint8_t>&) {});
-  auto s2 = client->udp_open([](Endpoint, const std::vector<std::uint8_t>&) {});
+  auto s1 = client->udp_open([](Endpoint, const Payload&) {});
+  auto s2 = client->udp_open([](Endpoint, const Payload&) {});
   EXPECT_NE(s1->local_port(), s2->local_port());
   EXPECT_GE(s1->local_port(), 49152);
 }
 
 TEST_F(UdpTest, RttMatchesTopologyDelays) {
   std::shared_ptr<UdpSocket> srv;
-  srv = server->udp_open(9001, [&](Endpoint src, const std::vector<std::uint8_t>& d) {
+  srv = server->udp_open(9001, [&](Endpoint src, const Payload& d) {
     srv->send_to(src, d);
   });
   sim::TimePoint sent, got;
-  auto cli = client->udp_open([&](Endpoint, const std::vector<std::uint8_t>&) {
+  auto cli = client->udp_open([&](Endpoint, const Payload&) {
     got = sim->now();
   });
   sent = sim->now();
@@ -74,11 +74,11 @@ class NetemHostTest : public TwoHostFixture {
 
 TEST_F(NetemHostTest, ServerEgressDelayShapesRtt) {
   std::shared_ptr<UdpSocket> srv;
-  srv = server->udp_open(9001, [&](Endpoint src, const std::vector<std::uint8_t>& d) {
+  srv = server->udp_open(9001, [&](Endpoint src, const Payload& d) {
     srv->send_to(src, d);
   });
   sim::TimePoint sent, got;
-  auto cli = client->udp_open([&](Endpoint, const std::vector<std::uint8_t>&) {
+  auto cli = client->udp_open([&](Endpoint, const Payload&) {
     got = sim->now();
   });
   sent = sim->now();
@@ -93,10 +93,10 @@ TEST_F(NetemHostTest, CaptureSitsOutsideTheStackDelay) {
   // The capture tap timestamps at the NIC; host stack delay (10us each
   // way) must not appear between a packet's wire arrival and its record.
   std::shared_ptr<UdpSocket> srv;
-  srv = server->udp_open(9001, [&](Endpoint src, const std::vector<std::uint8_t>& d) {
+  srv = server->udp_open(9001, [&](Endpoint src, const Payload& d) {
     srv->send_to(src, d);
   });
-  auto cli = client->udp_open([](Endpoint, const std::vector<std::uint8_t>&) {});
+  auto cli = client->udp_open([](Endpoint, const Payload&) {});
   cli->send_to(server_ep(9001), to_bytes("x"));
   run_all();
   const auto out = client->capture().first(PacketCapture::outbound_data());
@@ -115,7 +115,7 @@ TEST_F(UdpTest, HostIgnoresPacketsForOtherIps) {
   p.src = {IpAddress{10, 0, 0, 9}, 1};
   p.dst = {IpAddress{10, 0, 0, 77}, 9001};
   bool delivered = false;
-  auto sock = client->udp_open(9001, [&](Endpoint, const std::vector<std::uint8_t>&) {
+  auto sock = client->udp_open(9001, [&](Endpoint, const Payload&) {
     delivered = true;
   });
   client->handle_packet(p);

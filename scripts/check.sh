@@ -37,6 +37,9 @@ cmake --build build -j
 step "tier-1: ctest (-L tier1)"
 ctest --test-dir build -L tier1 --output-on-failure
 
+step "faults: ctest (-L faults)"
+ctest --test-dir build -L faults --output-on-failure
+
 if [[ "$FAST" == 1 ]]; then
   echo
   echo "check.sh: tier-1 OK (ASan pass skipped with --fast)"
@@ -48,7 +51,7 @@ step "asan: configure (BNM_SANITIZE=address)"
 cmake -B build-asan -S . $(gen_for build-asan) -DBNM_SANITIZE=address
 
 step "asan: build tests"
-cmake --build build-asan -j --target bnm_tests
+cmake --build build-asan -j --target bnm_tests bnm_fault_tests
 
 step "asan: ctest"
 ctest --test-dir build-asan --output-on-failure

@@ -20,15 +20,19 @@ bool DomElementLoader::load(const std::string& url) {
 
   const sim::Duration pre = browser_.sample_pre_send(ProbeKind::kDom, first);
   browser_.sim().scheduler().schedule_after(
-      pre, [this, first, target = parsed->endpoint, req = std::move(req)] {
+      pre, [this, alive = alive_, first, target = parsed->endpoint,
+            req = std::move(req)] {
+        if (!*alive) return;
         browser_.http().request(
             target, req,
-            [this, first](http::HttpResponse resp,
-                          http::HttpClient::TransferInfo) {
+            [this, alive, first](http::HttpResponse resp,
+                                 http::HttpClient::TransferInfo) {
+              if (!*alive) return;
               const sim::Duration dispatch =
                   browser_.sample_recv_dispatch(ProbeKind::kDom, first);
               browser_.event_loop().post(
-                  dispatch, [this, status = resp.status] {
+                  dispatch, [this, alive, status = resp.status] {
+                    if (!*alive) return;
                     ++loads_completed_;
                     if (status >= 200 && status < 400) {
                       if (onload_) onload_();

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "browser/browser.h"
@@ -17,6 +18,10 @@ class DomElementLoader {
 
   DomElementLoader(Browser& browser, Tag tag = Tag::kImg)
       : browser_{browser}, tag_{tag} {}
+
+  /// In-flight load callbacks check the alive flag, so destroying the
+  /// loader mid-request (a cancelled measurement run) orphans them safely.
+  ~DomElementLoader() { *alive_ = false; }
 
   void set_onload(std::function<void()> cb) { onload_ = std::move(cb); }
   void set_onerror(std::function<void(const std::string&)> cb) {
@@ -37,6 +42,7 @@ class DomElementLoader {
   int loads_completed_ = 0;
   std::function<void()> onload_;
   std::function<void(const std::string&)> onerror_;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 
 }  // namespace bnm::browser

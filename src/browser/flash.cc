@@ -16,8 +16,9 @@ void FlashRuntime::fetch_policy(net::IpAddress host,
   const net::Endpoint target{host, 80};
   browser_.http().request(
       target, std::move(req),
-      [this, host, done = std::move(done)](http::HttpResponse resp,
-                                           http::HttpClient::TransferInfo) {
+      [this, alive = alive_, host, done = std::move(done)](
+          http::HttpResponse resp, http::HttpClient::TransferInfo) {
+        if (!*alive) return;
         const bool ok = resp.status == 200 &&
                         resp.body.find("cross-domain-policy") != std::string::npos;
         if (ok) policy_hosts_.insert(host);
@@ -64,17 +65,27 @@ bool FlashRuntime::URLLoader::load(const std::string& method,
 
   const sim::Duration pre = b.sample_pre_send(kind, first_obj_use);
   b.sim().scheduler().schedule_after(
-      pre, [this, &b, kind, first_obj_use, target = parsed->endpoint,
-            req = std::move(req), opts] {
+      pre, [this, alive = alive_, &b, kind, first_obj_use,
+            target = parsed->endpoint, req = std::move(req), opts] {
+        if (!*alive) return;
         b.http().request(
             target, req,
-            [this, &b, kind, first_obj_use](http::HttpResponse resp,
-                                            http::HttpClient::TransferInfo) {
+            [this, alive, &b, kind, first_obj_use](
+                http::HttpResponse resp, http::HttpClient::TransferInfo) {
+              if (!*alive) return;
               const sim::Duration dispatch =
                   b.sample_recv_dispatch(kind, first_obj_use);
-              b.event_loop().post(dispatch, [this, resp = std::move(resp)] {
-                if (on_complete_) on_complete_(resp.status, resp.body);
-              });
+              b.event_loop().post(
+                  dispatch, [this, alive, resp = std::move(resp)] {
+                    if (!*alive) return;
+                    // Network failure surfaces as IOErrorEvent, not
+                    // Event.COMPLETE with a bogus status.
+                    if (resp.status == 0) {
+                      if (on_error_) on_error_("network error");
+                      return;
+                    }
+                    if (on_complete_) on_complete_(resp.status, resp.body);
+                  });
             },
             opts);
       });
@@ -86,7 +97,8 @@ void FlashRuntime::Socket::connect(net::Endpoint target) {
     do_connect(target);
     return;
   }
-  runtime_.fetch_policy(target.ip, [this, target](bool ok) {
+  runtime_.fetch_policy(target.ip, [this, alive = alive_, target](bool ok) {
+    if (!*alive) return;
     if (!ok) {
       if (on_error_) on_error_("cross-domain policy rejected");
       return;
@@ -126,8 +138,10 @@ void FlashRuntime::Socket::write(const std::string& bytes) {
   used_before_ = true;
   const sim::Duration pre =
       b.sample_pre_send(ProbeKind::kFlashSocket, current_is_first_);
-  b.sim().scheduler().schedule_after(pre,
-                                     [this, bytes] { conn_->send(bytes); });
+  b.sim().scheduler().schedule_after(pre, [this, alive = alive_, bytes] {
+    if (!*alive || !conn_) return;
+    conn_->send(bytes);
+  });
 }
 
 void FlashRuntime::Socket::close() {
@@ -135,6 +149,7 @@ void FlashRuntime::Socket::close() {
 }
 
 FlashRuntime::Socket::~Socket() {
+  *alive_ = false;
   if (conn_) {
     conn_->set_callbacks({});
     if (conn_->established()) conn_->close();

@@ -19,6 +19,10 @@ class FlashRuntime {
  public:
   explicit FlashRuntime(Browser& browser) : browser_{browser} {}
 
+  /// Pending policy-file fetches check the alive flag, so destroying the
+  /// runtime mid-fetch (a cancelled measurement run) orphans them safely.
+  ~FlashRuntime() { *alive_ = false; }
+
   Browser& browser() { return browser_; }
 
   /// True once any HTTP request has been issued by this plugin instance;
@@ -37,6 +41,7 @@ class FlashRuntime {
   class URLLoader {
    public:
     explicit URLLoader(FlashRuntime& runtime) : runtime_{runtime} {}
+    ~URLLoader() { *alive_ = false; }
 
     void set_on_complete(std::function<void(int, const std::string&)> cb) {
       on_complete_ = std::move(cb);
@@ -55,6 +60,7 @@ class FlashRuntime {
     bool used_before_ = false;
     std::function<void(int, const std::string&)> on_complete_;
     std::function<void(const std::string&)> on_error_;
+    std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
   };
 
   // ---------------------------------------------------------------- Socket
@@ -90,12 +96,14 @@ class FlashRuntime {
     std::function<void()> on_connect_;
     std::function<void(const std::string&)> on_socket_data_;
     std::function<void(const std::string&)> on_error_;
+    std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
   };
 
  private:
   Browser& browser_;
   bool made_http_request_ = false;
   std::set<net::IpAddress> policy_hosts_;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 
 }  // namespace bnm::browser

@@ -45,17 +45,25 @@ bool JavaAppletRuntime::UrlConnection::load(const std::string& method,
 
   const sim::Duration pre = runtime_.pre_send(kind, first);
   b.sim().scheduler().schedule_after(
-      pre, [this, &b, kind, first, target = parsed->endpoint,
+      pre, [this, alive = alive_, &b, kind, first, target = parsed->endpoint,
             req = std::move(req)] {
+        if (!*alive) return;
         b.http().request(
             target, req,
-            [this, &b, kind, first](http::HttpResponse resp,
-                                    http::HttpClient::TransferInfo) {
+            [this, alive, &b, kind, first](http::HttpResponse resp,
+                                           http::HttpClient::TransferInfo) {
+              if (!*alive) return;
               // Completion is detected by reading the content; the JRE
               // still charges a dispatch delay for the read to return.
               const sim::Duration dispatch = runtime_.recv_dispatch(kind, first);
               b.sim().scheduler().schedule_after(
-                  dispatch, [this, resp = std::move(resp)] {
+                  dispatch, [this, alive, resp = std::move(resp)] {
+                    if (!*alive) return;
+                    // A dead transport throws IOException from the read.
+                    if (resp.status == 0) {
+                      if (on_error_) on_error_("network error");
+                      return;
+                    }
                     if (on_complete_) on_complete_(resp.status, resp.body);
                   });
             });
@@ -66,18 +74,26 @@ bool JavaAppletRuntime::UrlConnection::load(const std::string& method,
 void JavaAppletRuntime::Socket::connect(net::Endpoint target) {
   Browser& b = runtime_.browser();
   net::TcpCallbacks cbs;
-  cbs.on_connect = [this, &b] {
-    b.sim().scheduler().schedule_after(sim::Duration::micros(100), [this] {
-      if (on_connect_) on_connect_();
-    });
+  cbs.on_connect = [this, alive = alive_, &b] {
+    b.sim().scheduler().schedule_after(sim::Duration::micros(100),
+                                       [this, alive] {
+                                         if (!*alive) return;
+                                         if (on_connect_) on_connect_();
+                                       });
   };
-  cbs.on_data = [this, &b](const net::Payload& bytes) {
+  cbs.on_data = [this, alive = alive_, &b](const net::Payload& bytes) {
     const sim::Duration dispatch =
         runtime_.recv_dispatch(ProbeKind::kJavaSocket, current_is_first_);
     b.sim().scheduler().schedule_after(
-        dispatch, [this, data = net::to_string(bytes)] {
+        dispatch, [this, alive, data = net::to_string(bytes)] {
+          if (!*alive) return;
           if (on_data_) on_data_(data);
         });
+  };
+  cbs.on_reset = [this, alive = alive_] {
+    if (!*alive) return;
+    // java.net.SocketException: Connection reset.
+    if (on_error_) on_error_("connection reset");
   };
   conn_ = b.host().tcp_connect(target, std::move(cbs));
 }
@@ -89,7 +105,10 @@ void JavaAppletRuntime::Socket::write(const std::string& bytes) {
   const sim::Duration pre =
       runtime_.pre_send(ProbeKind::kJavaSocket, current_is_first_);
   runtime_.browser().sim().scheduler().schedule_after(
-      pre, [this, bytes] { conn_->send(bytes); });
+      pre, [this, alive = alive_, bytes] {
+        if (!*alive || !conn_) return;
+        conn_->send(bytes);
+      });
 }
 
 void JavaAppletRuntime::Socket::close() {
@@ -97,6 +116,7 @@ void JavaAppletRuntime::Socket::close() {
 }
 
 JavaAppletRuntime::Socket::~Socket() {
+  *alive_ = false;
   if (conn_) {
     conn_->set_callbacks({});
     if (conn_->established()) conn_->close();
@@ -106,15 +126,24 @@ JavaAppletRuntime::Socket::~Socket() {
 JavaAppletRuntime::DatagramSocket::DatagramSocket(JavaAppletRuntime& runtime)
     : runtime_{runtime} {
   Browser& b = runtime_.browser();
-  sock_ = b.host().udp_open([this, &b](net::Endpoint src,
-                                       const net::Payload& bytes) {
+  sock_ = b.host().udp_open([this, alive = alive_, &b](
+                                net::Endpoint src, const net::Payload& bytes) {
+    if (!*alive) return;
+    receive_deadline_.cancel();  // the blocked receive() returned
     const sim::Duration dispatch =
         runtime_.recv_dispatch(ProbeKind::kJavaUdp, current_is_first_);
     b.sim().scheduler().schedule_after(
-        dispatch, [this, src, data = net::to_string(bytes)] {
+        dispatch, [this, alive, src, data = net::to_string(bytes)] {
+          if (!*alive) return;
           if (on_receive_) on_receive_(src, data);
         });
   });
+}
+
+JavaAppletRuntime::DatagramSocket::~DatagramSocket() {
+  *alive_ = false;
+  receive_deadline_.cancel();
+  close();
 }
 
 void JavaAppletRuntime::DatagramSocket::send_to(net::Endpoint target,
@@ -124,7 +153,20 @@ void JavaAppletRuntime::DatagramSocket::send_to(net::Endpoint target,
   const sim::Duration pre =
       runtime_.pre_send(ProbeKind::kJavaUdp, current_is_first_);
   runtime_.browser().sim().scheduler().schedule_after(
-      pre, [this, target, bytes] { sock_->send_to(target, net::to_bytes(bytes)); });
+      pre, [this, alive = alive_, target, bytes] {
+        if (!*alive || !sock_) return;
+        sock_->send_to(target, net::to_bytes(bytes));
+      });
+  if (!so_timeout_.is_zero()) {
+    // The applet blocks in receive() after sending; SO_TIMEOUT bounds that
+    // wait. Re-arm per send (each probe is one send+receive pair).
+    receive_deadline_.cancel();
+    receive_deadline_ = runtime_.browser().sim().scheduler().schedule_after(
+        pre + so_timeout_, [this, alive = alive_] {
+          if (!*alive) return;
+          if (on_timeout_) on_timeout_();
+        });
+  }
 }
 
 void JavaAppletRuntime::DatagramSocket::close() {

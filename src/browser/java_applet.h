@@ -53,6 +53,7 @@ class JavaAppletRuntime {
   class UrlConnection {
    public:
     explicit UrlConnection(JavaAppletRuntime& runtime) : runtime_{runtime} {}
+    ~UrlConnection() { *alive_ = false; }
 
     void set_on_complete(std::function<void(int, const std::string&)> cb) {
       on_complete_ = std::move(cb);
@@ -69,6 +70,7 @@ class JavaAppletRuntime {
     bool used_before_ = false;
     std::function<void(int, const std::string&)> on_complete_;
     std::function<void(const std::string&)> on_error_;
+    std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
   };
 
   // --------------------------------------------------------------- Socket
@@ -80,6 +82,10 @@ class JavaAppletRuntime {
     void set_on_connect(std::function<void()> cb) { on_connect_ = std::move(cb); }
     void set_on_data(std::function<void(const std::string&)> cb) {
       on_data_ = std::move(cb);
+    }
+    /// SocketException surface: connection reset / aborted by the stack.
+    void set_on_error(std::function<void(const std::string&)> cb) {
+      on_error_ = std::move(cb);
     }
     void connect(net::Endpoint target);
     void write(const std::string& bytes);
@@ -93,16 +99,26 @@ class JavaAppletRuntime {
     bool current_is_first_ = true;
     std::function<void()> on_connect_;
     std::function<void(const std::string&)> on_data_;
+    std::function<void(const std::string&)> on_error_;
+    std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
   };
 
   // ------------------------------------------------------- DatagramSocket
   class DatagramSocket {
    public:
     explicit DatagramSocket(JavaAppletRuntime& runtime);
+    ~DatagramSocket();
 
     void set_on_receive(
         std::function<void(net::Endpoint, const std::string&)> cb) {
       on_receive_ = std::move(cb);
+    }
+    /// java.net.DatagramSocket#setSoTimeout: after each send_to, if no
+    /// datagram arrives within `timeout`, on_timeout fires (the shim's
+    /// SocketTimeoutException). zero disables (the default: block forever).
+    void set_so_timeout(sim::Duration timeout) { so_timeout_ = timeout; }
+    void set_on_timeout(std::function<void()> cb) {
+      on_timeout_ = std::move(cb);
     }
     void send_to(net::Endpoint target, const std::string& bytes);
     void close();
@@ -113,6 +129,10 @@ class JavaAppletRuntime {
     bool used_before_ = false;
     bool current_is_first_ = true;
     std::function<void(net::Endpoint, const std::string&)> on_receive_;
+    std::function<void()> on_timeout_;
+    sim::Duration so_timeout_ = sim::Duration::zero();
+    sim::EventHandle receive_deadline_;
+    std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
   };
 
  private:

@@ -50,6 +50,7 @@ class BrowserWebSocket {
   std::function<void(const std::string&)> onmessage_;
   std::function<void(std::uint16_t)> onclose_;
   std::function<void(const std::string&)> onerror_;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 
 }  // namespace bnm::browser

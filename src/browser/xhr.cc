@@ -40,19 +40,27 @@ bool XmlHttpRequest::send(const std::string& body) {
   req.body = body;
 
   const sim::Duration pre = browser_.sample_pre_send(kind, first);
-  browser_.sim().scheduler().schedule_after(pre, [this, kind, first,
+  browser_.sim().scheduler().schedule_after(pre, [this, alive = alive_, kind,
+                                                  first,
                                                   req = std::move(req)] {
+    if (!*alive) return;
     browser_.http().request(
         url_.endpoint, req,
-        [this, kind, first](http::HttpResponse resp,
-                            http::HttpClient::TransferInfo) {
+        [this, alive, kind, first](http::HttpResponse resp,
+                                   http::HttpClient::TransferInfo) {
+          if (!*alive) return;
           const sim::Duration dispatch =
               browser_.sample_recv_dispatch(kind, first);
-          browser_.event_loop().post(dispatch, [this, resp = std::move(resp)] {
-            status_ = resp.status;
-            response_text_ = resp.body;
-            change_state(ReadyState::kDone);
-          });
+          browser_.event_loop().post(
+              dispatch, [this, alive, resp = std::move(resp)] {
+                if (!*alive) return;
+                status_ = resp.status;
+                response_text_ = resp.body;
+                change_state(ReadyState::kDone);
+                // Browsers signal a network error as readyState 4 with
+                // status 0, then fire onerror.
+                if (status_ == 0 && onerror_) onerror_("network error");
+              });
         });
   });
   return true;

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "browser/browser.h"
@@ -16,6 +17,10 @@ class XmlHttpRequest {
                           kLoading = 3, kDone = 4 };
 
   explicit XmlHttpRequest(Browser& browser) : browser_{browser} {}
+
+  /// In-flight completion callbacks check the alive flag, so destroying an
+  /// XHR mid-request (a cancelled measurement run) orphans them safely.
+  ~XmlHttpRequest() { *alive_ = false; }
 
   /// Configure the request. Relative URLs resolve against the origin.
   /// Returns false on a malformed URL.
@@ -48,6 +53,7 @@ class XmlHttpRequest {
   std::string response_text_;
   std::function<void()> onreadystatechange_;
   std::function<void(const std::string&)> onerror_;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 
 }  // namespace bnm::browser

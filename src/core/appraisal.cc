@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "report/table.h"
 #include "stats/descriptive.h"
 #include "stats/kstest.h"
 
@@ -18,6 +19,12 @@ MethodAppraisal appraise_method(
   std::vector<double> iqrs;
   std::vector<std::vector<double>> d2_samples;
   for (const auto& series : per_case_series) {
+    a.total_samples += static_cast<int>(series.samples.size());
+    a.resilience.timeouts += series.accounting.timeouts;
+    a.resilience.transport_errors += series.accounting.transport_errors;
+    a.resilience.degraded += series.accounting.degraded;
+    a.resilience.http_retries += series.accounting.http_retries;
+    a.resilience.http_timeouts += series.accounting.http_timeouts;
     if (series.samples.empty()) continue;
     if (a.method_name.empty()) a.method_name = series.method_name;
     const auto box = series.d2_box();
@@ -59,6 +66,20 @@ std::vector<MethodAppraisal> rank_methods(
               return x.score() < y.score();
             });
   return out;
+}
+
+std::string resilience_report(const std::vector<MethodAppraisal>& appraisals) {
+  report::TextTable table({"Method", "Samples", "Timeouts", "Errors",
+                           "Degraded", "HTTP retries", "HTTP timeouts"});
+  for (const auto& a : appraisals) {
+    table.add_row({a.method_name, std::to_string(a.total_samples),
+                   std::to_string(a.resilience.timeouts),
+                   std::to_string(a.resilience.transport_errors),
+                   std::to_string(a.resilience.degraded),
+                   std::to_string(a.resilience.http_retries),
+                   std::to_string(a.resilience.http_timeouts)});
+  }
+  return table.render();
 }
 
 Recommendation recommend(const Platform& platform) {

@@ -32,6 +32,11 @@ struct MethodAppraisal {
   /// large means the method behaves the same everywhere.
   double min_pairwise_ks_p = 1.0;
 
+  /// Resilience: how the method's runs behaved under whatever faults the
+  /// testbed injected, summed across cases. All zero in a healthy testbed.
+  int total_samples = 0;
+  SampleAccounting resilience;
+
   /// Composite score: lower is better. Weighted sum of the three axes.
   double score() const {
     return median_abs_overhead_ms + mean_iqr_ms + 0.5 * cross_case_spread_ms;
@@ -47,6 +52,11 @@ MethodAppraisal appraise_method(
 /// Rank methods best-first by composite score.
 std::vector<MethodAppraisal> rank_methods(
     const std::map<methods::ProbeKind, std::vector<OverheadSeries>>& results);
+
+/// Render the per-method resilience counters (timeouts / transport errors /
+/// degraded windows / HTTP retries) as an aligned text table - how each
+/// method's repetitions fared under injected faults.
+std::string resilience_report(const std::vector<MethodAppraisal>& appraisals);
 
 /// Platform constraints for a recommendation (Section 5).
 struct Platform {

@@ -107,9 +107,23 @@ OverheadSeries Experiment::run() {
   sim::Rng gap_rng = testbed_->sim().rng_for("experiment/gaps");
   const net::Port port = probe_port();
 
+  // Sessions abandoned at the sample deadline are parked here instead of
+  // being destroyed: their event loops may still hold queued callbacks, and
+  // tearing the browser down under them would leave those firing into freed
+  // state. The graveyard drains naturally as the simulation idles between
+  // runs and is released when the experiment ends.
+  std::vector<std::unique_ptr<browser::Browser>> graveyard;
+
   for (int run = 0; run < config_.runs; ++run) {
     auto browser = testbed_->launch_browser(profile,
                                             static_cast<std::uint64_t>(run));
+    if (!config_.http_request_timeout.is_zero()) {
+      browser->http().set_default_timeout(config_.http_request_timeout);
+    }
+    if (config_.http_max_retries > 0) {
+      browser->http().set_default_retries(config_.http_max_retries,
+                                          config_.http_retry_backoff);
+    }
 
     methods::MethodContext ctx;
     ctx.browser = browser.get();
@@ -120,33 +134,50 @@ OverheadSeries Experiment::run() {
     ctx.java_use_nanotime = config_.java_use_nanotime;
     ctx.java_via_appletviewer = config_.java_via_appletviewer;
     ctx.js_use_performance_now = config_.js_use_performance_now;
+    ctx.probe_timeout = config_.probe_timeout;
 
-    std::optional<methods::MethodRunResult> result;
-    method->run(ctx, [&result](methods::MethodRunResult r) {
-      result = std::move(r);
+    // The result slot is shared with the completion callback: if a run is
+    // abandoned at the deadline, a straggler callback must land in heap
+    // memory that outlives this loop iteration, not a dead stack frame.
+    auto result = std::make_shared<std::optional<methods::MethodRunResult>>();
+    method->run(ctx, [result](methods::MethodRunResult r) {
+      *result = std::move(r);
     });
     // Drive the simulation until the method completes. A drained queue
     // with no result surfaces a deadlock; the deadline guards against
     // perpetual event sources (cross traffic) masking one.
     const sim::TimePoint deadline =
-        testbed_->sim().now() + sim::Duration::seconds(30);
-    while (!result && testbed_->sim().now() <= deadline && sched.step()) {
+        testbed_->sim().now() + config_.sample_deadline;
+    while (!*result && testbed_->sim().now() <= deadline && sched.step()) {
     }
 
-    if (!result || !result->ok) {
+    if (!*result) {
+      // Deadline expired (or the queue drained without completion): tear
+      // the run-state down so nothing calls back later, and record the
+      // repetition as a timeout sample.
+      method->cancel();
       ++series.failures;
+      ++series.accounting.timeouts;
       if (series.first_error.empty()) {
-        series.first_error = result ? result->error : "method never completed";
+        series.first_error = "sample deadline exceeded";
+      }
+    } else if (!(*result)->ok) {
+      ++series.failures;
+      ++series.accounting.transport_errors;
+      if (series.first_error.empty()) {
+        series.first_error = (*result)->error.empty() ? "method failed"
+                                                      : (*result)->error;
       }
     } else {
       OverheadSample s;
-      const auto w1 = network_rtt_in_window(result->m1.true_send,
-                                            result->m1.true_recv, port);
-      const auto w2 = network_rtt_in_window(result->m2.true_send,
-                                            result->m2.true_recv, port);
+      const methods::MethodRunResult& r = **result;
+      const auto w1 =
+          network_rtt_in_window(r.m1.true_send, r.m1.true_recv, port);
+      const auto w2 =
+          network_rtt_in_window(r.m2.true_send, r.m2.true_recv, port);
       if (w1.net_rtt_ms && w2.net_rtt_ms) {
-        s.browser_rtt1_ms = result->m1.browser_rtt().ms_f();
-        s.browser_rtt2_ms = result->m2.browser_rtt().ms_f();
+        s.browser_rtt1_ms = r.m1.browser_rtt().ms_f();
+        s.browser_rtt2_ms = r.m2.browser_rtt().ms_f();
         s.net_rtt1_ms = *w1.net_rtt_ms;
         s.net_rtt2_ms = *w2.net_rtt_ms;
         s.d1_ms = s.browser_rtt1_ms - s.net_rtt1_ms;
@@ -156,14 +187,24 @@ OverheadSeries Experiment::run() {
         series.samples.push_back(s);
       } else {
         ++series.failures;
+        ++series.accounting.degraded;
         if (series.first_error.empty()) {
           series.first_error = "no probe packets in capture window";
         }
       }
     }
 
-    // Tear the session down and idle until the next repetition.
-    browser.reset();
+    series.accounting.http_retries += browser->http().request_retries();
+    series.accounting.http_timeouts += browser->http().request_timeouts();
+
+    // Tear the session down and idle until the next repetition. A session
+    // whose run timed out is parked instead: queued callbacks may still
+    // reference it, and all of them are no-ops once the run is cancelled.
+    if (*result) {
+      browser.reset();
+    } else {
+      graveyard.push_back(std::move(browser));
+    }
     testbed_->client().capture().clear();
     const sim::Duration gap = gap_rng.uniform_ms(
         config_.inter_run_gap_min.ms_f(), config_.inter_run_gap_max.ms_f());

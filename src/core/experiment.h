@@ -11,6 +11,7 @@
 // the probe port within the measurement window).
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -47,6 +48,22 @@ struct ExperimentConfig {
   sim::Duration inter_run_gap_min = sim::Duration::seconds(5);
   sim::Duration inter_run_gap_max = sim::Duration::seconds(9);
 
+  /// Per-repetition wall-clock budget. A run that has not settled by then
+  /// (e.g. the server is blackholed and nothing ever times out underneath)
+  /// is cancelled and recorded as a timeout sample - the experiment never
+  /// hangs on one repetition.
+  sim::Duration sample_deadline = sim::Duration::seconds(30);
+
+  /// Robustness knobs for the browser's HTTP client. Zero/negative keep the
+  /// defaults (no request timeout, no retries), so a fault-free experiment
+  /// schedules no extra events and stays bit-identical to older builds.
+  sim::Duration http_request_timeout = sim::Duration::zero();
+  int http_max_retries = 0;
+  sim::Duration http_retry_backoff = sim::Duration::millis(200);
+
+  /// SO_TIMEOUT-style bound for reply-less probes (Java UDP). Zero = off.
+  sim::Duration probe_timeout = sim::Duration::zero();
+
   Testbed::Config testbed{};  ///< client_os is overridden from `os`
 };
 
@@ -60,14 +77,28 @@ struct OverheadSample {
   int connections_opened1 = 0, connections_opened2 = 0;
 };
 
+/// How an experiment's repetitions degraded under faults. All-zero on a
+/// healthy testbed; under injected faults these separate "the run hung and
+/// hit the sample deadline" from "the transport surfaced an error" from
+/// "the probe finished but its capture window was unusable".
+struct SampleAccounting {
+  int timeouts = 0;          ///< runs cancelled at the sample deadline
+  int transport_errors = 0;  ///< runs settled with an error (reset, SO_TIMEOUT, ...)
+  int degraded = 0;          ///< completed runs with an incomplete capture window
+  std::uint64_t http_retries = 0;   ///< HTTP request retries across all runs
+  std::uint64_t http_timeouts = 0;  ///< HTTP per-request timeouts across all runs
+  int total() const { return timeouts + transport_errors + degraded; }
+};
+
 /// A full experiment's results plus summary statistics.
 struct OverheadSeries {
   ExperimentConfig config;
   std::string case_label;    ///< "C (U)", "appletviewer (W)", ...
   std::string method_name;   ///< "XHR GET", ...
   std::vector<OverheadSample> samples;
-  int failures = 0;
+  int failures = 0;          ///< == accounting.total()
   std::string first_error;
+  SampleAccounting accounting;
 
   std::vector<double> d1() const;
   std::vector<double> d2() const;

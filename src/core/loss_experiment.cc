@@ -41,11 +41,16 @@ LossReorderingResult LossReorderingExperiment::run() {
   // Browser-level accounting: the measurement code sees echoes through the
   // applet's receive path (dispatch overhead and all).
   int highest_seen = -1;
+  bool deadline_passed = false;
   std::set<int> seen;
   socket.set_on_receive([&](net::Endpoint, const std::string& payload) {
     const int seq = probe_seq(payload);
     if (seq < 0 || seen.count(seq)) return;
     seen.insert(seq);
+    if (deadline_passed) {
+      ++result.late_arrivals;
+      return;
+    }
     ++result.browser_received;
     if (seq < highest_seen) ++result.browser_reordered;
     highest_seen = std::max(highest_seen, seq);
@@ -61,6 +66,11 @@ LossReorderingResult LossReorderingExperiment::run() {
   const sim::Duration total =
       config_.probe_interval * config_.probes + config_.drain_timeout;
   sched.run_until(testbed_->sim().now() + total);
+
+  // Grace window: keep listening past the tool's deadline so stragglers the
+  // wire did deliver are counted as late arrivals rather than vanishing.
+  deadline_passed = true;
+  sched.run_until(testbed_->sim().now() + config_.drain_timeout);
 
   // Ground truth from the client capture: inbound echoes on the UDP port.
   int net_highest = -1;

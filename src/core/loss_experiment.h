@@ -32,6 +32,12 @@ struct LossReorderingResult {
                : 1.0 - static_cast<double>(browser_received) / probes_sent;
   }
 
+  /// Echoes dispatched to the applet only after the drain deadline: present
+  /// on the wire but already written off as lost by the measurement code.
+  /// Any browser-vs-net loss-rate disagreement is explained by these
+  /// (loss_rate_error() ~= late_arrivals / probes_sent).
+  int late_arrivals = 0;
+
   // Capture-level (ground truth at the NIC).
   int net_received = 0;
   int net_reordered = 0;

@@ -34,6 +34,16 @@ Testbed::Testbed(Config config) : config_{config}, sim_{config.seed} {
   nm.name = "server/netem";
   sc.egress_netem = nm;
   sc.tcp = config_.tcp;
+  if (config_.faults_to_server) {
+    auto plan = *config_.faults_to_server;
+    if (plan.name == "faults") plan.name = "faults/to-server";
+    sc.ingress_faults = std::move(plan);
+  }
+  if (config_.faults_from_server) {
+    auto plan = *config_.faults_from_server;
+    if (plan.name == "faults") plan.name = "faults/from-server";
+    sc.egress_faults = std::move(plan);
+  }
   server_ = std::make_unique<net::Host>(sim_, sc);
 
   // 100 Mbps links through a store-and-forward switch.

@@ -50,6 +50,14 @@ class Testbed {
     /// Client (and server) TCP stack knobs - e.g. enable slow start for
     /// realistic bulk-transfer dynamics.
     net::TcpConfig tcp{};
+
+    // --- fault injection (robustness experiments) ---
+    /// Fault stage on the path toward the server (client->server packets,
+    /// applied just before the server NIC).
+    std::optional<net::FaultPlan> faults_to_server;
+    /// Fault stage on the path away from the server (server->client
+    /// packets, applied after the server's egress netem).
+    std::optional<net::FaultPlan> faults_from_server;
   };
 
   explicit Testbed(Config config);
@@ -73,6 +81,10 @@ class Testbed {
 
   /// The cross-traffic generator, if configured (cross_traffic_mbps > 0).
   net::CrossTrafficGenerator* cross_traffic() { return cross_traffic_.get(); }
+
+  /// Fault injectors, if configured (nullptr otherwise).
+  net::FaultInjector* faults_to_server() { return server_->ingress_faults(); }
+  net::FaultInjector* faults_from_server() { return server_->egress_faults(); }
 
  private:
   void start_services();

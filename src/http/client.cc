@@ -8,6 +8,12 @@ HttpClient::HttpClient(net::Host& host) : host_{host} {}
 
 HttpClient::~HttpClient() {
   queue_.clear();
+  for (auto& [ptr, state] : inflight_) {
+    state->timeout_timer.cancel();
+    state->retry_timer.cancel();
+    state->settled = true;
+  }
+  inflight_.clear();
   for (auto& [server, vec] : pool_) {
     for (auto& e : vec) {
       if (e->conn) {
@@ -47,22 +53,26 @@ void HttpClient::pump_queue(net::Endpoint server) {
   if (qit == queue_.end()) return;
   auto& q = qit->second;
   while (!q.empty()) {
+    // Skip requests whose attempt was abandoned (timed out while queued).
+    if (q.front().state->settled ||
+        q.front().attempt != q.front().state->attempt) {
+      q.pop_front();
+      continue;
+    }
     // Prefer an idle pooled connection; otherwise open one if a slot is
     // free; otherwise keep waiting.
     if (auto entry = take_idle(server)) {
-      QueuedRequest item = std::move(q.front());
+      auto state = std::move(q.front().state);
       q.pop_front();
-      item.info.opened_new_connection = false;
-      item.info.connect_complete = host_.sim().now();
-      start_on(entry, server, item.req, std::move(item.cb), item.opts,
-               item.info);
+      state->info.opened_new_connection = false;
+      state->info.connect_complete = host_.sim().now();
+      start_on(entry, state);
       continue;
     }
     if (live_count_[server] < max_per_host_) {
-      QueuedRequest item = std::move(q.front());
+      auto state = std::move(q.front().state);
       q.pop_front();
-      open_and_start(server, std::move(item.req), std::move(item.cb),
-                     item.opts, item.info);
+      open_and_start(state);
       continue;
     }
     break;
@@ -71,90 +81,181 @@ void HttpClient::pump_queue(net::Endpoint server) {
 
 void HttpClient::request(net::Endpoint server, HttpRequest req,
                          ResponseCallback cb, Options opts) {
-  TransferInfo info;
-  info.started = host_.sim().now();
+  if (opts.request_timeout.is_zero()) opts.request_timeout = default_timeout_;
+  if (opts.max_retries < 0) {
+    opts.max_retries = default_retries_;
+    opts.retry_backoff = default_backoff_;
+  }
 
-  if (opts.reuse_pooled) {
-    if (auto entry = take_idle(server)) {
-      info.opened_new_connection = false;
-      info.connect_complete = info.started;
-      start_on(entry, server, req, std::move(cb), opts, info);
+  auto state = std::make_shared<RequestState>();
+  state->server = server;
+  state->req = std::move(req);
+  state->cb = std::move(cb);
+  state->opts = opts;
+  state->info.started = host_.sim().now();
+  state->retries_left = opts.max_retries;
+  state->backoff = opts.retry_backoff;
+  inflight_.emplace(state.get(), state);
+  dispatch(state);
+}
+
+void HttpClient::arm_timeout(const std::shared_ptr<RequestState>& state) {
+  if (state->opts.request_timeout.is_zero()) return;
+  const std::uint64_t attempt = state->attempt;
+  state->timeout_timer = host_.sim().scheduler().schedule_after(
+      state->opts.request_timeout, [this, state, attempt] {
+        if (state->settled || attempt != state->attempt) return;
+        ++timeouts_;
+        fail_attempt(state, attempt, "request timeout");
+      });
+}
+
+void HttpClient::dispatch(const std::shared_ptr<RequestState>& state) {
+  arm_timeout(state);
+
+  if (state->opts.reuse_pooled) {
+    if (auto entry = take_idle(state->server)) {
+      state->info.opened_new_connection = false;
+      state->info.connect_complete = host_.sim().now();
+      start_on(entry, state);
       return;
     }
   }
 
-  if (live_count_[server] >= max_per_host_) {
+  if (live_count_[state->server] >= max_per_host_) {
     // At the per-host parallel-connection limit: queue like a browser.
-    queue_[server].push_back(
-        QueuedRequest{std::move(req), std::move(cb), opts, info});
+    queue_[state->server].push_back(QueuedRequest{state, state->attempt});
     return;
   }
-  open_and_start(server, std::move(req), std::move(cb), opts, info);
+  open_and_start(state);
 }
 
-void HttpClient::open_and_start(net::Endpoint server, HttpRequest req,
-                                ResponseCallback cb, Options opts,
-                                TransferInfo info) {
-  info.opened_new_connection = true;
+void HttpClient::open_and_start(const std::shared_ptr<RequestState>& state) {
+  state->info.opened_new_connection = true;
   ++connections_opened_;
-  ++live_count_[server];
+  ++live_count_[state->server];
   auto entry = std::make_shared<PoolEntry>();
   entry->busy = true;
+  state->entry = entry;
+  const std::uint64_t attempt = state->attempt;
   net::TcpCallbacks cbs;
-  auto self = this;
-  cbs.on_connect = [self, entry, server, req = std::move(req),
-                    cb = std::move(cb), opts, info]() mutable {
-    info.connect_complete = self->host_.sim().now();
-    self->start_on(entry, server, req, std::move(cb), opts, info);
+  cbs.on_connect = [this, entry, state, attempt] {
+    if (state->settled || attempt != state->attempt) {
+      // Attempt abandoned while connecting: don't keep the connection.
+      entry->alive = false;
+      release_slot(state->server, *entry);
+      entry->conn->close();
+      return;
+    }
+    state->info.connect_complete = host_.sim().now();
+    start_on(entry, state);
   };
-  cbs.on_reset = [self, entry, server] {
+  cbs.on_reset = [this, entry, state, attempt] {
     entry->alive = false;
-    self->release_slot(server, *entry);
-    if (self->on_error_) self->on_error_("connect failed: connection reset");
+    release_slot(state->server, *entry);
+    fail_attempt(state, attempt, "connect failed: connection reset");
   };
-  entry->conn = host_.tcp_connect(server, std::move(cbs));
+  entry->conn = host_.tcp_connect(state->server, std::move(cbs));
 }
 
 void HttpClient::start_on(const std::shared_ptr<PoolEntry>& entry,
-                          net::Endpoint server, const HttpRequest& req,
-                          ResponseCallback cb, Options opts, TransferInfo info) {
+                          const std::shared_ptr<RequestState>& state) {
   entry->busy = true;
+  state->entry = entry;
+  const std::uint64_t attempt = state->attempt;
   net::TcpCallbacks cbs;
-  auto self = this;
-  auto cb_shared = std::make_shared<ResponseCallback>(std::move(cb));
-  cbs.on_data = [self, entry, server, cb_shared, opts,
-                 info](const net::Payload& bytes) mutable {
+  cbs.on_data = [this, entry, state, attempt](const net::Payload& bytes) {
     entry->parser.feed(bytes);
     if (entry->parser.failed()) {
       entry->alive = false;
-      self->release_slot(server, *entry);
+      release_slot(state->server, *entry);
       entry->conn->abort();
-      if (self->on_error_) self->on_error_("response parse error");
+      fail_attempt(state, attempt, "response parse error");
       return;
     }
     if (auto resp = entry->parser.take()) {
-      info.response_complete = self->host_.sim().now();
-      self->finish(entry, server, std::move(*resp), *cb_shared, opts, info);
+      if (state->settled || attempt != state->attempt) return;
+      state->info.response_complete = host_.sim().now();
+      finish(entry, state, std::move(*resp));
     }
   };
-  cbs.on_close = [self, entry, server, cb_shared, opts, info]() mutable {
+  cbs.on_close = [this, entry, state, attempt] {
     entry->alive = false;
-    self->release_slot(server, *entry);
+    release_slot(state->server, *entry);
     entry->parser.on_connection_closed();
     if (auto resp = entry->parser.take()) {
-      info.response_complete = self->host_.sim().now();
-      self->finish(entry, server, std::move(*resp), *cb_shared, opts, info);
-    } else if (entry->busy && self->on_error_) {
-      self->on_error_("connection closed mid-response");
+      if (state->settled || attempt != state->attempt) return;
+      state->info.response_complete = host_.sim().now();
+      finish(entry, state, std::move(*resp));
+    } else if (entry->busy) {
+      fail_attempt(state, attempt, "connection closed mid-response");
     }
   };
-  cbs.on_reset = [self, entry, server] {
+  cbs.on_reset = [this, entry, state, attempt] {
     entry->alive = false;
-    self->release_slot(server, *entry);
-    if (entry->busy && self->on_error_) self->on_error_("connection reset");
+    release_slot(state->server, *entry);
+    if (entry->busy) fail_attempt(state, attempt, "connection reset");
   };
   entry->conn->set_callbacks(std::move(cbs));
-  entry->conn->send(req.serialize());
+  entry->conn->send(state->req.serialize());
+}
+
+void HttpClient::abandon_entry(const std::shared_ptr<RequestState>& state) {
+  if (auto entry = state->entry.lock()) {
+    if (entry->conn) entry->conn->set_callbacks({});
+    if (entry->alive) {
+      entry->alive = false;
+      release_slot(state->server, *entry);
+      if (entry->conn) entry->conn->abort();
+    }
+  }
+  state->entry.reset();
+}
+
+void HttpClient::fail_attempt(const std::shared_ptr<RequestState>& state,
+                              std::uint64_t attempt,
+                              const std::string& reason) {
+  if (state->settled || attempt != state->attempt) return;
+  ++state->attempt;  // invalidate every other signal from this attempt
+  state->timeout_timer.cancel();
+  abandon_entry(state);
+
+  if (state->retries_left > 0) {
+    --state->retries_left;
+    ++retries_;
+    ++state->info.retries;
+    const sim::Duration backoff = state->backoff;
+    state->backoff = state->backoff * 2;
+    host_.sim().trace().emit(host_.sim().now(), "http",
+                             "retry after " + backoff.to_string() + " (" +
+                                 reason + ")");
+    state->retry_timer = host_.sim().scheduler().schedule_after(
+        backoff, [this, state] {
+          if (state->settled) return;
+          dispatch(state);
+        });
+    return;
+  }
+
+  ++failures_;
+  if (on_error_) on_error_(reason);
+  // Always answer: a synthetic network-error response (status 0), so no
+  // caller is left waiting on a request that can never complete.
+  HttpResponse failure;
+  failure.status = 0;
+  failure.reason = reason;
+  state->info.response_complete = host_.sim().now();
+  settle(state, std::move(failure));
+}
+
+void HttpClient::settle(const std::shared_ptr<RequestState>& state,
+                        HttpResponse response) {
+  if (state->settled) return;
+  state->settled = true;
+  state->timeout_timer.cancel();
+  state->retry_timer.cancel();
+  inflight_.erase(state.get());
+  state->cb(std::move(response), state->info);
 }
 
 namespace {
@@ -191,23 +292,25 @@ bool parse_location(const std::string& location, net::Endpoint same_server,
 }  // namespace
 
 void HttpClient::finish(const std::shared_ptr<PoolEntry>& entry,
-                        net::Endpoint server, HttpResponse response,
-                        const ResponseCallback& cb, Options opts,
-                        TransferInfo info) {
+                        const std::shared_ptr<RequestState>& state,
+                        HttpResponse response) {
+  state->timeout_timer.cancel();
   entry->busy = false;
+  const net::Endpoint server = state->server;
   const bool keep = response.wants_keep_alive() && entry->alive;
-  if (keep && opts.pool_after_use) {
+  if (keep && state->opts.pool_after_use) {
     pool_[server].push_back(entry);
   } else if (entry->alive) {
     entry->alive = false;
     release_slot(server, *entry);
     entry->conn->close();
   }
+  state->entry.reset();
 
   // Follow redirects transparently; each hop is a fresh GET and a fresh
   // round trip charged to the same TransferInfo.started.
   if ((response.status == 301 || response.status == 302) &&
-      opts.max_redirects > 0) {
+      state->opts.max_redirects > 0) {
     if (const auto location = response.headers.get("Location")) {
       net::Endpoint next_server;
       std::string next_path;
@@ -216,14 +319,19 @@ void HttpClient::finish(const std::shared_ptr<PoolEntry>& entry,
         next.method = "GET";
         next.target = next_path;
         next.headers.set("Host", next_server.to_string());
-        Options next_opts = opts;
+        Options next_opts = state->opts;
         --next_opts.max_redirects;
         ResponseCallback chain =
-            [cb, first_started = info.started](HttpResponse r,
-                                               TransferInfo hop_info) {
+            [cb = state->cb, first_started = state->info.started,
+             prior_retries = state->info.retries](HttpResponse r,
+                                                  TransferInfo hop_info) {
               hop_info.started = first_started;  // whole chain's duration
+              hop_info.retries += prior_retries;
               cb(std::move(r), hop_info);
             };
+        state->settled = true;
+        state->retry_timer.cancel();
+        inflight_.erase(state.get());
         pump_queue(server);
         request(next_server, std::move(next), std::move(chain), next_opts);
         return;
@@ -231,7 +339,7 @@ void HttpClient::finish(const std::shared_ptr<PoolEntry>& entry,
     }
   }
 
-  cb(std::move(response), info);
+  settle(state, std::move(response));
   // The entry may now be idle (or a slot freed): unblock queued requests.
   pump_queue(server);
 }

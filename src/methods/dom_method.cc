@@ -25,6 +25,8 @@ struct RunState {
   MethodRunResult result;
   std::function<void(MethodRunResult)> done;
   int measurement = 0;
+  bool cancelled = false;
+  bool settled = false;
 
   void cleanup() {
     loader.reset();
@@ -38,9 +40,16 @@ void DomMethod::run(const MethodContext& ctx,
   browser::Browser& b = *ctx.browser;
   auto state = std::make_shared<RunState>();
   state->done = std::move(done);
+  arm_cancel([w = std::weak_ptr<RunState>(state)] {
+    if (auto s = w.lock()) {
+      s->cancelled = true;
+      s->cleanup();
+    }
+  });
 
   const bool perf_now = ctx.js_use_performance_now;
   b.load_container_page(ProbeKind::kDom, [&b, state, perf_now] {
+    if (state->cancelled) return;
     browser::TimingApi& clock =
         b.clock(b.profile().clock_for(ProbeKind::kDom, false, perf_now));
     state->loader = std::make_unique<browser::DomElementLoader>(

@@ -31,6 +31,8 @@ struct HttpRunState {
   MethodRunResult result;
   std::function<void(MethodRunResult)> done;
   int measurement = 0;
+  bool cancelled = false;
+  bool settled = false;
 
   void cleanup() {
     loader.reset();
@@ -52,8 +54,16 @@ void FlashHttpMethod::run(const MethodContext& ctx,
     return;
   }
 
+  arm_cancel([w = std::weak_ptr<HttpRunState>(state)] {
+    if (auto s = w.lock()) {
+      s->cancelled = true;
+      s->cleanup();
+    }
+  });
+
   const ProbeKind kind = info_.kind;
   b.load_container_page(kind, [this, &b, state, kind] {
+    if (state->cancelled) return;
     browser::TimingApi& clock = b.clock(b.profile().clock_for(kind, false));
     state->runtime = std::make_unique<browser::FlashRuntime>(b);
     state->loader =
@@ -109,6 +119,8 @@ struct SocketRunState {
   MethodRunResult result;
   std::function<void(MethodRunResult)> done;
   int measurement = 0;
+  bool cancelled = false;
+  bool settled = false;
 
   void cleanup() {
     socket.reset();
@@ -130,7 +142,15 @@ void FlashSocketMethod::run(const MethodContext& ctx,
     return;
   }
 
+  arm_cancel([w = std::weak_ptr<SocketRunState>(state)] {
+    if (auto s = w.lock()) {
+      s->cancelled = true;
+      s->cleanup();
+    }
+  });
+
   b.load_container_page(ProbeKind::kFlashSocket, [&b, state, ctx] {
+    if (state->cancelled) return;
     browser::TimingApi& clock =
         b.clock(b.profile().clock_for(ProbeKind::kFlashSocket, false));
     state->runtime = std::make_unique<browser::FlashRuntime>(b);

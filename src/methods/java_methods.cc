@@ -28,6 +28,8 @@ struct HttpRunState {
   MethodRunResult result;
   std::function<void(MethodRunResult)> done;
   int measurement = 0;
+  bool cancelled = false;
+  bool settled = false;
 
   void cleanup() {
     url.reset();
@@ -49,8 +51,16 @@ void JavaHttpMethod::run(const MethodContext& ctx,
     return;
   }
 
+  arm_cancel([w = std::weak_ptr<HttpRunState>(state)] {
+    if (auto s = w.lock()) {
+      s->cancelled = true;
+      s->cleanup();
+    }
+  });
+
   const ProbeKind kind = info_.kind;
   b.load_container_page(kind, [this, &b, state, ctx] {
+    if (state->cancelled) return;
     state->runtime = std::make_unique<browser::JavaAppletRuntime>(
         b, browser::JavaAppletRuntime::Options{ctx.java_use_nanotime,
                                                ctx.java_via_appletviewer});
@@ -111,6 +121,8 @@ struct SocketRunState {
   MethodRunResult result;
   std::function<void(MethodRunResult)> done;
   int measurement = 0;
+  bool cancelled = false;
+  bool settled = false;
 
   void cleanup() {
     tcp.reset();
@@ -133,7 +145,15 @@ void JavaSocketMethod::run(const MethodContext& ctx,
     return;
   }
 
+  arm_cancel([w = std::weak_ptr<SocketRunState>(state)] {
+    if (auto s = w.lock()) {
+      s->cancelled = true;
+      s->cleanup();
+    }
+  });
+
   b.load_container_page(info_.kind, [this, &b, state, ctx] {
+    if (state->cancelled) return;
     state->runtime = std::make_unique<browser::JavaAppletRuntime>(
         b, browser::JavaAppletRuntime::Options{ctx.java_use_nanotime,
                                                ctx.java_via_appletviewer});
@@ -147,6 +167,17 @@ void JavaSocketMethod::run(const MethodContext& ctx,
           std::make_unique<browser::JavaAppletRuntime::DatagramSocket>(
               *state->runtime);
       auto* sock = state->udp.get();
+      if (!ctx.probe_timeout.is_zero()) {
+        // UDP has no failure signal: a lost probe or reply would block the
+        // applet's receive() forever without SO_TIMEOUT.
+        sock->set_so_timeout(ctx.probe_timeout);
+        sock->set_on_timeout([&b, state, sock] {
+          if (state->result.ok || state->cancelled) return;
+          state->result.error = "receive timed out";
+          sock->close();
+          finish_run(b.sim(), state);
+        });
+      }
       *measure = [&b, state, sock, &clock, measure, ctx] {
         ++state->measurement;
         ProbeTimestamps& ts =
@@ -190,6 +221,12 @@ void JavaSocketMethod::run(const MethodContext& ctx,
       stamp(clock, b.sim(), ts.t_b_s, ts.true_send);
       sock->write("PROBE-RTT-16byte");
     };
+    sock->set_on_error([&b, state, sock](const std::string& err) {
+      if (state->result.ok || state->cancelled) return;
+      state->result.error = err;
+      sock->close();
+      finish_run(b.sim(), state);
+    });
     sock->set_on_connect([measure] { (*measure)(); });
     sock->connect(ctx.tcp_echo);
   });

@@ -78,6 +78,11 @@ struct MethodContext {
   bool java_via_appletviewer = false;
   /// Read JS timestamps via performance.now() where the browser has it.
   bool js_use_performance_now = false;
+
+  /// Per-probe wait bound for methods that block on a reply with no
+  /// transport-level failure signal (Java UDP SO_TIMEOUT). Zero = wait
+  /// forever (the Experiment's sample deadline is then the only bound).
+  sim::Duration probe_timeout = sim::Duration::zero();
 };
 
 class MeasurementMethod {
@@ -90,6 +95,28 @@ class MeasurementMethod {
   /// success or error; it may fire synchronously on setup failure.
   virtual void run(const MethodContext& ctx,
                    std::function<void(MethodRunResult)> done) = 0;
+
+  /// Abandon the in-flight run without delivering a result: tears down the
+  /// run-state registered via arm_cancel() (sockets, plugin objects, the
+  /// self-referential continuation), so a deadline-expired run cannot leak
+  /// or call back later. Safe to call when no run is active.
+  void cancel() {
+    if (!cancel_) return;
+    auto teardown = std::move(cancel_);
+    cancel_ = nullptr;
+    teardown();
+  }
+
+ protected:
+  /// Implementations register their teardown at the start of run(); it is
+  /// disarmed automatically when the run finishes normally.
+  void arm_cancel(std::function<void()> teardown) {
+    cancel_ = std::move(teardown);
+  }
+  void disarm_cancel() { cancel_ = nullptr; }
+
+ private:
+  std::function<void()> cancel_;
 };
 
 /// Helper shared by implementations: read a timing API now.
@@ -106,8 +133,12 @@ inline void stamp(browser::TimingApi& clock, sim::Simulation& sim,
 /// explicit break the state would keep itself alive forever. Cleanup is
 /// deferred one event so it never destroys a callback that is still
 /// executing.
+/// Idempotent: under faults several failure signals can race for the same
+/// run (transport error, close, SO_TIMEOUT) - only the first one wins.
 template <typename State>
 void finish_run(sim::Simulation& sim, const std::shared_ptr<State>& state) {
+  if (state->settled) return;
+  state->settled = true;
   state->done(state->result);
   sim.scheduler().schedule_after(sim::Duration::zero(),
                                  [state] { state->cleanup(); });

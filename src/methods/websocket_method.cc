@@ -25,6 +25,8 @@ struct RunState {
   MethodRunResult result;
   std::function<void(MethodRunResult)> done;
   int measurement = 0;
+  bool cancelled = false;
+  bool settled = false;
 
   void cleanup() {
     ws.reset();
@@ -45,7 +47,15 @@ void WebSocketMethod::run(const MethodContext& ctx,
     return;
   }
 
+  arm_cancel([w = std::weak_ptr<RunState>(state)] {
+    if (auto s = w.lock()) {
+      s->cancelled = true;
+      s->cleanup();
+    }
+  });
+
   b.load_container_page(ProbeKind::kWebSocket, [&b, state, ctx] {
+    if (state->cancelled) return;
     browser::TimingApi& clock = b.clock(b.profile().clock_for(
         ProbeKind::kWebSocket, false, ctx.js_use_performance_now));
     // Preparation: the WebSocket handshake completes before any probe, so
@@ -76,8 +86,15 @@ void WebSocketMethod::run(const MethodContext& ctx,
     };
 
     sock->set_onerror([&b, state](const std::string& err) {
-      if (state->result.ok) return;
+      if (state->result.ok || state->cancelled) return;
       state->result.error = err;
+      finish_run(b.sim(), state);
+    });
+    sock->set_onclose([&b, state](std::uint16_t code) {
+      // An abnormal close (1006: transport died) before the second probe
+      // completes means the run cannot finish - surface it as an error.
+      if (state->result.ok || state->cancelled) return;
+      state->result.error = "connection closed (" + std::to_string(code) + ")";
       finish_run(b.sim(), state);
     });
     sock->set_onopen([measure] { (*measure)(); });

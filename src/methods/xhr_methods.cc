@@ -29,6 +29,8 @@ struct RunState {
   MethodRunResult result;
   std::function<void(MethodRunResult)> done;
   int measurement = 0;  // 1 or 2
+  bool cancelled = false;
+  bool settled = false;
 
   void cleanup() {
     xhr.reset();
@@ -42,10 +44,17 @@ void XhrMethod::run(const MethodContext& ctx,
   browser::Browser& b = *ctx.browser;
   auto state = std::make_shared<RunState>();
   state->done = std::move(done);
+  arm_cancel([w = std::weak_ptr<RunState>(state)] {
+    if (auto s = w.lock()) {
+      s->cancelled = true;
+      s->cleanup();
+    }
+  });
 
   const ProbeKind kind = info_.kind;
   const bool perf_now = ctx.js_use_performance_now;
   b.load_container_page(kind, [this, &b, state, kind, perf_now] {
+    if (state->cancelled) return;
     browser::TimingApi& clock =
         b.clock(b.profile().clock_for(kind, /*java_use_nanotime=*/false,
                                       perf_now));
@@ -53,6 +62,11 @@ void XhrMethod::run(const MethodContext& ctx,
     // The measurement code: instantiate the object once, use it twice.
     state->xhr = std::make_unique<browser::XmlHttpRequest>(b);
     auto* xhr = state->xhr.get();
+    xhr->set_onerror([&b, state](const std::string& err) {
+      if (state->result.ok || state->cancelled) return;
+      state->result.error = err;
+      finish_run(b.sim(), state);
+    });
 
     state->measure = std::make_shared<std::function<void()>>();
     auto* measure = state->measure.get();
@@ -69,6 +83,7 @@ void XhrMethod::run(const MethodContext& ctx,
         if (xhr->ready_state() != browser::XmlHttpRequest::ReadyState::kDone) {
           return;
         }
+        if (xhr->status() == 0) return;  // network error; onerror settles
         stamp(clock, b.sim(), ts.t_b_r, ts.true_recv);
         if (state->measurement == 1) {
           (*measure)();  // second probe immediately, reusing the object

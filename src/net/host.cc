@@ -26,12 +26,32 @@ Host::Host(sim::Simulation& sim, Config config)
                }()},
       isn_counter_{static_cast<std::uint32_t>(name_hash(config_.name) & 0xffff)},
       id_base_{name_hash(config_.name) << 20} {
-  if (config_.egress_netem) {
-    netem_ = std::make_unique<DelayEmulator>(sim_, *config_.egress_netem);
-    netem_->set_output([this](Packet p) {
+  if (config_.egress_faults) {
+    auto plan = *config_.egress_faults;
+    if (plan.name == "faults") plan.name = config_.name + "/egress-faults";
+    egress_faults_ = std::make_unique<FaultInjector>(sim_, std::move(plan));
+    egress_faults_->set_output([this](Packet p) {
       assert(link_ && "host not attached to a link");
       link_->transmit(link_side_, std::move(p));
     });
+  }
+  if (config_.egress_netem) {
+    netem_ = std::make_unique<DelayEmulator>(sim_, *config_.egress_netem);
+    netem_->set_output([this](Packet p) {
+      if (egress_faults_) {
+        egress_faults_->handle_packet(std::move(p));
+        return;
+      }
+      assert(link_ && "host not attached to a link");
+      link_->transmit(link_side_, std::move(p));
+    });
+  }
+  if (config_.ingress_faults) {
+    auto plan = *config_.ingress_faults;
+    if (plan.name == "faults") plan.name = config_.name + "/ingress-faults";
+    ingress_faults_ = std::make_unique<FaultInjector>(sim_, std::move(plan));
+    ingress_faults_->set_output(
+        [this](Packet p) { deliver_from_wire(std::move(p)); });
   }
 }
 
@@ -85,13 +105,21 @@ void Host::send_packet(Packet packet) {
       config_.stack_delay, [this, pkt = std::move(packet)]() mutable {
         capture_.record(CaptureDirection::kOutbound, pkt);
         sim_.trace().emit(sim_.now(), config_.name, "tx " + pkt.to_string());
-        if (netem_) {
-          netem_->enqueue(std::move(pkt));
-        } else {
-          assert(link_ && "host not attached to a link");
-          link_->transmit(link_side_, std::move(pkt));
-        }
+        wire_out(std::move(pkt));
       });
+}
+
+void Host::wire_out(Packet packet) {
+  if (netem_) {
+    netem_->enqueue(std::move(packet));
+    return;
+  }
+  if (egress_faults_) {
+    egress_faults_->handle_packet(std::move(packet));
+    return;
+  }
+  assert(link_ && "host not attached to a link");
+  link_->transmit(link_side_, std::move(packet));
 }
 
 Port Host::allocate_ephemeral_port() {
@@ -110,8 +138,26 @@ void Host::deregister_connection(const FourTuple& tuple) {
 }
 
 void Host::handle_packet(Packet packet) {
+  // Faults on the last path segment hit before the NIC: a packet dropped
+  // there never reaches the capture tap.
+  if (ingress_faults_) {
+    ingress_faults_->handle_packet(std::move(packet));
+    return;
+  }
+  deliver_from_wire(std::move(packet));
+}
+
+void Host::deliver_from_wire(Packet packet) {
   capture_.record(CaptureDirection::kInbound, packet);
   sim_.trace().emit(sim_.now(), config_.name, "rx " + packet.to_string());
+  if (packet.corrupted) {
+    // The NIC/stack verifies checksums after the tap: tcpdump sees the
+    // frame, the transport never does.
+    ++checksum_drops_;
+    sim_.trace().emit(sim_.now(), config_.name,
+                      "checksum-drop " + packet.to_string());
+    return;
+  }
   sim_.scheduler().schedule_after(
       config_.stack_delay, [this, pkt = std::move(packet)]() { demux(pkt); });
 }

@@ -19,6 +19,7 @@
 #include <unordered_map>
 
 #include "net/capture.h"
+#include "net/fault.h"
 #include "net/link.h"
 #include "net/netem.h"
 #include "net/tcp.h"
@@ -37,6 +38,12 @@ class Host : public PacketSink {
     PacketCapture::Config capture{};
     /// Optional egress delay emulation (the paper's +50 ms on the server).
     std::optional<DelayEmulator::Config> egress_netem;
+    /// Optional fault stage on the path just past the NIC (after netem on
+    /// the way out). Corrupted packets are produced here.
+    std::optional<FaultPlan> egress_faults;
+    /// Optional fault stage on the last path segment before the NIC; a
+    /// packet it drops is never seen by this host's capture tap.
+    std::optional<FaultPlan> ingress_faults;
     TcpConfig tcp{};
   };
 
@@ -72,6 +79,10 @@ class Host : public PacketSink {
   PacketCapture& capture() { return capture_; }
   const PacketCapture& capture() const { return capture_; }
   DelayEmulator* egress_netem() { return netem_ ? netem_.get() : nullptr; }
+  FaultInjector* egress_faults() { return egress_faults_.get(); }
+  FaultInjector* ingress_faults() { return ingress_faults_.get(); }
+  /// Inbound packets dropped by the stack as corrupted (failed checksum).
+  std::uint64_t checksum_drops() const { return checksum_drops_; }
   std::size_t open_connections() const { return connections_.size(); }
 
   // ---- Internal plumbing (used by TcpConnection / UdpSocket) ----
@@ -86,6 +97,10 @@ class Host : public PacketSink {
   void handle_packet(Packet packet) override;
 
  private:
+  /// Ship a stack-processed packet onto the wire (netem -> faults -> link).
+  void wire_out(Packet packet);
+  /// A packet survived the inbound path faults: tap, checksum, stack, demux.
+  void deliver_from_wire(Packet packet);
   void demux(const Packet& packet);
   void handle_tcp(const Packet& packet);
   void handle_udp(const Packet& packet);
@@ -95,6 +110,9 @@ class Host : public PacketSink {
   Config config_;
   PacketCapture capture_;
   std::unique_ptr<DelayEmulator> netem_;
+  std::unique_ptr<FaultInjector> egress_faults_;
+  std::unique_ptr<FaultInjector> ingress_faults_;
+  std::uint64_t checksum_drops_ = 0;
   Link* link_ = nullptr;
   Link::Side link_side_ = Link::Side::kA;
 

@@ -9,6 +9,8 @@ namespace bnm::net {
 Link::Link(sim::Simulation& sim, Config config)
     : sim_{sim}, config_{std::move(config)}, rng_{sim.rng_for(config_.name)} {
   assert(config_.bandwidth_bps > 0);
+  loss_ = config_.bursty_loss ? LossProcess::bursty(*config_.bursty_loss)
+                              : LossProcess::iid(config_.loss_probability);
 }
 
 void Link::attach(Side side, PacketSink* sink) {
@@ -33,7 +35,7 @@ void Link::transmit(Side side, Packet packet) {
                       "tail-drop " + packet.to_string());
     return;
   }
-  if (config_.loss_probability > 0.0 && rng_.chance(config_.loss_probability)) {
+  if (loss_.enabled() && loss_.should_drop(rng_)) {
     ++d.drops;
     sim_.trace().emit(sim_.now(), config_.name, "loss " + packet.to_string());
     return;

@@ -10,8 +10,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 
+#include "net/loss_process.h"
 #include "net/packet.h"
 #include "sim/simulation.h"
 
@@ -34,6 +36,9 @@ class Link {
     double bandwidth_bps = 100e6;  ///< 100 Mbps Fast Ethernet (paper testbed)
     sim::Duration propagation = sim::Duration::micros(5);
     double loss_probability = 0.0;  ///< per-packet independent drop
+    /// Bursty (Gilbert-Elliott) loss; takes precedence over
+    /// loss_probability when set. Shared chain across both directions.
+    std::optional<GilbertElliottConfig> bursty_loss;
     std::size_t queue_limit_packets = 1000;  ///< tail-drop beyond this
     std::string name = "link";
   };
@@ -69,6 +74,7 @@ class Link {
   sim::Simulation& sim_;
   Config config_;
   sim::Rng rng_;
+  LossProcess loss_;
   Direction a_to_b_;
   Direction b_to_a_;
 };

@@ -1,0 +1,41 @@
+#include "net/loss_process.h"
+
+#include <cassert>
+
+namespace bnm::net {
+
+double GilbertElliottConfig::stationary_loss_rate() const {
+  const double denom = p_good_to_bad + p_bad_to_good;
+  if (denom <= 0.0) return loss_good;
+  const double pi_bad = p_good_to_bad / denom;
+  return (1.0 - pi_bad) * loss_good + pi_bad * loss_bad;
+}
+
+LossProcess LossProcess::iid(double p) {
+  LossProcess lp;
+  if (p > 0.0) {
+    lp.mode_ = Mode::kIid;
+    lp.iid_p_ = p;
+  }
+  return lp;
+}
+
+LossProcess LossProcess::bursty(const GilbertElliottConfig& cfg) {
+  LossProcess lp;
+  lp.mode_ = Mode::kBursty;
+  lp.ge_ = cfg;
+  return lp;
+}
+
+bool LossProcess::should_drop(sim::Rng& rng) {
+  assert(enabled() && "should_drop on a disabled LossProcess");
+  if (mode_ == Mode::kIid) return rng.chance(iid_p_);
+  // Gilbert-Elliott: drop according to the current state, then transition.
+  const double loss_p = bad_ ? ge_.loss_bad : ge_.loss_good;
+  const bool drop = loss_p > 0.0 && rng.chance(loss_p);
+  const double flip_p = bad_ ? ge_.p_bad_to_good : ge_.p_good_to_bad;
+  if (flip_p > 0.0 && rng.chance(flip_p)) bad_ = !bad_;
+  return drop;
+}
+
+}  // namespace bnm::net

@@ -7,10 +7,30 @@
 namespace bnm::net {
 
 DelayEmulator::DelayEmulator(sim::Simulation& sim, Config config)
-    : sim_{sim}, config_{std::move(config)}, rng_{sim.rng_for(config_.name)} {}
+    : sim_{sim}, config_{std::move(config)}, rng_{sim.rng_for(config_.name)} {
+  loss_ = config_.bursty_loss ? LossProcess::bursty(*config_.bursty_loss)
+                              : LossProcess::iid(config_.loss_probability);
+}
 
 void DelayEmulator::enqueue(Packet packet) {
   assert(output_ && "DelayEmulator has no output stage");
+  // netem order: loss, then duplication, then delay/jitter.
+  if (loss_.enabled() && loss_.should_drop(rng_)) {
+    ++drops_;
+    sim_.trace().emit(sim_.now(), config_.name, "loss " + packet.to_string());
+    return;
+  }
+  if (config_.duplicate_probability > 0.0 &&
+      rng_.chance(config_.duplicate_probability)) {
+    ++duplicates_;
+    sim_.trace().emit(sim_.now(), config_.name,
+                      "duplicate " + packet.to_string());
+    schedule_release(packet);  // the copy; the original follows
+  }
+  schedule_release(std::move(packet));
+}
+
+void DelayEmulator::schedule_release(Packet packet) {
   sim::Duration d = config_.delay;
   if (!config_.jitter.is_zero()) {
     d += rng_.uniform_ms(0.0, config_.jitter.ms_f());

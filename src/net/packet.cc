@@ -37,7 +37,9 @@ std::string Packet::to_string() const {
                   static_cast<unsigned long long>(id), src.to_string().c_str(),
                   dst.to_string().c_str(), payload.size());
   }
-  return buf;
+  std::string s = buf;
+  if (corrupted) s += " CORRUPT";
+  return s;
 }
 
 std::vector<std::uint8_t> to_bytes(const std::string& s) {

@@ -55,6 +55,11 @@ struct Packet {
 
   Payload payload;
 
+  /// Set by a FaultInjector corrupting the packet in flight. The capture tap
+  /// still records the frame, but the receiving stack drops it as a failed
+  /// checksum before demux.
+  bool corrupted = false;
+
   std::size_t payload_size() const { return payload.size(); }
   /// IP datagram size: transport header + payload (+ IP header).
   std::size_t ip_size() const;

@@ -108,6 +108,10 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
   std::uint64_t retransmissions() const { return retransmissions_; }
   std::uint64_t fast_retransmissions() const { return fast_retransmissions_; }
   std::uint64_t bytes_delivered() const { return bytes_delivered_; }
+  /// Current RTO (doubles per consecutive timeout, clamped at rto_max).
+  sim::Duration rto_current() const { return rto_current_; }
+  /// Consecutive RTO fires without forward progress.
+  std::uint64_t consecutive_rtos() const { return consecutive_rtos_; }
   /// Effective send window right now (min of cwnd and the configured
   /// window when congestion control is on).
   std::size_t effective_window() const;

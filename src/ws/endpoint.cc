@@ -147,7 +147,8 @@ void WebSocketClient::connect(net::Endpoint server, const std::string& path,
   pending->key = base64_encode(nonce, sizeof nonce);
 
   net::TcpCallbacks cbs;
-  cbs.on_connect = [this, pending, server, path] {
+  cbs.on_connect = [alive = alive_, pending, server, path] {
+    if (!*alive) return;
     http::HttpRequest req;
     req.method = "GET";
     req.target = path;
@@ -158,10 +159,14 @@ void WebSocketClient::connect(net::Endpoint server, const std::string& path,
     req.headers.set("Sec-WebSocket-Version", "13");
     pending->tcp->send(req.serialize());
   };
-  cbs.on_data = [this, pending, on_open = std::move(on_open)](
+  cbs.on_data = [this, alive = alive_, pending, on_open = std::move(on_open)](
                     const net::Payload& bytes) mutable {
     if (pending->ws) {
       pending->ws->on_tcp_data(bytes);
+      return;
+    }
+    if (!*alive) {
+      pending->tcp->abort();
       return;
     }
     pending->parser.feed(bytes);
@@ -187,8 +192,20 @@ void WebSocketClient::connect(net::Endpoint server, const std::string& path,
   cbs.on_close = [pending] {
     if (pending->ws) pending->ws->on_tcp_closed();
   };
+  cbs.on_reset = [this, alive = alive_, pending] {
+    // A reset mid-handshake (or an aborted transport under faults) must
+    // surface instead of leaving the opener waiting forever.
+    if (pending->ws) {
+      pending->ws->on_tcp_closed();
+      return;
+    }
+    if (!*alive) return;
+    if (on_error_) on_error_("connection reset");
+  };
   pending->tcp = host_.tcp_connect(server, std::move(cbs));
 }
+
+WebSocketClient::~WebSocketClient() { *alive_ = false; }
 
 // -------------------------------------------------------------------- server
 

@@ -81,6 +81,11 @@ class WebSocketClient {
 
   explicit WebSocketClient(net::Host& host);
 
+  /// Handshakes still in flight are detached: their TCP callbacks become
+  /// no-ops, so a client destroyed mid-handshake (a cancelled measurement
+  /// run) is never called back.
+  ~WebSocketClient();
+
   /// Open ws://server/path. `on_open` fires when the 101 handshake
   /// completes and the connection is ready for messages.
   void connect(net::Endpoint server, const std::string& path,
@@ -98,6 +103,7 @@ class WebSocketClient {
   net::Host& host_;
   sim::Rng rng_;
   ErrorCallback on_error_;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 
 /// Server-side upgrade endpoint bound to a host port.

@@ -7,7 +7,9 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <optional>
 
+#include "net/fault.h"
 #include "net/host.h"
 #include "net/link.h"
 #include "net/switch_fabric.h"
@@ -23,11 +25,16 @@ class TwoHostFixture : public ::testing::Test {
     net::Host::Config cc;
     cc.name = "client";
     cc.ip = net::IpAddress{10, 0, 0, 1};
+    cc.tcp = tcp_config;
+    cc.egress_faults = client_egress_faults;
+    cc.ingress_faults = client_ingress_faults;
     client = std::make_unique<net::Host>(*sim, cc);
 
     net::Host::Config sc;
     sc.name = "server";
     sc.ip = net::IpAddress{10, 0, 0, 2};
+    sc.tcp = tcp_config;
+    sc.ingress_faults = server_ingress_faults;
     if (server_netem_ms > 0) {
       net::DelayEmulator::Config nm;
       nm.delay = sim::Duration::millis(server_netem_ms);
@@ -65,6 +72,11 @@ class TwoHostFixture : public ::testing::Test {
 
   std::uint64_t seed = 7;
   int server_netem_ms = 0;
+  net::TcpConfig tcp_config{};
+  // Set before build() to splice fault stages into the pipeline.
+  std::optional<net::FaultPlan> client_egress_faults;
+  std::optional<net::FaultPlan> client_ingress_faults;
+  std::optional<net::FaultPlan> server_ingress_faults;
   std::unique_ptr<sim::Simulation> sim;
   std::unique_ptr<net::Host> client;
   std::unique_ptr<net::Host> server;

@@ -1,0 +1,205 @@
+// End-to-end measurement resilience: the full method matrix stays bounded
+// and correctly accounted when the testbed path is impaired mid-experiment,
+// and a disabled fault stage leaves baseline results bit-identical.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "browser/profile.h"
+#include "core/experiment.h"
+#include "core/loss_experiment.h"
+#include "net/fault.h"
+
+namespace bnm::core {
+namespace {
+
+sim::TimePoint epoch() { return sim::TimePoint::epoch(); }
+
+// ------------------------------------------------- bounded completion
+
+// Every method, with the path to the server blackholed across the whole
+// first repetition: run 1 must settle as a timeout or transport error
+// (never hang), and later repetitions - after the blackhole lifts - must
+// recover with clean samples.
+class FaultedMatrix : public ::testing::TestWithParam<methods::ProbeKind> {};
+
+TEST_P(FaultedMatrix, BlackholedFirstRunSettlesAndRecovers) {
+  ExperimentConfig cfg;
+  cfg.browser = browser::BrowserId::kChrome;
+  cfg.os = browser::OsId::kUbuntu;
+  cfg.kind = GetParam();
+  cfg.runs = 2;
+  cfg.sample_deadline = sim::Duration::seconds(10);
+  cfg.http_request_timeout = sim::Duration::seconds(2);
+  cfg.http_max_retries = 1;
+  cfg.probe_timeout = sim::Duration::seconds(2);
+  net::FaultPlan plan;
+  plan.name = "to-server";
+  plan.blackhole(epoch(), epoch() + sim::Duration::seconds(12));
+  cfg.testbed.faults_to_server = plan;
+
+  const OverheadSeries series = run_experiment(cfg);
+
+  // Run 1 (inside the blackhole) degrades; run 2 starts after the deadline
+  // plus the inter-run gap (>= 13 s), past the window, and must be clean.
+  EXPECT_EQ(series.failures, 1) << series.first_error;
+  EXPECT_EQ(series.accounting.total(), series.failures);
+  ASSERT_EQ(series.samples.size(), 1u) << series.first_error;
+  const OverheadSample& s = series.samples.front();
+  EXPECT_GT(s.net_rtt1_ms, 50.0);
+  EXPECT_LT(s.net_rtt1_ms, 52.0);
+  EXPECT_GT(s.net_rtt2_ms, 50.0);
+  EXPECT_LT(s.net_rtt2_ms, 52.0);
+}
+
+std::string kind_name(const ::testing::TestParamInfo<methods::ProbeKind>& i) {
+  std::string n = browser::probe_kind_name(i.param);
+  for (auto& c : n) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return n;
+}
+
+INSTANTIATE_TEST_SUITE_P(EveryMethod, FaultedMatrix,
+                         ::testing::ValuesIn(browser::all_probe_kinds()),
+                         kind_name);
+
+// ------------------------------------------------- accounting paths
+
+TEST(FaultAccounting, SampleDeadlineCancelsHungRuns) {
+  // Total loss toward the server and no HTTP timeout configured: the page
+  // load's TCP handshake retransmits far past the deadline, so every run
+  // must be cancelled at the sample deadline - not hang.
+  ExperimentConfig cfg;
+  cfg.kind = methods::ProbeKind::kXhrGet;
+  cfg.runs = 2;
+  cfg.sample_deadline = sim::Duration::seconds(2);
+  net::FaultPlan plan;
+  plan.loss_probability = 1.0;
+  cfg.testbed.faults_to_server = plan;
+
+  const OverheadSeries series = run_experiment(cfg);
+
+  EXPECT_TRUE(series.samples.empty());
+  EXPECT_EQ(series.failures, 2);
+  EXPECT_EQ(series.accounting.timeouts, 2);
+  EXPECT_EQ(series.accounting.total(), 2);
+  EXPECT_EQ(series.first_error, "sample deadline exceeded");
+}
+
+TEST(FaultAccounting, HttpTimeoutSurfacesTransportErrors) {
+  // Same total loss, but with a request timeout armed: the HTTP layer fails
+  // each probe fast and the run settles as a transport error well before
+  // the sample deadline.
+  ExperimentConfig cfg;
+  cfg.kind = methods::ProbeKind::kXhrGet;
+  cfg.runs = 2;
+  cfg.sample_deadline = sim::Duration::seconds(10);
+  cfg.http_request_timeout = sim::Duration::millis(500);
+  net::FaultPlan plan;
+  plan.loss_probability = 1.0;
+  cfg.testbed.faults_to_server = plan;
+
+  const OverheadSeries series = run_experiment(cfg);
+
+  EXPECT_TRUE(series.samples.empty());
+  EXPECT_EQ(series.failures, 2);
+  EXPECT_EQ(series.accounting.transport_errors, 2);
+  EXPECT_EQ(series.accounting.timeouts, 0);
+  EXPECT_GE(series.accounting.http_timeouts, 2u);
+}
+
+TEST(FaultAccounting, JavaUdpProbeTimeoutBoundsLostReplies) {
+  // The Java UDP probe has no transport-level recovery: with its datagrams
+  // dropped, only the SO_TIMEOUT bound (ctx.probe_timeout) ends the wait.
+  ExperimentConfig cfg;
+  cfg.kind = methods::ProbeKind::kJavaUdp;
+  cfg.runs = 2;
+  cfg.sample_deadline = sim::Duration::seconds(10);
+  cfg.http_request_timeout = sim::Duration::millis(500);  // page load fails fast
+  cfg.probe_timeout = sim::Duration::seconds(1);
+  net::FaultPlan plan;
+  plan.loss_probability = 1.0;
+  cfg.testbed.faults_to_server = plan;
+
+  const OverheadSeries series = run_experiment(cfg);
+
+  EXPECT_TRUE(series.samples.empty());
+  EXPECT_EQ(series.failures, 2);
+  EXPECT_EQ(series.accounting.transport_errors, 2);
+  EXPECT_EQ(series.accounting.timeouts, 0);
+  EXPECT_EQ(series.first_error, "receive timed out");
+}
+
+// ------------------------------------------------- baseline bit-identity
+
+TEST(FaultBaseline, DisabledInjectorIsBitIdentical) {
+  ExperimentConfig cfg;
+  cfg.kind = methods::ProbeKind::kXhrGet;
+  cfg.runs = 3;
+  const OverheadSeries plain = run_experiment(cfg);
+
+  // Same experiment with empty fault plans spliced into both directions:
+  // the injectors are installed but inactive, draw zero random numbers, and
+  // every sample must match the plain run exactly.
+  cfg.testbed.faults_to_server = net::FaultPlan{};
+  cfg.testbed.faults_from_server = net::FaultPlan{};
+  const OverheadSeries staged = run_experiment(cfg);
+
+  EXPECT_EQ(plain.failures, staged.failures);
+  ASSERT_EQ(plain.samples.size(), staged.samples.size());
+  for (std::size_t i = 0; i < plain.samples.size(); ++i) {
+    const OverheadSample& a = plain.samples[i];
+    const OverheadSample& b = staged.samples[i];
+    EXPECT_EQ(a.d1_ms, b.d1_ms);
+    EXPECT_EQ(a.d2_ms, b.d2_ms);
+    EXPECT_EQ(a.browser_rtt1_ms, b.browser_rtt1_ms);
+    EXPECT_EQ(a.browser_rtt2_ms, b.browser_rtt2_ms);
+    EXPECT_EQ(a.net_rtt1_ms, b.net_rtt1_ms);
+    EXPECT_EQ(a.net_rtt2_ms, b.net_rtt2_ms);
+    EXPECT_EQ(a.connections_opened1, b.connections_opened1);
+    EXPECT_EQ(a.connections_opened2, b.connections_opened2);
+  }
+}
+
+// ------------------------------------------------- GE loss experiment
+
+TEST(FaultLossExperiment, BurstyLossAgreesWithGroundTruth) {
+  // Gilbert-Elliott loss on the echo return path: the browser's loss count
+  // must agree with the capture's except for stragglers arriving after the
+  // drain deadline, which are accounted as late_arrivals - the paper's
+  // Section 2 claim that loss measurement is not inflated by the browser.
+  LossReorderingExperiment::Config cfg;
+  cfg.probes = 300;
+  cfg.probe_interval = sim::Duration::millis(5);
+  net::FaultPlan plan;
+  plan.name = "from-server";
+  net::GilbertElliottConfig ge;
+  ge.p_good_to_bad = 0.05;
+  ge.p_bad_to_good = 0.5;
+  ge.loss_bad = 1.0;
+  plan.bursty_loss = ge;
+  cfg.testbed.faults_from_server = plan;
+
+  LossReorderingExperiment exp{cfg};
+  const LossReorderingResult result = exp.run();
+
+  EXPECT_EQ(result.probes_sent, 300);
+  EXPECT_GT(result.net_received, 0);
+  EXPECT_LT(result.net_received, 300);
+  // Stationary GE loss here is p_g2b / (p_g2b + p_b2g) ~= 9.1%.
+  EXPECT_NEAR(result.net_loss_rate(), 0.0909, 0.06);
+  // Browser-vs-wire disagreement is exactly the late arrivals.
+  EXPECT_NEAR(result.loss_rate_error(),
+              static_cast<double>(result.late_arrivals) / result.probes_sent,
+              1e-12);
+  const auto* inj = exp.testbed().faults_from_server();
+  ASSERT_NE(inj, nullptr);
+  EXPECT_EQ(inj->counters().burst_losses,
+            static_cast<std::uint64_t>(300 - result.net_received));
+}
+
+}  // namespace
+}  // namespace bnm::core

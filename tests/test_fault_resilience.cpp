@@ -1,0 +1,237 @@
+// Measurement-stack resilience under injected faults:
+//   - HTTP client: per-request timeout, bounded retries with exponential
+//     backoff, connection-reset surfacing; every request is answered (the
+//     status-0 sentinel) - no caller ever hangs.
+//   - TCP: the retransmission timer backs off exponentially, clamps at
+//     rto_max, and a connection that exhausts max_retransmissions aborts
+//     through the error callback exactly once.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "http/client.h"
+#include "http/server.h"
+#include "net_fixture.h"
+
+namespace bnm::net {
+namespace {
+
+using test::TwoHostFixture;
+
+sim::TimePoint epoch() { return sim::TimePoint::epoch(); }
+
+class HttpFaultFixture : public TwoHostFixture {
+ protected:
+  void SetUp() override {}  // each test sets its fault plan, then init()
+
+  void init() {
+    build();
+    http::WebServer::Config wc;
+    wc.port = 80;
+    web = std::make_unique<http::WebServer>(*server, wc);
+    http = std::make_unique<http::HttpClient>(*client);
+  }
+
+  http::HttpRequest get(const std::string& target) {
+    http::HttpRequest r;
+    r.method = "GET";
+    r.target = target;
+    return r;
+  }
+
+  std::unique_ptr<http::WebServer> web;
+  std::unique_ptr<http::HttpClient> http;
+};
+
+TEST_F(HttpFaultFixture, RequestTimeoutSettlesWithStatusZero) {
+  FaultPlan plan;
+  plan.name = "client-egress";
+  plan.blackhole(epoch(), epoch() + sim::Duration::seconds(3600));
+  client_egress_faults = plan;
+  init();
+
+  std::optional<http::HttpResponse> got;
+  sim::TimePoint settled_at;
+  http::HttpClient::Options opts;
+  opts.request_timeout = sim::Duration::millis(500);
+  http->request(server_ep(80), get("/echo"),
+                [&](http::HttpResponse r, http::HttpClient::TransferInfo) {
+                  got = std::move(r);
+                  settled_at = sim->now();
+                },
+                opts);
+  run_all();
+
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->status, 0);
+  EXPECT_EQ(settled_at - epoch(), sim::Duration::millis(500));
+  EXPECT_EQ(http->request_timeouts(), 1u);
+  EXPECT_EQ(http->request_failures(), 1u);
+  EXPECT_EQ(http->request_retries(), 0u);
+}
+
+TEST_F(HttpFaultFixture, RetriesWithExponentialBackoffRecover) {
+  FaultPlan plan;
+  plan.name = "client-egress";
+  plan.blackhole(epoch(), epoch() + sim::Duration::millis(1200));
+  client_egress_faults = plan;
+  init();
+
+  std::optional<http::HttpResponse> got;
+  std::optional<http::HttpClient::TransferInfo> info;
+  http::HttpClient::Options opts;
+  opts.request_timeout = sim::Duration::millis(500);
+  opts.max_retries = 2;
+  opts.retry_backoff = sim::Duration::millis(100);
+  http->request(server_ep(80), get("/echo"),
+                [&](http::HttpResponse r, http::HttpClient::TransferInfo i) {
+                  got = std::move(r);
+                  info = i;
+                },
+                opts);
+  run_all();
+
+  // Attempt 1 times out at 500 ms, retry at 600 ms; attempt 2 times out at
+  // 1100 ms, retry (backoff doubled to 200 ms) at 1300 ms - past the
+  // blackhole, so attempt 3 succeeds.
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->status, 200);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->retries, 2);
+  EXPECT_EQ(http->request_retries(), 2u);
+  EXPECT_EQ(http->request_timeouts(), 2u);
+  EXPECT_EQ(http->request_failures(), 0u);
+}
+
+TEST_F(HttpFaultFixture, RetryBudgetExhaustionFailsClosed) {
+  FaultPlan plan;
+  plan.name = "client-egress";
+  plan.blackhole(epoch(), epoch() + sim::Duration::seconds(3600));
+  client_egress_faults = plan;
+  init();
+
+  std::optional<http::HttpResponse> got;
+  http::HttpClient::Options opts;
+  opts.request_timeout = sim::Duration::millis(200);
+  opts.max_retries = 3;
+  opts.retry_backoff = sim::Duration::millis(50);
+  http->request(server_ep(80), get("/echo"),
+                [&](http::HttpResponse r, http::HttpClient::TransferInfo) {
+                  got = std::move(r);
+                },
+                opts);
+  run_all();
+
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->status, 0);
+  EXPECT_EQ(http->request_retries(), 3u);
+  EXPECT_EQ(http->request_timeouts(), 4u);  // every attempt timed out
+  EXPECT_EQ(http->request_failures(), 1u);
+}
+
+TEST_F(HttpFaultFixture, ConnectionResetSurfacesAsStatusZero) {
+  init();  // no faults; port 81 has no listener, the server RSTs the SYN
+
+  std::optional<http::HttpResponse> got;
+  http->request(server_ep(81), get("/echo"),
+                [&](http::HttpResponse r, http::HttpClient::TransferInfo) {
+                  got = std::move(r);
+                });
+  run_all();
+
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->status, 0);
+  EXPECT_EQ(http->request_failures(), 1u);
+  EXPECT_EQ(http->request_timeouts(), 0u);
+}
+
+TEST_F(HttpFaultFixture, ClientDefaultsApplyToPlainRequests) {
+  FaultPlan plan;
+  plan.name = "client-egress";
+  plan.blackhole(epoch(), epoch() + sim::Duration::seconds(3600));
+  client_egress_faults = plan;
+  init();
+  http->set_default_timeout(sim::Duration::millis(300));
+  http->set_default_retries(1, sim::Duration::millis(50));
+
+  std::optional<http::HttpResponse> got;
+  // Plain request() with no Options: the client-wide defaults must bound it.
+  http->request(server_ep(80), get("/echo"),
+                [&](http::HttpResponse r, http::HttpClient::TransferInfo) {
+                  got = std::move(r);
+                });
+  run_all();
+
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->status, 0);
+  EXPECT_EQ(http->request_timeouts(), 2u);
+  EXPECT_EQ(http->request_retries(), 1u);
+}
+
+// ------------------------------------------------------------ TCP backoff
+
+class TcpRtoFixture : public TwoHostFixture {
+ protected:
+  void SetUp() override {
+    tcp_config.rto_initial = sim::Duration::millis(10);
+    tcp_config.rto_max = sim::Duration::millis(80);
+    tcp_config.max_retransmissions = 5;
+    FaultPlan plan;
+    plan.name = "client-egress";
+    // Handshake completes unimpaired; everything after 500 ms vanishes.
+    plan.blackhole(epoch() + sim::Duration::millis(500),
+                   epoch() + sim::Duration::seconds(3600));
+    client_egress_faults = plan;
+    build();
+    server->tcp_listen(9000, [this](std::shared_ptr<TcpConnection> c) {
+      accepted.push_back(std::move(c));
+    });
+  }
+
+  std::vector<std::shared_ptr<TcpConnection>> accepted;
+};
+
+TEST_F(TcpRtoFixture, RtoDoublesClampsAndAbortsExactlyOnce) {
+  int resets = 0;
+  TcpCallbacks cbs;
+  cbs.on_reset = [&resets] { ++resets; };
+  auto conn = client->tcp_connect(server_ep(9000), std::move(cbs));
+
+  run_for(sim::Duration::millis(100));
+  ASSERT_TRUE(conn->established());
+  EXPECT_EQ(conn->rto_current(), sim::Duration::millis(10));
+
+  run_for(sim::Duration::millis(450));  // now inside the blackhole
+  conn->send("probe");
+
+  // Record the backoff value after each consecutive RTO expiry.
+  std::vector<sim::Duration> rto_after;
+  std::uint64_t last = conn->consecutive_rtos();
+  const sim::TimePoint stop = sim->now() + sim::Duration::seconds(5);
+  while (sim->now() < stop && sim->scheduler().step()) {
+    if (conn->consecutive_rtos() != last) {
+      last = conn->consecutive_rtos();
+      rto_after.push_back(conn->rto_current());
+    }
+  }
+
+  // 10 ms doubles to 20, 40, 80, then clamps at rto_max; the 6th expiry
+  // exceeds max_retransmissions and aborts instead of retransmitting.
+  ASSERT_EQ(rto_after.size(), 6u);
+  EXPECT_EQ(rto_after[0], sim::Duration::millis(20));
+  EXPECT_EQ(rto_after[1], sim::Duration::millis(40));
+  EXPECT_EQ(rto_after[2], sim::Duration::millis(80));
+  EXPECT_EQ(rto_after[3], sim::Duration::millis(80));
+  EXPECT_EQ(rto_after[4], sim::Duration::millis(80));
+  EXPECT_EQ(rto_after[5], sim::Duration::millis(80));
+  EXPECT_EQ(resets, 1);
+  EXPECT_FALSE(conn->established());
+
+  // Nothing left ticking: the abort cancelled all timers.
+  run_for(sim::Duration::seconds(2));
+  EXPECT_EQ(resets, 1);
+}
+
+}  // namespace
+}  // namespace bnm::net

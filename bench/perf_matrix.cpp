@@ -21,6 +21,7 @@
 
 #include "bench_util.h"
 #include "net/capture.h"
+#include "sim/arena.h"
 #include "sim/simulation.h"
 
 using namespace bnm;
@@ -76,6 +77,17 @@ struct MatrixTimings {
   double serial_ms = 0;
   double parallel_ms = 0;
   bool identical = true;
+  // Arena service counters over the serial + parallel passes (zero when the
+  // library was built without BNM_ARENA_STATS). Every arena allocation is a
+  // global-allocator round trip the packet path no longer pays.
+  bool arena_stats_compiled = false;
+  std::uint64_t arena_allocs_avoided = 0;
+  std::uint64_t arena_bytes_served = 0;
+  std::uint64_t arena_peak_bytes = 0;
+  // Reference pass with arenas globally disabled: results must stay
+  // bit-identical, and its wall clock shows what the arena buys.
+  double arena_off_serial_ms = 0;
+  bool arena_identical = true;
   double speedup() const {
     return parallel_ms > 0 ? serial_ms / parallel_ms : 0.0;
   }
@@ -95,6 +107,9 @@ MatrixTimings bench_matrix(int runs, int jobs_flag) {
   t.jobs = core::resolve_jobs(jobs_flag, cells.size());
 
   std::printf("matrix: %zu cells x %d runs\n", t.cells, runs);
+  t.arena_stats_compiled = sim::ArenaStats::compiled_in();
+  sim::ArenaStats::reset();
+
   std::printf("  serial (jobs=1)    ... ");
   std::fflush(stdout);
   const auto s0 = Clock::now();
@@ -112,6 +127,22 @@ MatrixTimings bench_matrix(int runs, int jobs_flag) {
   std::printf("%8.1f ms   (%.2fx)%s\n", t.parallel_ms, t.speedup(),
               t.parallel_meaningful() ? "" : "  [1 core/worker: not meaningful]");
 
+  t.arena_allocs_avoided = sim::ArenaStats::allocations();
+  t.arena_bytes_served = sim::ArenaStats::bytes();
+  t.arena_peak_bytes = sim::ArenaStats::peak_arena_bytes();
+
+  // Reference pass: arenas disabled process-wide, same cells, same seeds.
+  // The appraisal output must not depend on where memory came from.
+  std::printf("  arena off (jobs=1) ... ");
+  std::fflush(stdout);
+  sim::Arena::set_enabled(false);
+  const auto a0 = Clock::now();
+  const auto arena_off = core::run_matrix(cells, 1);
+  const auto a1 = Clock::now();
+  sim::Arena::set_enabled(true);
+  t.arena_off_serial_ms = ms_between(a0, a1);
+  std::printf("%8.1f ms\n", t.arena_off_serial_ms);
+
   for (std::size_t i = 0; i < cells.size(); ++i) {
     if (!identical(serial[i], parallel[i])) {
       t.identical = false;
@@ -119,8 +150,21 @@ MatrixTimings bench_matrix(int runs, int jobs_flag) {
                   i, serial[i].case_label.c_str(),
                   serial[i].method_name.c_str());
     }
+    if (!identical(serial[i], arena_off[i])) {
+      t.arena_identical = false;
+      std::printf("  !! cell %zu (%s %s) differs with the arena disabled\n",
+                  i, serial[i].case_label.c_str(),
+                  serial[i].method_name.c_str());
+    }
   }
-  std::printf("  results byte-identical: %s\n", t.identical ? "yes" : "NO");
+  std::printf("  results byte-identical: %s (arena on/off: %s)\n",
+              t.identical ? "yes" : "NO", t.arena_identical ? "yes" : "NO");
+  if (t.arena_stats_compiled) {
+    std::printf("  arena: %" PRIu64 " allocs avoided, %" PRIu64
+                " bytes served, peak %" PRIu64 " bytes\n",
+                t.arena_allocs_avoided, t.arena_bytes_served,
+                t.arena_peak_bytes);
+  }
   return t;
 }
 
@@ -158,7 +202,6 @@ CaptureTimings bench_capture_scan() {
         });
   }
   sim.scheduler().run();
-  const auto& records = capture.records();
 
   // Late windows are the worst case for the linear scan (an experiment's
   // run N re-scans all records of runs 1..N-1).
@@ -175,7 +218,7 @@ CaptureTimings bench_capture_scan() {
   const auto l0 = Clock::now();
   for (const auto from : starts) {
     std::size_t i = 0;
-    while (i < records.size() && records[i].true_time < from) ++i;
+    while (i < capture.size() && capture.true_time(i) < from) ++i;
     sum_linear += i;
   }
   const auto l1 = Clock::now();
@@ -274,7 +317,28 @@ void write_json(const char* path, unsigned hw, const MatrixTimings& m,
   std::fprintf(f, "    \"speedup\": %.3f,\n", m.speedup());
   std::fprintf(f, "    \"parallel_meaningful\": %s,\n",
                m.parallel_meaningful() ? "true" : "false");
-  std::fprintf(f, "    \"identical\": %s\n", m.identical ? "true" : "false");
+  if (!m.parallel_meaningful()) {
+    // Explicit note so a ~1.0x "speedup" on a single-core host (or jobs=1)
+    // is read as a timeslicing artifact, not a parallelization regression.
+    std::fprintf(f, "    \"parallel_note\": \"%s\",\n",
+                 hw <= 1 ? "single visible core: parallel pass only "
+                           "timeslices the serial work"
+                         : "jobs=1: parallel pass is a second serial run");
+  }
+  std::fprintf(f, "    \"identical\": %s,\n", m.identical ? "true" : "false");
+  std::fprintf(f, "    \"arena\": {\n");
+  std::fprintf(f, "      \"stats_compiled\": %s,\n",
+               m.arena_stats_compiled ? "true" : "false");
+  std::fprintf(f, "      \"allocs_avoided\": %" PRIu64 ",\n",
+               m.arena_allocs_avoided);
+  std::fprintf(f, "      \"bytes_served\": %" PRIu64 ",\n",
+               m.arena_bytes_served);
+  std::fprintf(f, "      \"peak_arena_bytes\": %" PRIu64 ",\n",
+               m.arena_peak_bytes);
+  std::fprintf(f, "      \"off_serial_ms\": %.3f,\n", m.arena_off_serial_ms);
+  std::fprintf(f, "      \"identical_on_off\": %s\n",
+               m.arena_identical ? "true" : "false");
+  std::fprintf(f, "    }\n");
   std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"capture_scan\": {\n");
   std::fprintf(f, "    \"records\": %zu,\n", c.records);
@@ -315,6 +379,10 @@ int main(int argc, char** argv) {
 
   if (!m.identical) {
     std::fprintf(stderr, "FAIL: parallel results differ from serial\n");
+    return 1;
+  }
+  if (!m.arena_identical) {
+    std::fprintf(stderr, "FAIL: arena-off results differ from arena-on\n");
     return 1;
   }
   if (!m.parallel_meaningful() || hw < 4) {

@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus an AddressSanitizer pass.
+# Tier-1 verification plus an AddressSanitizer pass and a perf gate.
 #
-#   scripts/check.sh          # full: plain build + ctest, then ASan build + ctest
-#   scripts/check.sh --fast   # plain build + ctest only (skip the ASan pass)
+#   scripts/check.sh          # full: plain build + ctest, ASan build + ctest,
+#                             # then a Release perf_matrix run (arena A/B gate)
+#   scripts/check.sh --fast   # plain build + ctest only (skip ASan and perf)
 #
-# Exits non-zero on the first failing step. Build trees: build/ (plain)
-# and build-asan/ (ASan); both are incremental across invocations.
+# Exits non-zero on the first failing step. Build trees: build/ (plain),
+# build-asan/ (ASan) and build-release/ (perf); all incremental across
+# invocations.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -40,9 +42,12 @@ ctest --test-dir build -L tier1 --output-on-failure
 step "faults: ctest (-L faults)"
 ctest --test-dir build -L faults --output-on-failure
 
+step "perf: ctest (-L perf)"
+ctest --test-dir build -L perf --output-on-failure
+
 if [[ "$FAST" == 1 ]]; then
   echo
-  echo "check.sh: tier-1 OK (ASan pass skipped with --fast)"
+  echo "check.sh: tier-1 OK (ASan and perf passes skipped with --fast)"
   exit 0
 fi
 
@@ -51,10 +56,31 @@ step "asan: configure (BNM_SANITIZE=address)"
 cmake -B build-asan -S . $(gen_for build-asan) -DBNM_SANITIZE=address
 
 step "asan: build tests"
-cmake --build build-asan -j --target bnm_tests bnm_fault_tests
+cmake --build build-asan -j --target bnm_tests bnm_fault_tests bnm_perf_tests
 
 step "asan: ctest"
 ctest --test-dir build-asan --output-on-failure
 
+step "perf: configure (Release)"
+# shellcheck disable=SC2046
+cmake -B build-release -S . $(gen_for build-release) -DCMAKE_BUILD_TYPE=Release
+
+step "perf: build bench"
+cmake --build build-release -j --target perf_matrix
+
+step "perf: bench/perf_matrix --runs=4 (arena A/B gate)"
+# perf_matrix itself exits non-zero when the arena-off reference pass is not
+# bit-identical to the arena-on pass; double-check the emitted JSON anyway.
+# (The bench writes BENCH_perf_matrix.json into its working directory.)
+(cd build-release && ./bench/perf_matrix --runs=4)
+if ! grep -q '"identical_on_off": true' build-release/BENCH_perf_matrix.json; then
+  echo "check.sh: FAIL — arena on/off results are not identical" >&2
+  exit 1
+fi
+if ! grep -q '"identical": true' build-release/BENCH_perf_matrix.json; then
+  echo "check.sh: FAIL — serial/parallel results are not identical" >&2
+  exit 1
+fi
+
 echo
-echo "check.sh: tier-1 + ASan OK"
+echo "check.sh: tier-1 + ASan + perf OK"

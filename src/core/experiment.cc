@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "sim/arena.h"
+
 namespace bnm::core {
 
 std::vector<double> OverheadSeries::d1() const {
@@ -61,24 +63,26 @@ Experiment::WindowTimes Experiment::network_rtt_in_window(
   // first record past the window instead of re-scanning the whole capture
   // for every run (the scan was O(records x runs) per experiment).
   const net::PacketCapture& capture = testbed_->client().capture();
-  const auto& records = capture.records();
   WindowTimes out;
   std::optional<sim::TimePoint> t_n_s;
   std::optional<sim::TimePoint> t_n_r;
+  const std::size_t n = capture.size();
   for (std::size_t i = capture.first_index_at_or_after(from);
-       i < records.size() && records[i].true_time <= to; ++i) {
-    const auto& r = records[i];
-    const net::Packet& p = r.packet;
-    const bool outbound = r.direction == net::CaptureDirection::kOutbound;
+       i < n && capture.true_time(i) <= to; ++i) {
+    // Column scan: true_time/direction are packed arrays; the heavyweight
+    // packet column is only dereferenced for rows inside the window.
+    const net::Packet& p = capture.packet(i);
+    const bool outbound =
+        capture.direction(i) == net::CaptureDirection::kOutbound;
     if (outbound && p.protocol == net::Protocol::kTcp && p.flags.syn &&
         !p.flags.ack && p.dst.port == port) {
       ++out.connections_opened;
     }
     if (outbound && p.dst.port == port && p.carries_data()) {
-      if (!t_n_s) t_n_s = r.timestamp;  // first request packet
+      if (!t_n_s) t_n_s = capture.timestamp(i);  // first request packet
     }
     if (!outbound && p.src.port == port && p.carries_data()) {
-      t_n_r = r.timestamp;  // last response packet so far
+      t_n_r = capture.timestamp(i);  // last response packet so far
     }
   }
   if (t_n_s && t_n_r && *t_n_r > *t_n_s) {
@@ -88,6 +92,18 @@ Experiment::WindowTimes Experiment::network_rtt_in_window(
 }
 
 OverheadSeries Experiment::run() {
+  // Route the packet path through the simulation's bump arena unless an
+  // outer scope (e.g. a run_matrix worker's private arena) is already
+  // active. Everything arena-allocated below dies with testbed_, before the
+  // arena is reset or destroyed.
+  sim::ArenaScope arena_scope{
+      sim::Arena::current() != nullptr ? nullptr : &testbed_->sim().arena()};
+  // Pre-size the capture columns from the repetition plan: one repetition
+  // records the handshake, the probe exchange and its ACKs — 256 rows
+  // covers every method with slack, and clear() keeps the capacity across
+  // repetitions, so recording never reallocates mid-run.
+  if (config_.runs > 0) testbed_->client().capture().reserve(256);
+
   OverheadSeries series;
   series.config = config_;
 

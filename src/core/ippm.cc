@@ -59,17 +59,19 @@ std::vector<IppmSample> PoissonRttStream::run() {
 
   // Match capture records per sequence number for the ground truth.
   std::map<int, sim::TimePoint> net_sent, net_recv;
-  for (const auto& rec : testbed_->client().capture().records()) {
-    if (rec.packet.protocol != net::Protocol::kUdp) continue;
-    const int seq = probe_seq(net::to_string(rec.packet.payload));
+  const net::PacketCapture& cap = testbed_->client().capture();
+  for (std::size_t i = 0; i < cap.size(); ++i) {
+    const net::Packet& pkt = cap.packet(i);
+    if (pkt.protocol != net::Protocol::kUdp) continue;
+    const int seq = probe_seq(net::to_string(pkt.payload));
     if (seq < 0) continue;
-    if (rec.direction == net::CaptureDirection::kOutbound &&
+    if (cap.direction(i) == net::CaptureDirection::kOutbound &&
         !net_sent.count(seq)) {
-      net_sent[seq] = rec.timestamp;
+      net_sent[seq] = cap.timestamp(i);
     }
-    if (rec.direction == net::CaptureDirection::kInbound &&
+    if (cap.direction(i) == net::CaptureDirection::kInbound &&
         !net_recv.count(seq)) {
-      net_recv[seq] = rec.timestamp;
+      net_recv[seq] = cap.timestamp(i);
     }
   }
 

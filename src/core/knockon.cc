@@ -106,20 +106,19 @@ std::vector<ThroughputSample> ThroughputExperiment::run() {
         // Packet-level duration: first request byte out to last response
         // byte in, within the measurement window.
         std::optional<sim::TimePoint> t_n_s, t_n_r;
-        for (const auto& rec : testbed_->client().capture().records()) {
-          if (rec.true_time < *times.true_send ||
-              rec.true_time > *times.true_recv) {
-            continue;
-          }
+        const net::PacketCapture& cap = testbed_->client().capture();
+        for (std::size_t i = cap.first_index_at_or_after(*times.true_send);
+             i < cap.size() && cap.true_time(i) <= *times.true_recv; ++i) {
+          const net::Packet& pkt = cap.packet(i);
           const bool outbound =
-              rec.direction == net::CaptureDirection::kOutbound;
-          if (outbound && rec.packet.dst.port == probe_port &&
-              rec.packet.carries_data() && !t_n_s) {
-            t_n_s = rec.timestamp;
+              cap.direction(i) == net::CaptureDirection::kOutbound;
+          if (outbound && pkt.dst.port == probe_port && pkt.carries_data() &&
+              !t_n_s) {
+            t_n_s = cap.timestamp(i);
           }
-          if (!outbound && rec.packet.src.port == probe_port &&
-              rec.packet.carries_data()) {
-            t_n_r = rec.timestamp;
+          if (!outbound && pkt.src.port == probe_port &&
+              pkt.carries_data()) {
+            t_n_r = cap.timestamp(i);
           }
         }
         if (t_n_s && t_n_r && *t_n_r > *t_n_s) {

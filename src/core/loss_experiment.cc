@@ -75,10 +75,11 @@ LossReorderingResult LossReorderingExperiment::run() {
   // Ground truth from the client capture: inbound echoes on the UDP port.
   int net_highest = -1;
   std::set<int> net_seen;
-  for (const auto& rec : testbed_->client().capture().records()) {
-    if (rec.direction != net::CaptureDirection::kInbound) continue;
-    if (rec.packet.src.port != config_.testbed.udp_echo_port) continue;
-    const int seq = probe_seq(net::to_string(rec.packet.payload));
+  const net::PacketCapture& cap = testbed_->client().capture();
+  for (std::size_t i = 0; i < cap.size(); ++i) {
+    if (cap.direction(i) != net::CaptureDirection::kInbound) continue;
+    if (cap.packet(i).src.port != config_.testbed.udp_echo_port) continue;
+    const int seq = probe_seq(net::to_string(cap.packet(i).payload));
     if (seq < 0 || net_seen.count(seq)) continue;
     net_seen.insert(seq);
     ++result.net_received;

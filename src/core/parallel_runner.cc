@@ -5,6 +5,8 @@
 #include <string>
 #include <utility>
 
+#include "sim/arena.h"
+
 namespace bnm::core {
 
 ThreadPool::ThreadPool(int jobs) {
@@ -113,8 +115,15 @@ std::vector<OverheadSeries> run_matrix_with(
   if (jobs == 1) {
     // Degenerate serial path: same per-cell computation on the calling
     // thread — the reference the parallel path must match byte for byte.
+    // One arena serves every cell, rewound wholesale between cells (the
+    // cell's testbed — and with it everything arena-allocated — is gone by
+    // the time run_cell_guarded returns; the result series itself uses the
+    // global allocator).
+    sim::Arena arena;
+    sim::ArenaScope scope{&arena};
     for (std::size_t i = 0; i < cells.size(); ++i) {
       results[i] = run_cell_guarded(cells[i], cell);
+      arena.reset();
       if (progress) progress(i + 1, cells.size());
     }
     return results;
@@ -125,7 +134,13 @@ std::vector<OverheadSeries> run_matrix_with(
   std::size_t done = 0;
   for (std::size_t i = 0; i < cells.size(); ++i) {
     pool.submit([&, i] {
+      // Each worker thread keeps a private arena: matrix shards bump their
+      // own slabs instead of contending on the global allocator, and a
+      // wholesale reset between cells replaces per-packet frees.
+      thread_local sim::Arena worker_arena;
+      sim::ArenaScope scope{&worker_arena};
       results[i] = run_cell_guarded(cells[i], cell);
+      worker_arena.reset();
       if (progress) {
         std::lock_guard<std::mutex> lock{progress_mu};
         progress(++done, cells.size());

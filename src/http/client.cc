@@ -226,9 +226,11 @@ void HttpClient::fail_attempt(const std::shared_ptr<RequestState>& state,
     ++state->info.retries;
     const sim::Duration backoff = state->backoff;
     state->backoff = state->backoff * 2;
-    host_.sim().trace().emit(host_.sim().now(), "http",
-                             "retry after " + backoff.to_string() + " (" +
-                                 reason + ")");
+    if (host_.sim().trace().enabled()) {
+      host_.sim().trace().emit(host_.sim().now(), "http",
+                               "retry after " + backoff.to_string() + " (" +
+                                   reason + ")");
+    }
     state->retry_timer = host_.sim().scheduler().schedule_after(
         backoff, [this, state] {
           if (state->settled) return;

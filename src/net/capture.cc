@@ -18,49 +18,79 @@ PacketCapture::PacketCapture(sim::Simulation& sim, Config config)
 
 void PacketCapture::record(CaptureDirection direction, const Packet& packet) {
   if (!config_.enabled) return;
-  CaptureRecord rec;
-  rec.true_time = sim_.now();
-  rec.timestamp = rec.true_time;
+  const sim::TimePoint now = sim_.now();
+  sim::TimePoint stamp = now;
   if (!config_.timestamp_jitter.is_zero()) {
-    rec.timestamp += rng_.uniform_ms(0.0, config_.timestamp_jitter.ms_f());
+    stamp += rng_.uniform_ms(0.0, config_.timestamp_jitter.ms_f());
   }
-  rec.direction = direction;
+  const std::size_t wire_len = packet.payload_size();
+  timestamp_.push_back(stamp);
+  true_time_.push_back(now);
+  direction_.push_back(direction);
+  wire_len_.push_back(wire_len);
   // Metadata copy + shared payload view — never a byte copy. snap_len
   // truncation is a narrower view of the same buffer.
-  rec.packet = packet;
-  rec.wire_payload_len = packet.payload_size();
-  if (config_.snap_len < rec.wire_payload_len) {
-    rec.packet.payload = packet.payload.first(config_.snap_len);
+  packets_.push_back(packet);
+  if (config_.snap_len < wire_len) {
+    packets_.back().payload = packet.payload.first(config_.snap_len);
   }
-  records_.push_back(std::move(rec));
+}
+
+void PacketCapture::clear() {
+  timestamp_.clear();
+  true_time_.clear();
+  direction_.clear();
+  wire_len_.clear();
+  packets_.clear();
+}
+
+void PacketCapture::reserve(std::size_t n) {
+  timestamp_.reserve(n);
+  true_time_.reserve(n);
+  direction_.reserve(n);
+  wire_len_.reserve(n);
+  packets_.reserve(n);
+}
+
+CaptureRecord PacketCapture::at(std::size_t i) const {
+  CaptureRecord rec;
+  rec.timestamp = timestamp_[i];
+  rec.true_time = true_time_[i];
+  rec.direction = direction_[i];
+  rec.packet = packets_[i];
+  rec.wire_payload_len = wire_len_[i];
+  return rec;
 }
 
 std::size_t PacketCapture::first_index_at_or_after(sim::TimePoint t) const {
-  const auto it = std::lower_bound(
-      records_.begin(), records_.end(), t,
-      [](const CaptureRecord& r, sim::TimePoint at) { return r.true_time < at; });
-  return static_cast<std::size_t>(it - records_.begin());
+  const auto it = std::lower_bound(true_time_.begin(), true_time_.end(), t);
+  return static_cast<std::size_t>(it - true_time_.begin());
 }
 
-std::vector<CaptureRecord> PacketCapture::select(const CaptureFilter& filter) const {
+std::vector<CaptureRecord> PacketCapture::select(
+    const CaptureFilter& filter) const {
   std::vector<CaptureRecord> out;
-  for (const auto& r : records_) {
-    if (filter(r)) out.push_back(r);
+  for (std::size_t i = 0; i < size(); ++i) {
+    CaptureRecord rec = at(i);
+    if (filter(rec)) out.push_back(std::move(rec));
   }
   return out;
 }
 
 std::optional<CaptureRecord> PacketCapture::first(const CaptureFilter& filter,
                                                   sim::TimePoint from) const {
-  for (const auto& r : records_) {
-    if (r.true_time >= from && filter(r)) return r;
+  for (std::size_t i = first_index_at_or_after(from); i < size(); ++i) {
+    CaptureRecord rec = at(i);
+    if (filter(rec)) return rec;
   }
   return std::nullopt;
 }
 
-std::optional<CaptureRecord> PacketCapture::last(const CaptureFilter& filter) const {
-  for (auto it = records_.rbegin(); it != records_.rend(); ++it) {
-    if (filter(*it)) return *it;
+std::optional<CaptureRecord> PacketCapture::last(
+    const CaptureFilter& filter) const {
+  for (std::size_t i = size(); i-- > 0;) {
+    CaptureRecord rec = at(i);
+    if (filter(rec)) return rec;
   }
   return std::nullopt;
 }
@@ -97,8 +127,7 @@ CaptureFilter PacketCapture::between(Endpoint a, Endpoint b) {
 std::size_t PacketCapture::distinct_connections() const {
   std::set<std::tuple<std::uint32_t, Port, std::uint32_t, Port, std::uint32_t>>
       syns;
-  for (const auto& r : records_) {
-    const Packet& p = r.packet;
+  for (const Packet& p : packets_) {
     if (p.protocol == Protocol::kTcp && p.flags.syn && !p.flags.ack) {
       syns.emplace(p.src.ip.raw(), p.src.port, p.dst.ip.raw(), p.dst.port,
                    p.seq);

@@ -7,6 +7,14 @@
 //
 // A configurable timestamping jitter models the capture inaccuracy the
 // paper cites (software capturers are accurate to ~0.3 ms at best).
+//
+// Storage is structure-of-arrays: the scan-hot fields (true_time,
+// timestamp, direction, wire_payload_len) each live in their own dense
+// column, with the heavyweight Packet in a side column. Window extraction
+// (first_index_at_or_after + a linear sweep) touches only the packed
+// columns it needs, so a scan over a long capture stays cache-resident
+// instead of striding over full records. Columns are arena-backed when the
+// capture is built under an installed sim::Arena scope.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +24,7 @@
 #include <vector>
 
 #include "net/packet.h"
+#include "sim/arena.h"
 #include "sim/simulation.h"
 
 namespace bnm::net {
@@ -25,6 +34,11 @@ enum class CaptureDirection : std::uint8_t {
   kInbound,   ///< wire -> host
 };
 
+/// One materialized capture row. PacketCapture stores these fields as
+/// separate columns (SoA) and assembles a CaptureRecord on demand via
+/// at(); prefer the per-column accessors — true_time(i), direction(i),
+/// wire_payload_len(i), packet(i) — when scanning, since at() copies the
+/// packet (a refcount bump on its payload, never a byte copy).
 struct CaptureRecord {
   sim::TimePoint timestamp;  ///< capture clock (true time + jitter)
   sim::TimePoint true_time;  ///< exact simulated instant (for calibration)
@@ -69,14 +83,29 @@ class PacketCapture {
 
   void record(CaptureDirection direction, const Packet& packet);
 
-  const std::vector<CaptureRecord>& records() const { return records_; }
-  void clear() { records_.clear(); }
-  std::size_t size() const { return records_.size(); }
+  std::size_t size() const { return true_time_.size(); }
+  bool empty() const { return true_time_.empty(); }
+  void clear();
+  /// Pre-size every column (e.g. from the experiment's repetition plan) so
+  /// recording never reallocates mid-run.
+  void reserve(std::size_t n);
+
+  // ---- per-column accessors (the cache-dense scan path) ----
+  sim::TimePoint timestamp(std::size_t i) const { return timestamp_[i]; }
+  sim::TimePoint true_time(std::size_t i) const { return true_time_[i]; }
+  CaptureDirection direction(std::size_t i) const { return direction_[i]; }
+  std::size_t wire_payload_len(std::size_t i) const { return wire_len_[i]; }
+  bool carries_data(std::size_t i) const { return wire_len_[i] > 0; }
+  const Packet& packet(std::size_t i) const { return packets_[i]; }
+
+  /// Materialize row `i` as a CaptureRecord (copies the packet).
+  CaptureRecord at(std::size_t i) const;
 
   /// Index of the first record with true_time >= t (== size() if none).
   /// Records are appended at the current simulated instant, so true_time is
-  /// non-decreasing and the lookup is a binary search — window extraction
-  /// over a long capture is O(log n + window) instead of a full scan.
+  /// non-decreasing and the lookup is a binary search over the packed
+  /// true_time column — window extraction over a long capture is
+  /// O(log n + window) instead of a full scan.
   std::size_t first_index_at_or_after(sim::TimePoint t) const;
 
   /// Records matching `filter`, in capture order.
@@ -100,10 +129,19 @@ class PacketCapture {
   std::size_t distinct_connections() const;
 
  private:
+  template <typename T>
+  using Column = std::vector<T, sim::ArenaAllocator<T>>;
+
   sim::Simulation& sim_;
   Config config_;
   sim::Rng rng_;
-  std::vector<CaptureRecord> records_;
+  // SoA columns, index-aligned: row i of the capture is
+  // (timestamp_[i], true_time_[i], direction_[i], wire_len_[i], packets_[i]).
+  Column<sim::TimePoint> timestamp_;
+  Column<sim::TimePoint> true_time_;
+  Column<CaptureDirection> direction_;
+  Column<std::size_t> wire_len_;
+  Column<Packet> packets_;
 };
 
 }  // namespace bnm::net

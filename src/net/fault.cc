@@ -75,8 +75,10 @@ void FaultInjector::note(FaultKind kind, const Packet& packet) {
   if (events_.size() < plan_.max_events) {
     events_.push_back({sim_.now(), kind, packet.id});
   }
-  sim_.trace().emit(sim_.now(), plan_.name,
-                    std::string{to_string(kind)} + " " + packet.to_string());
+  if (sim_.trace().enabled()) {
+    sim_.trace().emit(sim_.now(), plan_.name,
+                      std::string{to_string(kind)} + " " + packet.to_string());
+  }
 }
 
 std::optional<FaultKind> FaultInjector::apply_drop_faults(

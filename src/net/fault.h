@@ -23,6 +23,7 @@
 #include "net/link.h"
 #include "net/loss_process.h"
 #include "net/packet.h"
+#include "sim/arena.h"
 #include "sim/simulation.h"
 
 namespace bnm::net {
@@ -119,9 +120,13 @@ class FaultInjector : public PacketSink {
   /// False when the plan is empty (stage is a zero-draw pass-through).
   bool active() const { return active_; }
 
+  /// Bounded event trace, in an arena-backed container (the injector lives
+  /// and dies with its testbed, within one arena epoch).
+  using EventTrace = std::vector<FaultEvent, sim::ArenaAllocator<FaultEvent>>;
+
   const FaultPlan& plan() const { return plan_; }
   const FaultCounters& counters() const { return counters_; }
-  const std::vector<FaultEvent>& events() const { return events_; }
+  const EventTrace& events() const { return events_; }
 
  private:
   /// Returns the drop reason, or nullopt if the packet survives the drop
@@ -137,7 +142,7 @@ class FaultInjector : public PacketSink {
   std::function<void(Packet)> output_;
   std::uint64_t data_ordinal_ = 0;
   FaultCounters counters_;
-  std::vector<FaultEvent> events_;
+  EventTrace events_;
 };
 
 }  // namespace bnm::net

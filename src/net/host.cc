@@ -101,12 +101,17 @@ void Host::udp_close(Port local_port) { udp_sockets_.erase(local_port); }
 void Host::send_packet(Packet packet) {
   packet.id = next_packet_id();
   // Stack processing, then the capture tap at the NIC, then netem/wire.
-  sim_.scheduler().schedule_after(
-      config_.stack_delay, [this, pkt = std::move(packet)]() mutable {
-        capture_.record(CaptureDirection::kOutbound, pkt);
-        sim_.trace().emit(sim_.now(), config_.name, "tx " + pkt.to_string());
-        wire_out(std::move(pkt));
-      });
+  // The packet waits in the staging list so the closure stays inline-small.
+  const auto it = staged_.insert(staged_.end(), std::move(packet));
+  sim_.scheduler().schedule_after(config_.stack_delay, [this, it] {
+    capture_.record(CaptureDirection::kOutbound, *it);
+    if (sim_.trace().enabled()) {
+      sim_.trace().emit(sim_.now(), config_.name, "tx " + it->to_string());
+    }
+    Packet pkt = std::move(*it);
+    staged_.erase(it);
+    wire_out(std::move(pkt));
+  });
 }
 
 void Host::wire_out(Packet packet) {
@@ -149,17 +154,25 @@ void Host::handle_packet(Packet packet) {
 
 void Host::deliver_from_wire(Packet packet) {
   capture_.record(CaptureDirection::kInbound, packet);
-  sim_.trace().emit(sim_.now(), config_.name, "rx " + packet.to_string());
+  if (sim_.trace().enabled()) {
+    sim_.trace().emit(sim_.now(), config_.name, "rx " + packet.to_string());
+  }
   if (packet.corrupted) {
     // The NIC/stack verifies checksums after the tap: tcpdump sees the
     // frame, the transport never does.
     ++checksum_drops_;
-    sim_.trace().emit(sim_.now(), config_.name,
-                      "checksum-drop " + packet.to_string());
+    if (sim_.trace().enabled()) {
+      sim_.trace().emit(sim_.now(), config_.name,
+                        "checksum-drop " + packet.to_string());
+    }
     return;
   }
-  sim_.scheduler().schedule_after(
-      config_.stack_delay, [this, pkt = std::move(packet)]() { demux(pkt); });
+  const auto it = staged_.insert(staged_.end(), std::move(packet));
+  sim_.scheduler().schedule_after(config_.stack_delay, [this, it] {
+    const Packet pkt = std::move(*it);
+    staged_.erase(it);
+    demux(pkt);
+  });
 }
 
 void Host::demux(const Packet& packet) {

@@ -31,13 +31,18 @@ void Link::transmit(Side side, Packet packet) {
 
   if (d.in_flight >= config_.queue_limit_packets) {
     ++d.drops;
-    sim_.trace().emit(sim_.now(), config_.name,
-                      "tail-drop " + packet.to_string());
+    if (sim_.trace().enabled()) {
+      sim_.trace().emit(sim_.now(), config_.name,
+                        "tail-drop " + packet.to_string());
+    }
     return;
   }
   if (loss_.enabled() && loss_.should_drop(rng_)) {
     ++d.drops;
-    sim_.trace().emit(sim_.now(), config_.name, "loss " + packet.to_string());
+    if (sim_.trace().enabled()) {
+      sim_.trace().emit(sim_.now(), config_.name,
+                        "loss " + packet.to_string());
+    }
     return;
   }
 
@@ -49,10 +54,12 @@ void Link::transmit(Side side, Packet packet) {
   const sim::TimePoint arrive = tx_done + config_.propagation;
   PacketSink* sink = d.sink;
   Direction* dp = &d;
-  sim_.scheduler().schedule_at(arrive, [this, sink, dp,
-                                        pkt = std::move(packet)]() mutable {
+  const auto it = in_flight_.insert(in_flight_.end(), std::move(packet));
+  sim_.scheduler().schedule_at(arrive, [this, sink, dp, it] {
     --dp->in_flight;
     ++dp->delivered;
+    Packet pkt = std::move(*it);
+    in_flight_.erase(it);
     sink->handle_packet(std::move(pkt));
   });
 }

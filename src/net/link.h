@@ -10,11 +10,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <list>
 #include <optional>
 #include <string>
 
 #include "net/loss_process.h"
 #include "net/packet.h"
+#include "sim/arena.h"
 #include "sim/simulation.h"
 
 namespace bnm::net {
@@ -77,6 +79,10 @@ class Link {
   LossProcess loss_;
   Direction a_to_b_;
   Direction b_to_a_;
+  /// In-flight packets parked until their arrival event fires, in
+  /// arena-backed nodes so the delivery closure ([this, sink, dir, iter])
+  /// stays within the scheduler's inline storage — no per-packet heap trip.
+  std::list<Packet, sim::ArenaAllocator<Packet>> in_flight_;
 };
 
 }  // namespace bnm::net

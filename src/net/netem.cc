@@ -17,14 +17,19 @@ void DelayEmulator::enqueue(Packet packet) {
   // netem order: loss, then duplication, then delay/jitter.
   if (loss_.enabled() && loss_.should_drop(rng_)) {
     ++drops_;
-    sim_.trace().emit(sim_.now(), config_.name, "loss " + packet.to_string());
+    if (sim_.trace().enabled()) {
+      sim_.trace().emit(sim_.now(), config_.name,
+                        "loss " + packet.to_string());
+    }
     return;
   }
   if (config_.duplicate_probability > 0.0 &&
       rng_.chance(config_.duplicate_probability)) {
     ++duplicates_;
-    sim_.trace().emit(sim_.now(), config_.name,
-                      "duplicate " + packet.to_string());
+    if (sim_.trace().enabled()) {
+      sim_.trace().emit(sim_.now(), config_.name,
+                        "duplicate " + packet.to_string());
+    }
     schedule_release(packet);  // the copy; the original follows
   }
   schedule_release(std::move(packet));
@@ -40,7 +45,10 @@ void DelayEmulator::schedule_release(Packet packet) {
     release = std::max(release, last_release_);
     last_release_ = release;
   }
-  sim_.scheduler().schedule_at(release, [this, pkt = std::move(packet)]() mutable {
+  const auto it = staged_.insert(staged_.end(), std::move(packet));
+  sim_.scheduler().schedule_at(release, [this, it] {
+    Packet pkt = std::move(*it);
+    staged_.erase(it);
     output_(std::move(pkt));
   });
 }

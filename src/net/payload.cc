@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <cstring>
+#include <new>
+
+#include "sim/arena.h"
 
 namespace bnm::net {
 
@@ -18,6 +21,9 @@ void count_deep(std::size_t bytes) {
 void count_alias(std::size_t bytes) {
   if (bytes) g_aliased_bytes.fetch_add(bytes, std::memory_order_relaxed);
 }
+void count_buffer() {
+  g_buffers_allocated.fetch_add(1, std::memory_order_relaxed);
+}
 
 // The empty view needs no buffer at all.
 const std::uint8_t* empty_data() {
@@ -26,6 +32,78 @@ const std::uint8_t* empty_data() {
 }
 
 }  // namespace
+
+/// One refcounted immutable byte buffer. Two storage modes:
+///   * inline  — the bytes live directly after the header, in the same
+///     block (a single arena bump or a single ::operator new);
+///   * adopted — the buffer wraps a std::vector handed in by the caller
+///     (zero-copy adoption; the vector keeps its own heap storage).
+/// The block itself comes from the thread's current sim::Arena when one is
+/// installed; deref() then skips operator delete — the arena reclaims the
+/// memory wholesale at reset(). The refcount is atomic so a buffer may be
+/// observed from stats/teardown paths, but arena-backed buffers are
+/// thread-confined like the simulation that made them.
+class PayloadBuffer {
+ public:
+  /// New inline buffer with `size` uninitialized bytes (size > 0).
+  static PayloadBuffer* create(std::size_t size) {
+    sim::Arena* arena = sim::Arena::current();
+    void* mem =
+        arena != nullptr
+            ? arena->allocate(sizeof(PayloadBuffer) + size,
+                              alignof(PayloadBuffer))
+            : ::operator new(sizeof(PayloadBuffer) + size);
+    return new (mem) PayloadBuffer{size, arena != nullptr};
+  }
+
+  /// Wrap a vector without copying its bytes (vector must be non-empty).
+  static PayloadBuffer* adopt(std::vector<std::uint8_t>&& bytes) {
+    sim::Arena* arena = sim::Arena::current();
+    void* mem = arena != nullptr
+                    ? arena->allocate(sizeof(PayloadBuffer),
+                                      alignof(PayloadBuffer))
+                    : ::operator new(sizeof(PayloadBuffer));
+    return new (mem) PayloadBuffer{std::move(bytes), arena != nullptr};
+  }
+
+  void ref() { refs_.fetch_add(1, std::memory_order_relaxed); }
+  void deref() {
+    if (refs_.fetch_sub(1, std::memory_order_acq_rel) == 1) destroy();
+  }
+  std::uint32_t use_count() const {
+    return refs_.load(std::memory_order_relaxed);
+  }
+
+  std::uint8_t* data() {
+    return adopted_ ? vec_.data()
+                    : reinterpret_cast<std::uint8_t*>(this + 1);
+  }
+  std::size_t size() const { return size_; }
+
+ private:
+  PayloadBuffer(std::size_t size, bool arena_backed)
+      : size_{size}, adopted_{false}, arena_backed_{arena_backed} {}
+  PayloadBuffer(std::vector<std::uint8_t>&& bytes, bool arena_backed)
+      : size_{bytes.size()}, adopted_{true}, arena_backed_{arena_backed} {
+    new (&vec_) std::vector<std::uint8_t>(std::move(bytes));
+  }
+  ~PayloadBuffer() {}  // vec_ destroyed manually in destroy()
+
+  void destroy() {
+    const bool heap = !arena_backed_;
+    if (adopted_) vec_.~vector();
+    this->~PayloadBuffer();
+    if (heap) ::operator delete(static_cast<void*>(this));
+  }
+
+  std::atomic<std::uint32_t> refs_{1};
+  std::size_t size_;
+  const bool adopted_;
+  const bool arena_backed_;
+  union {
+    std::vector<std::uint8_t> vec_;  // active only when adopted_
+  };
+};
 
 std::uint64_t PayloadStats::deep_copy_bytes() {
   return g_deep_copy_bytes.load(std::memory_order_relaxed);
@@ -45,28 +123,40 @@ void PayloadStats::reset() {
 Payload::Payload(std::vector<std::uint8_t> bytes) {
   if (bytes.empty()) return;
   size_ = bytes.size();
-  buf_ = std::make_shared<std::vector<std::uint8_t>>(std::move(bytes));
-  g_buffers_allocated.fetch_add(1, std::memory_order_relaxed);
+  buf_ = PayloadBuffer::adopt(std::move(bytes));
+  count_buffer();
 }
 
-Payload::Payload(const std::string& bytes)
-    : Payload{std::vector<std::uint8_t>{bytes.begin(), bytes.end()}} {
+Payload::Payload(const std::string& bytes) {
+  if (bytes.empty()) return;
+  size_ = bytes.size();
+  buf_ = PayloadBuffer::create(size_);
+  std::memcpy(buf_->data(), bytes.data(), size_);
+  count_buffer();
   count_deep(size_);
 }
 
 Payload Payload::copy_of(const void* data, std::size_t len) {
-  const auto* p = static_cast<const std::uint8_t*>(data);
   count_deep(len);
-  return Payload{std::vector<std::uint8_t>{p, p + len}};
+  if (len == 0) return Payload{};
+  PayloadBuffer* buf = PayloadBuffer::create(len);
+  std::memcpy(buf->data(), data, len);
+  count_buffer();
+  return Payload{buf, 0, len};
 }
 
 Payload::Payload(const Payload& other)
     : buf_{other.buf_}, offset_{other.offset_}, size_{other.size_} {
+  if (buf_ != nullptr) buf_->ref();
   count_alias(size_);
 }
 
 Payload& Payload::operator=(const Payload& other) {
   if (this != &other) {
+    // Ref before deref so self-buffer assignment (distinct views over one
+    // buffer) can never hit a zero refcount.
+    if (other.buf_ != nullptr) other.buf_->ref();
+    if (buf_ != nullptr) buf_->deref();
     buf_ = other.buf_;
     offset_ = other.offset_;
     size_ = other.size_;
@@ -76,24 +166,31 @@ Payload& Payload::operator=(const Payload& other) {
 }
 
 Payload::Payload(Payload&& other) noexcept
-    : buf_{std::move(other.buf_)}, offset_{other.offset_}, size_{other.size_} {
+    : buf_{other.buf_}, offset_{other.offset_}, size_{other.size_} {
+  other.buf_ = nullptr;
   other.offset_ = 0;
   other.size_ = 0;
 }
 
 Payload& Payload::operator=(Payload&& other) noexcept {
   if (this != &other) {
-    buf_ = std::move(other.buf_);
+    if (buf_ != nullptr) buf_->deref();
+    buf_ = other.buf_;
     offset_ = other.offset_;
     size_ = other.size_;
+    other.buf_ = nullptr;
     other.offset_ = 0;
     other.size_ = 0;
   }
   return *this;
 }
 
+Payload::~Payload() {
+  if (buf_ != nullptr) buf_->deref();
+}
+
 const std::uint8_t* Payload::data() const {
-  return buf_ ? buf_->data() + offset_ : empty_data();
+  return buf_ != nullptr ? buf_->data() + offset_ : empty_data();
 }
 
 Payload Payload::subview(std::size_t offset, std::size_t len) const {
@@ -101,26 +198,36 @@ Payload Payload::subview(std::size_t offset, std::size_t len) const {
   len = std::min(len, size_ - offset);
   if (len == 0) return Payload{};
   count_alias(len);
+  buf_->ref();
   return Payload{buf_, offset_ + offset, len};
 }
 
 void Payload::clear() {
-  buf_.reset();
+  if (buf_ != nullptr) buf_->deref();
+  buf_ = nullptr;
   offset_ = 0;
   size_ = 0;
 }
 
 void Payload::assign(std::size_t count, std::uint8_t value) {
-  *this = Payload{std::vector<std::uint8_t>(count, value)};
+  clear();
+  if (count == 0) return;
+  size_ = count;
+  buf_ = PayloadBuffer::create(count);
+  std::memset(buf_->data(), value, count);
+  count_buffer();
 }
 
 std::uint8_t* Payload::mutable_bytes() {
-  if (!buf_) return nullptr;  // empty view: nothing to write
-  if (buf_.use_count() != 1 || offset_ != 0 || size_ != buf_->size()) {
+  if (buf_ == nullptr) return nullptr;  // empty view: nothing to write
+  if (buf_->use_count() != 1 || offset_ != 0 || size_ != buf_->size()) {
     // Shared (or a partial view): clone so other holders keep the original.
     count_deep(size_);
-    buf_ = std::make_shared<std::vector<std::uint8_t>>(begin(), end());
-    g_buffers_allocated.fetch_add(1, std::memory_order_relaxed);
+    PayloadBuffer* clone = PayloadBuffer::create(size_);
+    std::memcpy(clone->data(), buf_->data() + offset_, size_);
+    count_buffer();
+    buf_->deref();
+    buf_ = clone;
     offset_ = 0;
   }
   return buf_->data();
@@ -148,21 +255,36 @@ bool Payload::operator==(const std::vector<std::uint8_t>& other) const {
   return size_ == 0 || std::memcmp(data(), other.data(), size_) == 0;
 }
 
+long Payload::buffer_use_count() const {
+  return buf_ != nullptr ? static_cast<long>(buf_->use_count()) : 0;
+}
+
 Payload gather(const Payload* parts, std::size_t count, std::size_t skip_front,
                std::size_t total) {
-  std::vector<std::uint8_t> out;
-  out.reserve(total);
-  for (std::size_t i = 0; i < count && out.size() < total; ++i) {
+  // Size the destination exactly, then copy part by part into one inline
+  // buffer — no intermediate vector.
+  std::size_t take_total = 0;
+  for (std::size_t i = 0; i < count && take_total < total; ++i) {
+    std::size_t avail = parts[i].size();
+    if (i == 0) avail -= std::min(skip_front, avail);
+    take_total += std::min(avail, total - take_total);
+  }
+  count_deep(take_total);
+  if (take_total == 0) return Payload{};
+  PayloadBuffer* buf = PayloadBuffer::create(take_total);
+  count_buffer();
+  std::uint8_t* out = buf->data();
+  std::size_t written = 0;
+  for (std::size_t i = 0; i < count && written < take_total; ++i) {
     const Payload& part = parts[i];
     std::size_t off = 0;
     if (i == 0) off = std::min(skip_front, part.size());
     const std::size_t take =
-        std::min(part.size() - off, total - out.size());
-    out.insert(out.end(), part.begin() + static_cast<std::ptrdiff_t>(off),
-               part.begin() + static_cast<std::ptrdiff_t>(off + take));
+        std::min(part.size() - off, take_total - written);
+    std::memcpy(out + written, part.data() + off, take);
+    written += take;
   }
-  count_deep(out.size());
-  return Payload{std::move(out)};
+  return Payload{buf, 0, take_total};
 }
 
 std::string to_string(const Payload& p) { return p.as_string(); }

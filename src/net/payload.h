@@ -15,6 +15,12 @@
 // Accounting: the class counts payload bytes that are deep-copied versus
 // bytes that are merely aliased (each alias is a copy the pre-zero-copy
 // design would have performed). bench/payload_copy.cpp reports the ratio.
+//
+// Allocation: a PayloadBuffer is one intrusively-refcounted block (header
+// and bytes contiguous), served from the thread's current sim::Arena when
+// one is installed and from the global allocator otherwise. The two paths
+// are observationally identical — same bytes, same PayloadStats counts —
+// which the bit-identity tests rely on.
 #pragma once
 
 #include <algorithm>
@@ -24,6 +30,8 @@
 #include <vector>
 
 namespace bnm::net {
+
+class PayloadBuffer;
 
 /// Global tallies of payload byte traffic. Relaxed atomics: cheap on the
 /// hot path, safe under the parallel matrix runner, precise enough for the
@@ -61,7 +69,7 @@ class Payload {
   Payload& operator=(const Payload& other);
   Payload(Payload&& other) noexcept;
   Payload& operator=(Payload&& other) noexcept;
-  ~Payload() = default;
+  ~Payload();
 
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
@@ -115,16 +123,19 @@ class Payload {
   /// True when both views read from the same backing buffer (and therefore
   /// neither paid a byte copy).
   bool shares_buffer_with(const Payload& other) const {
-    return buf_ && buf_ == other.buf_;
+    return buf_ != nullptr && buf_ == other.buf_;
   }
-  long buffer_use_count() const { return buf_ ? buf_.use_count() : 0; }
+  long buffer_use_count() const;
 
  private:
-  Payload(std::shared_ptr<std::vector<std::uint8_t>> buf, std::size_t offset,
-          std::size_t size)
-      : buf_{std::move(buf)}, offset_{offset}, size_{size} {}
+  friend Payload gather(const Payload* parts, std::size_t count,
+                        std::size_t skip_front, std::size_t total);
 
-  std::shared_ptr<std::vector<std::uint8_t>> buf_;
+  /// Takes ownership of one reference (the caller must have ref'd `buf`).
+  Payload(PayloadBuffer* buf, std::size_t offset, std::size_t size)
+      : buf_{buf}, offset_{offset}, size_{size} {}
+
+  PayloadBuffer* buf_ = nullptr;
   std::size_t offset_ = 0;
   std::size_t size_ = 0;
 };

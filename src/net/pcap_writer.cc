@@ -116,17 +116,17 @@ std::size_t PcapWriter::write(const PacketCapture& capture, std::ostream& out) {
   put_u32le(out, kLinkTypeRaw);
   std::size_t written = 24;
 
-  for (const auto& rec : capture.records()) {
+  for (std::size_t i = 0; i < capture.size(); ++i) {
+    const Packet& pkt = capture.packet(i);
     // wire_payload_len only differs from the stored payload when the
     // capture snapped; hand-built records may leave it 0, so never let it
     // understate what we actually hold.
     const std::size_t wire_len =
-        std::max(rec.wire_payload_len, rec.packet.payload.size());
-    const std::vector<std::uint8_t> frame =
-        synthesize_frame(rec.packet, wire_len);
+        std::max(capture.wire_payload_len(i), pkt.payload.size());
+    const std::vector<std::uint8_t> frame = synthesize_frame(pkt, wire_len);
     const std::size_t orig_len =
-        frame.size() + (wire_len - rec.packet.payload.size());
-    const std::int64_t us = rec.timestamp.ns_since_epoch() / 1000;
+        frame.size() + (wire_len - pkt.payload.size());
+    const std::int64_t us = capture.timestamp(i).ns_since_epoch() / 1000;
     put_u32le(out, static_cast<std::uint32_t>(us / 1'000'000));
     put_u32le(out, static_cast<std::uint32_t>(us % 1'000'000));
     put_u32le(out, static_cast<std::uint32_t>(frame.size()));

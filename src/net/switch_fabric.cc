@@ -21,15 +21,21 @@ void SwitchFabric::handle_packet(Packet packet) {
   const auto it = table_.find(packet.dst.ip);
   if (it == table_.end()) {
     ++dropped_no_route_;
-    sim_.trace().emit(sim_.now(), config_.name,
-                      "no route for " + packet.to_string());
+    if (sim_.trace().enabled()) {
+      sim_.trace().emit(sim_.now(), config_.name,
+                        "no route for " + packet.to_string());
+    }
     return;
   }
   const PortRef out = ports_.at(it->second);
   ++forwarded_;
+  const auto node = transiting_.insert(transiting_.end(), std::move(packet));
   sim_.scheduler().schedule_after(config_.forwarding_latency,
-                                  [out, pkt = std::move(packet)]() mutable {
-                                    out.link->transmit(out.side, std::move(pkt));
+                                  [this, out, node] {
+                                    Packet pkt = std::move(*node);
+                                    transiting_.erase(node);
+                                    out.link->transmit(out.side,
+                                                       std::move(pkt));
                                   });
 }
 

@@ -58,9 +58,11 @@ std::size_t TcpConnection::effective_window() const {
 }
 
 void TcpConnection::enter(State next) {
-  host_.sim().trace().emit(host_.sim().now(), "tcp/" + tuple_.to_string(),
-                           std::string{state_name(state_)} + " -> " +
-                               state_name(next));
+  if (host_.sim().trace().enabled()) {
+    host_.sim().trace().emit(host_.sim().now(), "tcp/" + tuple_.to_string(),
+                             std::string{state_name(state_)} + " -> " +
+                                 state_name(next));
+  }
   state_ = next;
 }
 
@@ -442,8 +444,10 @@ void TcpConnection::on_rto_fire() {
   ++consecutive_rtos_;
   if (consecutive_rtos_ > config_.max_retransmissions) {
     // Give up like a real stack: the peer is unreachable.
-    host_.sim().trace().emit(host_.sim().now(), "tcp/" + tuple_.to_string(),
-                             "max retransmissions: giving up");
+    if (host_.sim().trace().enabled()) {
+      host_.sim().trace().emit(host_.sim().now(), "tcp/" + tuple_.to_string(),
+                               "max retransmissions: giving up");
+    }
     cancel_rto();
     delack_timer_.cancel();
     enter(State::kClosed);
@@ -470,8 +474,10 @@ void TcpConnection::retransmit_first_unacked(const char* reason) {
   Packet again = rtx_queue_.front().packet;
   if (again.flags.ack) again.ack = rcv_nxt_;  // refresh cumulative ACK
   ++retransmissions_;
-  host_.sim().trace().emit(host_.sim().now(), "tcp/" + tuple_.to_string(),
-                           std::string{reason} + " " + again.to_string());
+  if (host_.sim().trace().enabled()) {
+    host_.sim().trace().emit(host_.sim().now(), "tcp/" + tuple_.to_string(),
+                             std::string{reason} + " " + again.to_string());
+  }
   host_.send_packet(std::move(again));
 }
 

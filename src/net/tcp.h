@@ -18,6 +18,7 @@
 
 #include "net/address.h"
 #include "net/packet.h"
+#include "sim/arena.h"
 #include "sim/simulation.h"
 
 namespace bnm::net {
@@ -151,8 +152,11 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
   std::uint32_t snd_una_;   ///< oldest unacked
   std::uint32_t snd_nxt_;   ///< next seq to send
   /// Queued application buffers, consumed front-to-first as zero-copy
-  /// sub-views; send_buffered_ tracks the total queued byte count.
-  std::deque<Payload> send_buffer_;
+  /// sub-views; send_buffered_ tracks the total queued byte count. The
+  /// queue (like the retransmission queue and reassembly map below) lives
+  /// in arena-backed storage: a connection dies with its host's testbed,
+  /// inside one arena epoch.
+  std::deque<Payload, sim::ArenaAllocator<Payload>> send_buffer_;
   std::size_t send_buffered_ = 0;
   bool fin_pending_ = false;
   bool fin_sent_ = false;
@@ -161,7 +165,7 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
     std::uint32_t seq;
     Packet packet;
   };
-  std::deque<Unacked> rtx_queue_;
+  std::deque<Unacked, sim::ArenaAllocator<Unacked>> rtx_queue_;
   sim::EventHandle rto_timer_;
   sim::Duration rto_current_;
   std::uint64_t consecutive_rtos_ = 0;
@@ -170,7 +174,9 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
   std::uint32_t irs_ = 0;      ///< initial receive sequence
   std::uint32_t rcv_nxt_ = 0;  ///< next expected
   /// Out-of-order segments held as views aliasing the sender's buffers.
-  std::map<std::uint32_t, Payload> reassembly_;
+  std::map<std::uint32_t, Payload, std::less<std::uint32_t>,
+           sim::ArenaAllocator<std::pair<const std::uint32_t, Payload>>>
+      reassembly_;
   sim::EventHandle delack_timer_;
   bool fin_received_ = false;
 

@@ -29,7 +29,8 @@ std::string SequenceRenderer::render(const net::PacketCapture& capture,
                 static_cast<int>(options_.arrow_width), "", "server");
   out += line;
 
-  for (const auto& rec : capture.records()) {
+  for (std::size_t i = 0; i < capture.size(); ++i) {
+    const net::CaptureRecord rec = capture.at(i);
     if (filter && !filter(rec)) continue;
     if (options_.hide_pure_acks && rec.packet.is_pure_ack()) continue;
     if (options_.limit > 0 && shown >= options_.limit) {

@@ -4,6 +4,7 @@
 // google-benchmark iterations, parameter sweeps).
 #pragma once
 
+#include "sim/arena.h"
 #include "sim/random.h"
 #include "sim/scheduler.h"
 #include "sim/trace.h"
@@ -18,12 +19,22 @@ class Simulation {
   const Scheduler& scheduler() const { return scheduler_; }
   Trace& trace() { return trace_; }
 
+  /// The simulation's bump arena (see sim/arena.h). Components and Payload
+  /// buffers allocate from it while an ArenaScope over it is installed
+  /// (core::Experiment::run does this; the matrix runner substitutes
+  /// per-worker arenas). Lazily chunked: costs nothing if never scoped.
+  Arena& arena() { return arena_; }
+
   TimePoint now() const { return scheduler_.now(); }
 
   /// Independent RNG stream for a named component.
   Rng rng_for(std::string_view label) const { return root_rng_.fork(label); }
 
  private:
+  // Declared first so it is destroyed last: pending scheduler entries can
+  // hold arena-backed state (payload views, staged packets) until the
+  // scheduler itself is torn down.
+  Arena arena_;
   Scheduler scheduler_;
   Rng root_rng_;
   Trace trace_;

@@ -38,10 +38,9 @@ TEST(PacketCapture, RecordsBothDirectionsWithTimestamps) {
   });
   sim.scheduler().run();
   ASSERT_EQ(cap.size(), 2u);
-  EXPECT_EQ(cap.records()[0].direction, CaptureDirection::kOutbound);
-  EXPECT_EQ(cap.records()[1].direction, CaptureDirection::kInbound);
-  EXPECT_EQ((cap.records()[1].timestamp - cap.records()[0].timestamp).ms_f(),
-            50.0);
+  EXPECT_EQ(cap.direction(0), CaptureDirection::kOutbound);
+  EXPECT_EQ(cap.direction(1), CaptureDirection::kInbound);
+  EXPECT_EQ((cap.timestamp(1) - cap.timestamp(0)).ms_f(), 50.0);
 }
 
 TEST(PacketCapture, DisabledCaptureDropsRecords) {
@@ -61,8 +60,8 @@ TEST(PacketCapture, TimestampJitterBoundedAndNonNegative) {
   for (int i = 0; i < 200; ++i) {
     cap.record(CaptureDirection::kOutbound, tcp_packet(kClient, kServer, {}));
   }
-  for (const auto& r : cap.records()) {
-    const auto err = r.timestamp - r.true_time;
+  for (std::size_t i = 0; i < cap.size(); ++i) {
+    const auto err = cap.timestamp(i) - cap.true_time(i);
     EXPECT_GE(err, sim::Duration::zero());
     EXPECT_LT(err, sim::Duration::from_millis_f(0.3));
   }

@@ -320,7 +320,7 @@ TEST(ChecksumDrop, CorruptedPacketIsCapturedButNeverDemuxed) {
   EXPECT_EQ(host.checksum_drops(), 1u);
   // The capture tap sits before the checksum check, like a real NIC tap:
   // the corrupted frame is on record even though the stack discarded it.
-  EXPECT_EQ(host.capture().records().size(), 1u);
+  EXPECT_EQ(host.capture().size(), 1u);
   EXPECT_EQ(host.ingress_faults()->counters().corrupted, 1u);
 }
 

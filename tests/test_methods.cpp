@@ -156,9 +156,10 @@ TEST(MethodBehavior, SocketMethodExcludesConnectionSetup) {
   method->run(ctx, [&](MethodRunResult r) { result = std::move(r); });
   testbed.sim().scheduler().run();
   ASSERT_TRUE(result && result->ok);
-  for (const auto& rec : testbed.client().capture().records()) {
-    if (rec.packet.flags.syn && rec.packet.dst.port == 9000) {
-      EXPECT_LT(rec.true_time, result->m1.true_send);
+  const auto& cap = testbed.client().capture();
+  for (std::size_t i = 0; i < cap.size(); ++i) {
+    if (cap.packet(i).flags.syn && cap.packet(i).dst.port == 9000) {
+      EXPECT_LT(cap.true_time(i), result->m1.true_send);
     }
   }
 }

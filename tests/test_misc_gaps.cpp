@@ -33,7 +33,8 @@ TEST_F(StrayTcp, DataToUnknownConnectionGetsRst) {
   // Send via a raw path: use the client's send_packet plumbing.
   client->send_packet(stray);
   run_all();
-  for (const auto& r : client->capture().records()) {
+  for (std::size_t i = 0; i < client->capture().size(); ++i) {
+    const auto r = client->capture().at(i);
     if (r.direction == net::CaptureDirection::kInbound && r.packet.flags.rst) {
       got_rst = true;
       // RFC-style: RST acks the stray segment's payload.
@@ -51,7 +52,8 @@ TEST_F(StrayTcp, RstIsNotAnsweredWithRst) {
   rst.flags.rst = true;
   client->send_packet(rst);
   run_all();
-  for (const auto& r : client->capture().records()) {
+  for (std::size_t i = 0; i < client->capture().size(); ++i) {
+    const auto r = client->capture().at(i);
     EXPECT_NE(r.direction == net::CaptureDirection::kInbound &&
                   r.packet.flags.rst,
               true)

@@ -169,7 +169,7 @@ TEST(CaptureSnapLen, TruncatesStoredPayloadKeepsWireLength) {
   cap.record(CaptureDirection::kOutbound, p);
 
   ASSERT_EQ(cap.size(), 1u);
-  const CaptureRecord& rec = cap.records().front();
+  const CaptureRecord rec = cap.at(0);
   EXPECT_EQ(rec.packet.payload.size(), 4u);
   EXPECT_EQ(to_string(rec.packet.payload), "trun");
   EXPECT_EQ(rec.wire_payload_len, 18u);
@@ -191,7 +191,7 @@ TEST(CaptureSnapLen, ZeroSnapKeepsHeadersOnly) {
   p.payload = bytes_of("payload");
   cap.record(CaptureDirection::kInbound, p);
 
-  const CaptureRecord& rec = cap.records().front();
+  const CaptureRecord rec = cap.at(0);
   EXPECT_TRUE(rec.packet.payload.empty());
   EXPECT_EQ(rec.wire_payload_len, 7u);
   // carries_data() answers for the wire packet, not the truncated record,

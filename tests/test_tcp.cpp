@@ -48,13 +48,13 @@ TEST_F(TcpTest, HandshakeIsThreePackets) {
   listen_echo();
   client->tcp_connect(server_ep(9000), {});
   run_all();
-  const auto& recs = client->capture().records();
-  ASSERT_GE(recs.size(), 3u);
-  EXPECT_TRUE(recs[0].packet.flags.syn);
-  EXPECT_FALSE(recs[0].packet.flags.ack);
-  EXPECT_TRUE(recs[1].packet.flags.syn);
-  EXPECT_TRUE(recs[1].packet.flags.ack);
-  EXPECT_TRUE(recs[2].packet.is_pure_ack());
+  const auto& cap = client->capture();
+  ASSERT_GE(cap.size(), 3u);
+  EXPECT_TRUE(cap.packet(0).flags.syn);
+  EXPECT_FALSE(cap.packet(0).flags.ack);
+  EXPECT_TRUE(cap.packet(1).flags.syn);
+  EXPECT_TRUE(cap.packet(1).flags.ack);
+  EXPECT_TRUE(cap.packet(2).is_pure_ack());
 }
 
 TEST_F(TcpTest, EchoRoundtripDeliversPayload) {
@@ -100,7 +100,8 @@ TEST_F(TcpTest, LargeSendIsSegmentedByMss) {
   // Count outbound data segments: ceil(5000 / 1460) = 4.
   std::size_t data_segments = 0;
   std::size_t oversized = 0;
-  for (const auto& r : client->capture().records()) {
+  for (std::size_t i = 0; i < client->capture().size(); ++i) {
+    const auto r = client->capture().at(i);
     if (r.direction == CaptureDirection::kOutbound && r.packet.carries_data()) {
       ++data_segments;
       if (r.packet.payload.size() > 1460) ++oversized;
@@ -119,7 +120,8 @@ TEST_F(TcpTest, ResponseCarriesPiggybackAck) {
   run_all();
   // Find the server's echo segment: it must ACK the request bytes.
   bool found = false;
-  for (const auto& r : client->capture().records()) {
+  for (std::size_t i = 0; i < client->capture().size(); ++i) {
+    const auto r = client->capture().at(i);
     if (r.direction == CaptureDirection::kInbound && r.packet.carries_data()) {
       EXPECT_TRUE(r.packet.flags.ack);
       found = true;

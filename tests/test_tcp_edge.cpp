@@ -51,7 +51,8 @@ TEST_F(TcpEdge, DelayedAckFiresForUnansweredData) {
   EXPECT_EQ(conn->retransmissions(), 0u);
   // A pure ACK for the data appeared at the client.
   bool pure_ack_seen = false;
-  for (const auto& r : client->capture().records()) {
+  for (std::size_t i = 0; i < client->capture().size(); ++i) {
+    const auto r = client->capture().at(i);
     if (r.direction == CaptureDirection::kInbound && r.packet.is_pure_ack() &&
         r.packet.ack > 1) {
       pure_ack_seen = true;
@@ -91,7 +92,8 @@ TEST(TcpReordering, ReassemblyDeliversInOrderUnderReorderingNetem) {
   bool reordered = false;
   std::uint32_t prev_seq = 0;
   bool first = true;
-  for (const auto& r : tb.client().capture().records()) {
+  for (std::size_t i = 0; i < tb.client().capture().size(); ++i) {
+    const auto r = tb.client().capture().at(i);
     if (r.direction != CaptureDirection::kInbound || !r.packet.carries_data()) {
       continue;
     }

@@ -282,7 +282,8 @@ TEST_F(WsIntegration, ClientFramesAreMaskedServerFramesNot) {
   // Inspect raw captured TCP payloads after the upgrade response.
   bool saw_masked_client_frame = false;
   bool saw_unmasked_server_frame = false;
-  for (const auto& r : client->capture().records()) {
+  for (std::size_t i = 0; i < client->capture().size(); ++i) {
+    const auto r = client->capture().at(i);
     const auto& pl = r.packet.payload;
     if (pl.empty() || pl[0] != 0x82) continue;  // FIN|binary frames only
     if (r.direction == net::CaptureDirection::kOutbound && (pl[1] & 0x80)) {
@@ -384,7 +385,8 @@ TEST_F(WsIntegration, FragmentedFramesVisibleOnTheWire) {
   // Expect a non-FIN binary frame (0x02) and a FIN continuation (0x80) in
   // the outbound TCP payloads.
   bool saw_nonfin_binary = false, saw_fin_continuation = false;
-  for (const auto& r : client->capture().records()) {
+  for (std::size_t i = 0; i < client->capture().size(); ++i) {
+    const auto r = client->capture().at(i);
     if (r.direction != net::CaptureDirection::kOutbound) continue;
     const auto& pl = r.packet.payload;
     if (pl.empty()) continue;

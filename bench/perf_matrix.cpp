@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "obs/prof.h"
 #include "net/capture.h"
 #include "sim/arena.h"
 #include "sim/simulation.h"
@@ -299,8 +300,32 @@ SchedulerTimings bench_scheduler() {
   return t;
 }
 
+// One small profiled matrix pass: enable the obs profiling scopes, run a
+// few cells, and surface where the wall-clock goes. Informational only
+// (wall-clock, so never part of a determinism gate).
+std::vector<obs::prof::ProfEntry> bench_profile(int runs) {
+  std::vector<core::ExperimentConfig> cells;
+  for (const auto kind : browser::all_probe_kinds()) {
+    cells.push_back(benchutil::make_config(browser::BrowserId::kChrome,
+                                           browser::OsId::kUbuntu, kind,
+                                           std::max(1, runs / 4)));
+  }
+  obs::prof::reset();
+  obs::prof::set_enabled(true);
+  core::run_matrix(cells, 1);
+  obs::prof::set_enabled(false);
+  auto entries = obs::prof::report();
+  obs::prof::reset();
+
+  std::printf("profile (profiling scopes enabled, %zu cells):\n",
+              cells.size());
+  std::printf("%s", obs::prof::format_report(entries).c_str());
+  return entries;
+}
+
 void write_json(const char* path, unsigned hw, const MatrixTimings& m,
-                const CaptureTimings& c, const SchedulerTimings& s) {
+                const CaptureTimings& c, const SchedulerTimings& s,
+                const std::vector<obs::prof::ProfEntry>& profile) {
   std::FILE* f = std::fopen(path, "w");
   if (!f) {
     std::fprintf(stderr, "cannot write %s\n", path);
@@ -353,7 +378,23 @@ void write_json(const char* path, unsigned hw, const MatrixTimings& m,
                s.handle_ns_per_event);
   std::fprintf(f, "    \"post_ns_per_event\": %.1f,\n", s.post_ns_per_event);
   std::fprintf(f, "    \"pooled_control_blocks\": %zu\n", s.pooled_blocks);
-  std::fprintf(f, "  }\n");
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"profile\": [\n");
+  for (std::size_t i = 0; i < profile.size(); ++i) {
+    const auto& e = profile[i];
+    std::fprintf(f,
+                 "    {\"site\": \"%s\", \"calls\": %llu, "
+                 "\"total_ms\": %.3f, \"avg_us\": %.3f, "
+                 "\"max_us\": %.3f}%s\n",
+                 e.name.c_str(), static_cast<unsigned long long>(e.calls),
+                 static_cast<double>(e.total_ns) / 1e6,
+                 e.calls ? static_cast<double>(e.total_ns) / 1e3 /
+                               static_cast<double>(e.calls)
+                         : 0.0,
+                 static_cast<double>(e.max_ns) / 1e3,
+                 i + 1 < profile.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n");
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("\nwrote %s\n", path);
@@ -374,8 +415,10 @@ int main(int argc, char** argv) {
   const CaptureTimings c = bench_capture_scan();
   std::printf("\n");
   const SchedulerTimings s = bench_scheduler();
+  std::printf("\n");
+  const auto profile = bench_profile(opts.runs);
 
-  write_json("BENCH_perf_matrix.json", hw, m, c, s);
+  write_json("BENCH_perf_matrix.json", hw, m, c, s, profile);
 
   if (!m.identical) {
     std::fprintf(stderr, "FAIL: parallel results differ from serial\n");

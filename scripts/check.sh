@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus an AddressSanitizer pass and a perf gate.
+# Tier-1 verification plus an AddressSanitizer pass, a perf gate and the
+# observability gates (obs tests, obs_overhead A/B, bench-JSON schemas).
 #
 #   scripts/check.sh          # full: plain build + ctest, ASan build + ctest,
-#                             # then a Release perf_matrix run (arena A/B gate)
-#   scripts/check.sh --fast   # plain build + ctest only (skip ASan and perf)
+#                             # then Release perf_matrix (arena A/B gate) and
+#                             # obs_overhead (overhead/determinism gates) runs
+#                             # plus schema validation of every BENCH_*.json
+#   scripts/check.sh --fast   # plain build + ctest only (skip ASan/perf/obs)
 #
 # Exits non-zero on the first failing step. Build trees: build/ (plain),
 # build-asan/ (ASan) and build-release/ (perf); all incremental across
@@ -45,6 +48,9 @@ ctest --test-dir build -L faults --output-on-failure
 step "perf: ctest (-L perf)"
 ctest --test-dir build -L perf --output-on-failure
 
+step "obs: ctest (-L obs)"
+ctest --test-dir build -L obs --output-on-failure
+
 if [[ "$FAST" == 1 ]]; then
   echo
   echo "check.sh: tier-1 OK (ASan and perf passes skipped with --fast)"
@@ -56,7 +62,7 @@ step "asan: configure (BNM_SANITIZE=address)"
 cmake -B build-asan -S . $(gen_for build-asan) -DBNM_SANITIZE=address
 
 step "asan: build tests"
-cmake --build build-asan -j --target bnm_tests bnm_fault_tests bnm_perf_tests
+cmake --build build-asan -j --target bnm_tests bnm_fault_tests bnm_perf_tests bnm_obs_tests
 
 step "asan: ctest"
 ctest --test-dir build-asan --output-on-failure
@@ -66,7 +72,7 @@ step "perf: configure (Release)"
 cmake -B build-release -S . $(gen_for build-release) -DCMAKE_BUILD_TYPE=Release
 
 step "perf: build bench"
-cmake --build build-release -j --target perf_matrix
+cmake --build build-release -j --target perf_matrix obs_overhead bench_schema_check
 
 step "perf: bench/perf_matrix --runs=4 (arena A/B gate)"
 # perf_matrix itself exits non-zero when the arena-off reference pass is not
@@ -82,5 +88,30 @@ if ! grep -q '"identical": true' build-release/BENCH_perf_matrix.json; then
   exit 1
 fi
 
+step "obs: bench/obs_overhead --runs=8 (overhead + determinism gates)"
+# obs_overhead exits non-zero itself when the disabled-path overhead
+# estimate reaches 1%, when the profiled pass is not bit-identical to the
+# unprofiled one, or when serial and parallel registry snapshots differ.
+(cd build-release && ./bench/obs_overhead --runs=8)
+if ! grep -q '"identical": true' build-release/BENCH_obs_overhead.json; then
+  echo "check.sh: FAIL — profiled run is not bit-identical" >&2
+  exit 1
+fi
+if ! grep -q '"snapshot_identical": true' build-release/BENCH_obs_overhead.json; then
+  echo "check.sh: FAIL — serial/parallel metrics snapshots differ" >&2
+  exit 1
+fi
+
+step "obs: validate BENCH_*.json against docs/BENCH_SCHEMAS.md"
+# Every bench JSON present in the release tree must match its documented
+# schema exactly (unknown or missing fields fail).
+BENCH_JSON=$(find build-release -maxdepth 2 -name 'BENCH_*.json' | sort)
+if [[ -z "$BENCH_JSON" ]]; then
+  echo "check.sh: FAIL — no BENCH_*.json produced" >&2
+  exit 1
+fi
+# shellcheck disable=SC2086
+./build-release/tools/bench_schema_check $BENCH_JSON
+
 echo
-echo "check.sh: tier-1 + ASan + perf OK"
+echo "check.sh: tier-1 + ASan + perf + obs OK"

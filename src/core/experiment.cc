@@ -3,9 +3,64 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/prof.h"
 #include "sim/arena.h"
 
 namespace bnm::core {
+
+namespace {
+
+// Sample-outcome totals and RTT distributions ("experiment.*" in
+// docs/OBSERVABILITY.md). Totals mirror the per-series SampleAccounting;
+// the histograms are registry-only (there was no aggregate view of RTT
+// shape before). Units are integer microseconds so merges stay exact.
+struct ExperimentMetrics {
+  obs::Counter runs;
+  obs::Counter samples;
+  obs::Counter timeouts;
+  obs::Counter transport_errors;
+  obs::Counter degraded;
+  obs::Histogram net_rtt_us;
+  obs::Histogram browser_overhead_us;
+
+  static const ExperimentMetrics& get() {
+    static const ExperimentMetrics m{
+        obs::MetricsRegistry::instance().counter(
+            "experiment.runs", "runs", "method repetitions attempted"),
+        obs::MetricsRegistry::instance().counter(
+            "experiment.samples", "samples",
+            "repetitions yielding a valid overhead sample"),
+        obs::MetricsRegistry::instance().counter(
+            "experiment.timeouts", "runs",
+            "repetitions abandoned at the sample deadline"),
+        obs::MetricsRegistry::instance().counter(
+            "experiment.transport_errors", "runs",
+            "repetitions failed by the transport or method"),
+        obs::MetricsRegistry::instance().counter(
+            "experiment.degraded", "runs",
+            "repetitions with no probe packets in the capture window"),
+        obs::MetricsRegistry::instance().histogram(
+            "experiment.net_rtt_us", "us",
+            "network-level RTT of accepted samples (t_n_r - t_n_s)",
+            {100, 200, 500, 1000, 2000, 5000, 10000, 20000, 50000, 100000,
+             200000, 500000}),
+        obs::MetricsRegistry::instance().histogram(
+            "experiment.browser_overhead_us", "us",
+            "browser-added delay of accepted samples (Eq. 1 delta-d)",
+            {10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000, 20000,
+             50000}),
+    };
+    return m;
+  }
+};
+
+std::uint64_t to_us_clamped(double ms) {
+  if (ms <= 0) return 0;
+  return static_cast<std::uint64_t>(ms * 1000.0);
+}
+
+}  // namespace
 
 std::vector<double> OverheadSeries::d1() const {
   std::vector<double> out;
@@ -63,6 +118,7 @@ Experiment::WindowTimes Experiment::network_rtt_in_window(
   // first record past the window instead of re-scanning the whole capture
   // for every run (the scan was O(records x runs) per experiment).
   const net::PacketCapture& capture = testbed_->client().capture();
+  BNM_PROF_SCOPE("experiment.window_scan");
   WindowTimes out;
   std::optional<sim::TimePoint> t_n_s;
   std::optional<sim::TimePoint> t_n_r;
@@ -130,7 +186,10 @@ OverheadSeries Experiment::run() {
   // runs and is released when the experiment ends.
   std::vector<std::unique_ptr<browser::Browser>> graveyard;
 
+  const ExperimentMetrics& metrics = ExperimentMetrics::get();
   for (int run = 0; run < config_.runs; ++run) {
+    BNM_PROF_SCOPE("experiment.repetition");
+    metrics.runs.add(1);
     auto browser = testbed_->launch_browser(profile,
                                             static_cast<std::uint64_t>(run));
     if (!config_.http_request_timeout.is_zero()) {
@@ -174,12 +233,14 @@ OverheadSeries Experiment::run() {
       method->cancel();
       ++series.failures;
       ++series.accounting.timeouts;
+      metrics.timeouts.add(1);
       if (series.first_error.empty()) {
         series.first_error = "sample deadline exceeded";
       }
     } else if (!(*result)->ok) {
       ++series.failures;
       ++series.accounting.transport_errors;
+      metrics.transport_errors.add(1);
       if (series.first_error.empty()) {
         series.first_error = (*result)->error.empty() ? "method failed"
                                                       : (*result)->error;
@@ -201,9 +262,33 @@ OverheadSeries Experiment::run() {
         s.connections_opened1 = w1.connections_opened;
         s.connections_opened2 = w2.connections_opened;
         series.samples.push_back(s);
+        metrics.samples.add(1);
+        metrics.net_rtt_us.observe(to_us_clamped(s.net_rtt1_ms));
+        metrics.net_rtt_us.observe(to_us_clamped(s.net_rtt2_ms));
+        metrics.browser_overhead_us.observe(to_us_clamped(s.d1_ms));
+        metrics.browser_overhead_us.observe(to_us_clamped(s.d2_ms));
+        sim::Trace& trace = testbed_->sim().trace();
+        if (trace.enabled()) {
+          // Method-layer spans bracket each probe's true send/receive in
+          // simulated time — the rows Perfetto shows above the scheduler
+          // and link spans for a sample.
+          trace.emit_span(
+              r.m1.true_send, r.m1.true_recv - r.m1.true_send, "method",
+              series.method_name + " m1",
+              {{"run", static_cast<std::int64_t>(run)},
+               {"browser_rtt_ms", s.browser_rtt1_ms},
+               {"net_rtt_ms", s.net_rtt1_ms}});
+          trace.emit_span(
+              r.m2.true_send, r.m2.true_recv - r.m2.true_send, "method",
+              series.method_name + " m2",
+              {{"run", static_cast<std::int64_t>(run)},
+               {"browser_rtt_ms", s.browser_rtt2_ms},
+               {"net_rtt_ms", s.net_rtt2_ms}});
+        }
       } else {
         ++series.failures;
         ++series.accounting.degraded;
+        metrics.degraded.add(1);
         if (series.first_error.empty()) {
           series.first_error = "no probe packets in capture window";
         }

@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "obs/prof.h"
 #include "sim/arena.h"
 
 namespace bnm::core {
@@ -86,6 +87,7 @@ namespace {
 
 OverheadSeries run_cell_guarded(const ExperimentConfig& config,
                                 const CellRunner& cell) {
+  BNM_PROF_SCOPE("matrix.cell");
   try {
     return cell(config);
   } catch (const std::exception& e) {

@@ -2,6 +2,41 @@
 
 #include <utility>
 
+#include "obs/metrics.h"
+
+namespace {
+
+// Process-wide HTTP resilience totals ("http.*" in docs/OBSERVABILITY.md);
+// the per-client members stay the public accessors.
+const bnm::obs::Counter& timeouts_total() {
+  static const bnm::obs::Counter c =
+      bnm::obs::MetricsRegistry::instance().counter(
+          "http.request_timeouts", "requests", "request attempts timed out");
+  return c;
+}
+const bnm::obs::Counter& retries_total() {
+  static const bnm::obs::Counter c =
+      bnm::obs::MetricsRegistry::instance().counter(
+          "http.request_retries", "requests", "request attempts retried");
+  return c;
+}
+const bnm::obs::Counter& failures_total() {
+  static const bnm::obs::Counter c =
+      bnm::obs::MetricsRegistry::instance().counter(
+          "http.request_failures", "requests",
+          "requests settled with synthetic status 0");
+  return c;
+}
+const bnm::obs::Counter& connections_total() {
+  static const bnm::obs::Counter c =
+      bnm::obs::MetricsRegistry::instance().counter(
+          "http.connections_opened", "connections",
+          "TCP connections opened by clients");
+  return c;
+}
+
+}  // namespace
+
 namespace bnm::http {
 
 HttpClient::HttpClient(net::Host& host) : host_{host} {}
@@ -106,6 +141,7 @@ void HttpClient::arm_timeout(const std::shared_ptr<RequestState>& state) {
       state->opts.request_timeout, [this, state, attempt] {
         if (state->settled || attempt != state->attempt) return;
         ++timeouts_;
+        timeouts_total().add(1);
         fail_attempt(state, attempt, "request timeout");
       });
 }
@@ -133,6 +169,7 @@ void HttpClient::dispatch(const std::shared_ptr<RequestState>& state) {
 void HttpClient::open_and_start(const std::shared_ptr<RequestState>& state) {
   state->info.opened_new_connection = true;
   ++connections_opened_;
+  connections_total().add(1);
   ++live_count_[state->server];
   auto entry = std::make_shared<PoolEntry>();
   entry->busy = true;
@@ -223,6 +260,7 @@ void HttpClient::fail_attempt(const std::shared_ptr<RequestState>& state,
   if (state->retries_left > 0) {
     --state->retries_left;
     ++retries_;
+    retries_total().add(1);
     ++state->info.retries;
     const sim::Duration backoff = state->backoff;
     state->backoff = state->backoff * 2;
@@ -240,6 +278,7 @@ void HttpClient::fail_attempt(const std::shared_ptr<RequestState>& state,
   }
 
   ++failures_;
+  failures_total().add(1);
   if (on_error_) on_error_(reason);
   // Always answer: a synthetic network-error response (status 0), so no
   // caller is left waiting on a request that can never complete.

@@ -18,6 +18,7 @@
 
 #include "browser/browser.h"
 #include "browser/profile.h"
+#include "obs/prof.h"
 
 namespace bnm::methods {
 
@@ -119,9 +120,12 @@ class MeasurementMethod {
   std::function<void()> cancel_;
 };
 
-/// Helper shared by implementations: read a timing API now.
+/// Helper shared by implementations: read a timing API now. Every method's
+/// probe send and receive path stamps through here, so the profiling scope
+/// counts (and times) both sides of every probe.
 inline void stamp(browser::TimingApi& clock, sim::Simulation& sim,
                   sim::TimePoint& api_value, sim::TimePoint& true_value) {
+  BNM_PROF_SCOPE("method.stamp");
   true_value = sim.now();
   api_value = clock.read(true_value);
 }

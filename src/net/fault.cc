@@ -4,7 +4,40 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace bnm::net {
+
+namespace {
+
+// Process-wide per-kind totals in the obs registry ("fault.*" in
+// docs/OBSERVABILITY.md), alongside the per-injector FaultCounters that
+// tests and the resilience report consume. The array is indexed by
+// FaultKind and also carries an instant trace attribute vocabulary.
+const obs::Counter& fault_counter(FaultKind kind) {
+  static const obs::Counter counters[] = {
+      obs::MetricsRegistry::instance().counter(
+          "fault.iid_losses", "packets", "packets dropped by i.i.d. loss"),
+      obs::MetricsRegistry::instance().counter(
+          "fault.burst_losses", "packets",
+          "packets dropped by Gilbert-Elliott bursts"),
+      obs::MetricsRegistry::instance().counter(
+          "fault.corrupted", "packets", "packets corrupted in flight"),
+      obs::MetricsRegistry::instance().counter(
+          "fault.duplicated", "packets", "packets duplicated in flight"),
+      obs::MetricsRegistry::instance().counter(
+          "fault.blackholed", "packets",
+          "packets swallowed by blackhole windows"),
+      obs::MetricsRegistry::instance().counter(
+          "fault.flap_drops", "packets", "packets dropped by link flaps"),
+      obs::MetricsRegistry::instance().counter(
+          "fault.scripted_drops", "packets",
+          "data segments dropped by scripted ordinals"),
+  };
+  return counters[static_cast<std::size_t>(kind)];
+}
+
+}  // namespace
 
 const char* to_string(FaultKind kind) {
   switch (kind) {
@@ -72,12 +105,16 @@ void FaultInjector::note(FaultKind kind, const Packet& packet) {
     case FaultKind::kFlap: ++counters_.flap_drops; break;
     case FaultKind::kScriptedDrop: ++counters_.scripted_drops; break;
   }
+  fault_counter(kind).add(1);
   if (events_.size() < plan_.max_events) {
     events_.push_back({sim_.now(), kind, packet.id});
   }
   if (sim_.trace().enabled()) {
-    sim_.trace().emit(sim_.now(), plan_.name,
-                      std::string{to_string(kind)} + " " + packet.to_string());
+    sim_.trace().emit_instant(
+        sim_.now(), plan_.name,
+        std::string{to_string(kind)} + " " + packet.to_string(),
+        {{"fault", std::string{to_string(kind)}},
+         {"packet_id", static_cast<std::int64_t>(packet.id)}});
   }
 }
 

@@ -52,6 +52,15 @@ void Link::transmit(Side side, Packet packet) {
   ++d.in_flight;
 
   const sim::TimePoint arrive = tx_done + config_.propagation;
+  if (sim_.trace().enabled()) {
+    // One hop span per packet: [queued, delivered) = queueing +
+    // serialization + propagation.
+    sim_.trace().emit_span(
+        sim_.now(), arrive - sim_.now(), config_.name,
+        "hop " + packet.to_string(),
+        {{"packet_id", static_cast<std::int64_t>(packet.id)},
+         {"wire_bytes", static_cast<std::int64_t>(packet.wire_size())}});
+  }
   PacketSink* sink = d.sink;
   Direction* dp = &d;
   const auto it = in_flight_.insert(in_flight_.end(), std::move(packet));

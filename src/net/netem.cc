@@ -45,6 +45,12 @@ void DelayEmulator::schedule_release(Packet packet) {
     release = std::max(release, last_release_);
     last_release_ = release;
   }
+  if (sim_.trace().enabled()) {
+    sim_.trace().emit_span(
+        sim_.now(), release - sim_.now(), "netem",
+        "delay " + packet.to_string(),
+        {{"packet_id", static_cast<std::int64_t>(packet.id)}});
+  }
   const auto it = staged_.insert(staged_.end(), std::move(packet));
   sim_.scheduler().schedule_at(release, [this, it] {
     Packet pkt = std::move(*it);

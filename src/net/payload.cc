@@ -1,29 +1,44 @@
 #include "net/payload.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cstring>
 #include <new>
 
+#include "obs/metrics.h"
 #include "sim/arena.h"
 
 namespace bnm::net {
 
 namespace {
 
-std::atomic<std::uint64_t> g_deep_copy_bytes{0};
-std::atomic<std::uint64_t> g_aliased_bytes{0};
-std::atomic<std::uint64_t> g_buffers_allocated{0};
+// Counters live in the obs metrics registry (docs/OBSERVABILITY.md,
+// "payload.*"); the PayloadStats accessors below stay the public API.
+const obs::Counter& deep_copy_counter() {
+  static const obs::Counter c = obs::MetricsRegistry::instance().counter(
+      "payload.deep_copy_bytes", "bytes",
+      "bytes memcpy'd into payload buffers");
+  return c;
+}
+const obs::Counter& aliased_counter() {
+  static const obs::Counter c = obs::MetricsRegistry::instance().counter(
+      "payload.aliased_bytes", "bytes",
+      "bytes shared by reference instead of copied");
+  return c;
+}
+const obs::Counter& buffers_counter() {
+  static const obs::Counter c = obs::MetricsRegistry::instance().counter(
+      "payload.buffers_allocated", "buffers",
+      "PayloadBuffer allocations (arena or heap)");
+  return c;
+}
 
 void count_deep(std::size_t bytes) {
-  if (bytes) g_deep_copy_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  if (bytes) deep_copy_counter().add(bytes);
 }
 void count_alias(std::size_t bytes) {
-  if (bytes) g_aliased_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  if (bytes) aliased_counter().add(bytes);
 }
-void count_buffer() {
-  g_buffers_allocated.fetch_add(1, std::memory_order_relaxed);
-}
+void count_buffer() { buffers_counter().add(1); }
 
 // The empty view needs no buffer at all.
 const std::uint8_t* empty_data() {
@@ -106,18 +121,18 @@ class PayloadBuffer {
 };
 
 std::uint64_t PayloadStats::deep_copy_bytes() {
-  return g_deep_copy_bytes.load(std::memory_order_relaxed);
+  return deep_copy_counter().total();
 }
 std::uint64_t PayloadStats::aliased_bytes() {
-  return g_aliased_bytes.load(std::memory_order_relaxed);
+  return aliased_counter().total();
 }
 std::uint64_t PayloadStats::buffers_allocated() {
-  return g_buffers_allocated.load(std::memory_order_relaxed);
+  return buffers_counter().total();
 }
 void PayloadStats::reset() {
-  g_deep_copy_bytes.store(0, std::memory_order_relaxed);
-  g_aliased_bytes.store(0, std::memory_order_relaxed);
-  g_buffers_allocated.store(0, std::memory_order_relaxed);
+  deep_copy_counter().reset();
+  aliased_counter().reset();
+  buffers_counter().reset();
 }
 
 Payload::Payload(std::vector<std::uint8_t> bytes) {

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "net/host.h"
+#include "obs/prof.h"
 
 namespace bnm::net {
 
@@ -132,6 +133,7 @@ Payload TcpConnection::dequeue_chunk(std::size_t take) {
 }
 
 void TcpConnection::pump_send() {
+  BNM_PROF_SCOPE("tcp.segmentation");
   if (state_ != State::kEstablished && state_ != State::kCloseWait) {
     return;  // data flows once established; SYN queues it via send_buffer_
   }

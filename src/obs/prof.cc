@@ -1,0 +1,151 @@
+#include "obs/prof.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <mutex>
+
+namespace bnm::obs::prof {
+
+std::atomic<bool> g_enabled{false};
+
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+namespace {
+
+struct ThreadTable;
+
+/// Global site-name registry plus the set of live/retired thread tables.
+/// Leaked (never destroyed) so thread-exit retirement is always safe.
+struct Registry {
+  std::mutex mu;
+  std::vector<std::string> names;     // site id -> name
+  std::vector<ThreadTable*> live;
+  std::deque<detail::SiteStats> retired;  // folded exited-thread tables
+};
+
+Registry& registry() {
+  static Registry* r = new Registry{};
+  return *r;
+}
+
+struct ThreadTable {
+  // deque: tls_stats hands out references that must survive growth.
+  std::deque<detail::SiteStats> stats;
+
+  ThreadTable() {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock{r.mu};
+    r.live.push_back(this);
+  }
+  ~ThreadTable() {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock{r.mu};
+    r.live.erase(std::find(r.live.begin(), r.live.end(), this));
+    if (r.retired.size() < stats.size()) r.retired.resize(stats.size());
+    for (std::size_t i = 0; i < stats.size(); ++i) {
+      r.retired[i].calls.fetch_add(
+          stats[i].calls.load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
+      r.retired[i].total_ns.fetch_add(
+          stats[i].total_ns.load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
+      std::uint64_t m = stats[i].max_ns.load(std::memory_order_relaxed);
+      if (m > r.retired[i].max_ns.load(std::memory_order_relaxed)) {
+        r.retired[i].max_ns.store(m, std::memory_order_relaxed);
+      }
+    }
+  }
+};
+
+ThreadTable& tls_table() {
+  thread_local ThreadTable table;
+  return table;
+}
+
+}  // namespace
+
+ProfSite::ProfSite(const char* name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock{r.mu};
+  id_ = static_cast<std::uint32_t>(r.names.size());
+  r.names.emplace_back(name);
+}
+
+namespace detail {
+
+SiteStats& tls_stats(std::uint32_t id) {
+  ThreadTable& t = tls_table();
+  if (t.stats.size() <= id) t.stats.resize(id + 1);
+  return t.stats[id];
+}
+
+}  // namespace detail
+
+std::vector<ProfEntry> report() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock{r.mu};
+  std::vector<ProfEntry> out(r.names.size());
+  for (std::size_t i = 0; i < r.names.size(); ++i) out[i].name = r.names[i];
+
+  auto fold = [&out](const std::deque<detail::SiteStats>& stats) {
+    for (std::size_t i = 0; i < stats.size() && i < out.size(); ++i) {
+      out[i].calls += stats[i].calls.load(std::memory_order_relaxed);
+      out[i].total_ns += stats[i].total_ns.load(std::memory_order_relaxed);
+      out[i].max_ns = std::max(
+          out[i].max_ns, stats[i].max_ns.load(std::memory_order_relaxed));
+    }
+  };
+  fold(r.retired);
+  for (const ThreadTable* t : r.live) fold(t->stats);
+
+  out.erase(std::remove_if(out.begin(), out.end(),
+                           [](const ProfEntry& e) { return e.calls == 0; }),
+            out.end());
+  std::sort(out.begin(), out.end(), [](const ProfEntry& a, const ProfEntry& b) {
+    if (a.total_ns != b.total_ns) return a.total_ns > b.total_ns;
+    return a.name < b.name;
+  });
+  return out;
+}
+
+void reset() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock{r.mu};
+  auto zero = [](std::deque<detail::SiteStats>& stats) {
+    for (detail::SiteStats& s : stats) {
+      s.calls.store(0, std::memory_order_relaxed);
+      s.total_ns.store(0, std::memory_order_relaxed);
+      s.max_ns.store(0, std::memory_order_relaxed);
+    }
+  };
+  zero(r.retired);
+  for (ThreadTable* t : r.live) zero(t->stats);
+}
+
+std::string format_report(const std::vector<ProfEntry>& entries) {
+  std::size_t w = 4;
+  for (const ProfEntry& e : entries) w = std::max(w, e.name.size());
+  char buf[160];
+  std::string out;
+  std::snprintf(buf, sizeof buf, "  %-*s %12s %12s %10s %10s\n",
+                static_cast<int>(w), "site", "calls", "total_ms", "avg_us",
+                "max_us");
+  out += buf;
+  for (const ProfEntry& e : entries) {
+    double total_ms = static_cast<double>(e.total_ns) / 1e6;
+    double avg_us =
+        e.calls ? static_cast<double>(e.total_ns) / 1e3 /
+                      static_cast<double>(e.calls)
+                : 0.0;
+    double max_us = static_cast<double>(e.max_ns) / 1e3;
+    std::snprintf(buf, sizeof buf, "  %-*s %12llu %12.3f %10.3f %10.3f\n",
+                  static_cast<int>(w), e.name.c_str(),
+                  static_cast<unsigned long long>(e.calls), total_ms, avg_us,
+                  max_us);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace bnm::obs::prof

@@ -1,0 +1,131 @@
+// Wall-clock profiling scopes, off by default.
+//
+// Deliberately a separate facility from obs::MetricsRegistry: profile
+// samples are host wall-clock nanoseconds, which vary run to run, while the
+// registry's contract is deterministic, byte-identical snapshots. Mixing
+// them would poison the determinism guarantee, so timings live here and
+// never enter a metrics snapshot.
+//
+// Usage: wrap a region in BNM_PROF_SCOPE("site.name"). When profiling is
+// disabled (the default) the scope costs one relaxed atomic load and a
+// predictable branch — no clock read, no allocation (tests/test_obs.cpp
+// asserts the no-allocation part with an operator-new hook, and
+// bench/obs_overhead gates the total cost at <1% of a measurement run).
+// When enabled, each scope records {calls, total_ns, max_ns} into a
+// thread-local table keyed by a small site id.
+//
+//   void Scheduler::step() {
+//     BNM_PROF_SCOPE("scheduler.dispatch");
+//     ...
+//   }
+//
+// Site registration (ProfSite) is cold and happens once per call site via a
+// function-local static inside the macro. report() merges all threads'
+// tables and sorts by total time; perf_matrix prints it as the per-run
+// profile table.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bnm::obs::prof {
+
+/// Global profiling switch. Hot path reads it relaxed; flipping it between
+/// timed regions is the caller's job (benches/examples enable it around the
+/// pass they want profiled).
+extern std::atomic<bool> g_enabled;
+
+inline bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void set_enabled(bool on);
+
+/// Registered call site. Construction is cold (takes a registry lock);
+/// the macro below caches one per site in a function-local static.
+class ProfSite {
+ public:
+  explicit ProfSite(const char* name);
+  std::uint32_t id() const { return id_; }
+
+ private:
+  std::uint32_t id_;
+};
+
+namespace detail {
+/// Per-thread, per-site accumulators. The owning thread is the only writer;
+/// relaxed atomics let report() read live tables from another thread
+/// without a data race.
+struct SiteStats {
+  std::atomic<std::uint64_t> calls{0};
+  std::atomic<std::uint64_t> total_ns{0};
+  std::atomic<std::uint64_t> max_ns{0};
+};
+/// The calling thread's per-site stats table (indexed by site id). Grows
+/// to cover `id` and returns a reference valid until thread exit.
+SiteStats& tls_stats(std::uint32_t id);
+}  // namespace detail
+
+/// RAII timing scope. Reads the clock only when profiling is enabled at
+/// both entry and exit; a mid-scope flip simply drops that one sample.
+class ProfScope {
+ public:
+  explicit ProfScope(const ProfSite& site) : site_id_{site.id()} {
+    if (enabled()) {
+      armed_ = true;
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+  ~ProfScope() {
+    if (armed_ && enabled()) {
+      auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - start_)
+                    .count();
+      detail::SiteStats& s = detail::tls_stats(site_id_);
+      auto uns = static_cast<std::uint64_t>(ns);
+      s.calls.fetch_add(1, std::memory_order_relaxed);
+      s.total_ns.fetch_add(uns, std::memory_order_relaxed);
+      if (uns > s.max_ns.load(std::memory_order_relaxed)) {
+        s.max_ns.store(uns, std::memory_order_relaxed);
+      }
+    }
+  }
+  ProfScope(const ProfScope&) = delete;
+  ProfScope& operator=(const ProfScope&) = delete;
+
+ private:
+  std::uint32_t site_id_;
+  bool armed_ = false;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// One row of the merged profile report.
+struct ProfEntry {
+  std::string name;
+  std::uint64_t calls = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t max_ns = 0;
+};
+
+/// Merge all threads' tables; rows with zero calls are omitted, remaining
+/// rows sorted by total_ns descending.
+std::vector<ProfEntry> report();
+
+/// Zero every thread's table (quiescent points only).
+void reset();
+
+/// Aligned human-readable table of report() (perf_matrix, examples).
+std::string format_report(const std::vector<ProfEntry>& entries);
+
+}  // namespace bnm::obs::prof
+
+#define BNM_PROF_CONCAT2(a, b) a##b
+#define BNM_PROF_CONCAT(a, b) BNM_PROF_CONCAT2(a, b)
+
+/// Profile the enclosing scope under `name` (a string literal).
+#define BNM_PROF_SCOPE(name)                                          \
+  static const ::bnm::obs::prof::ProfSite BNM_PROF_CONCAT(            \
+      bnm_prof_site_, __LINE__){name};                                \
+  ::bnm::obs::prof::ProfScope BNM_PROF_CONCAT(bnm_prof_scope_,        \
+                                              __LINE__){              \
+      BNM_PROF_CONCAT(bnm_prof_site_, __LINE__)}

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <cassert>
 
+#include "obs/metrics.h"
+
 namespace bnm::sim {
 
 namespace {
@@ -12,18 +14,30 @@ thread_local Arena* t_current = nullptr;
 std::atomic<bool> g_enabled{true};
 
 #ifdef BNM_ARENA_STATS
-std::atomic<std::uint64_t> g_allocations{0};
-std::atomic<std::uint64_t> g_bytes{0};
-std::atomic<std::uint64_t> g_peak{0};
+// Process aggregate lives in the obs metrics registry ("arena.*" in
+// docs/OBSERVABILITY.md); ArenaStats accessors stay the public API. The
+// BNM_ARENA_STATS gate keeps its meaning: compiled out, the instruments
+// are never registered and every accessor reads 0.
+const obs::Counter& allocations_counter() {
+  static const obs::Counter c = obs::MetricsRegistry::instance().counter(
+      "arena.allocations", "allocs", "arena allocations served");
+  return c;
+}
+const obs::Counter& bytes_counter() {
+  static const obs::Counter c = obs::MetricsRegistry::instance().counter(
+      "arena.bytes_served", "bytes", "bytes served from arena chunks");
+  return c;
+}
+const obs::Gauge& peak_gauge() {
+  static const obs::Gauge g = obs::MetricsRegistry::instance().gauge(
+      "arena.peak_bytes", "bytes", "high-water mark of live arena bytes");
+  return g;
+}
 
 void stats_count(std::size_t bytes, std::size_t arena_in_use) {
-  g_allocations.fetch_add(1, std::memory_order_relaxed);
-  g_bytes.fetch_add(bytes, std::memory_order_relaxed);
-  std::uint64_t seen = g_peak.load(std::memory_order_relaxed);
-  while (arena_in_use > seen &&
-         !g_peak.compare_exchange_weak(seen, arena_in_use,
-                                       std::memory_order_relaxed)) {
-  }
+  allocations_counter().add(1);
+  bytes_counter().add(bytes);
+  peak_gauge().record_max(arena_in_use);
 }
 #endif
 
@@ -118,7 +132,7 @@ ArenaScope::~ArenaScope() {
 
 std::uint64_t ArenaStats::allocations() {
 #ifdef BNM_ARENA_STATS
-  return g_allocations.load(std::memory_order_relaxed);
+  return allocations_counter().total();
 #else
   return 0;
 #endif
@@ -126,7 +140,7 @@ std::uint64_t ArenaStats::allocations() {
 
 std::uint64_t ArenaStats::bytes() {
 #ifdef BNM_ARENA_STATS
-  return g_bytes.load(std::memory_order_relaxed);
+  return bytes_counter().total();
 #else
   return 0;
 #endif
@@ -134,7 +148,7 @@ std::uint64_t ArenaStats::bytes() {
 
 std::uint64_t ArenaStats::peak_arena_bytes() {
 #ifdef BNM_ARENA_STATS
-  return g_peak.load(std::memory_order_relaxed);
+  return peak_gauge().max_value();
 #else
   return 0;
 #endif
@@ -142,9 +156,9 @@ std::uint64_t ArenaStats::peak_arena_bytes() {
 
 void ArenaStats::reset() {
 #ifdef BNM_ARENA_STATS
-  g_allocations.store(0, std::memory_order_relaxed);
-  g_bytes.store(0, std::memory_order_relaxed);
-  g_peak.store(0, std::memory_order_relaxed);
+  allocations_counter().reset();
+  bytes_counter().reset();
+  peak_gauge().reset();
 #endif
 }
 

@@ -4,6 +4,9 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/prof.h"
+#include "sim/trace.h"
+
 namespace bnm::sim {
 
 void EventHandle::cancel() {
@@ -35,7 +38,7 @@ void Scheduler::release_block(std::shared_ptr<bool>&& block) {
 void Scheduler::push_entry(TimePoint at, SmallCallback fn,
                            std::shared_ptr<bool> alive) {
   if (at < now_) at = now_;  // never schedule into the past
-  heap_.push_back(Entry{at, next_seq_++, std::move(fn), std::move(alive)});
+  heap_.push_back(Entry{at, next_seq_++, std::move(fn), std::move(alive), now_});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
@@ -70,6 +73,7 @@ void Scheduler::post_after(Duration delay, SmallCallback fn) {
 }
 
 bool Scheduler::step() {
+  BNM_PROF_SCOPE("scheduler.dispatch");
   while (!heap_.empty()) {
     Entry e = pop_entry();
     if (e.alive && !*e.alive) {
@@ -83,6 +87,12 @@ bool Scheduler::step() {
       release_block(std::move(e.alive));
     }
     ++executed_;
+    if (trace_ && trace_->enabled()) {
+      // The span covers the event's queue wait in simulated time: posted at
+      // e.posted, fired at e.at.
+      trace_->emit_span(e.posted, e.at - e.posted, "scheduler", "dispatch",
+                        {{"seq", static_cast<std::int64_t>(e.seq)}});
+    }
     e.fn();
     return true;
   }

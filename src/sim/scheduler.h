@@ -24,6 +24,8 @@
 
 namespace bnm::sim {
 
+class Trace;
+
 /// A cancellation token for a scheduled event. Default-constructed handles
 /// are inert. Handles are cheap to copy; cancelling any copy cancels the
 /// event.
@@ -83,12 +85,18 @@ class Scheduler {
   /// Outstanding handles for dropped events report !pending().
   void clear();
 
+  /// Attach a trace (owned elsewhere, e.g. the Simulation): when it is
+  /// enabled, step() emits a "dispatch" span per event covering its queue
+  /// wait [posted, fired) in simulated time.
+  void set_trace(Trace* trace) { trace_ = trace; }
+
  private:
   struct Entry {
     TimePoint at;
     std::uint64_t seq;
     SmallCallback fn;
     std::shared_ptr<bool> alive;  ///< null => fire-and-forget (always live)
+    TimePoint posted;             ///< when the entry was queued
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
@@ -108,6 +116,7 @@ class Scheduler {
   TimePoint now_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  Trace* trace_ = nullptr;
 };
 
 }  // namespace bnm::sim

@@ -13,7 +13,11 @@ namespace bnm::sim {
 
 class Simulation {
  public:
-  explicit Simulation(std::uint64_t seed = 1) : root_rng_{seed} {}
+  explicit Simulation(std::uint64_t seed = 1) : root_rng_{seed} {
+    // Dispatch spans ("scheduler"/"dispatch") fire only while the trace is
+    // enabled; wiring the pointer up front costs nothing otherwise.
+    scheduler_.set_trace(&trace_);
+  }
 
   Scheduler& scheduler() { return scheduler_; }
   const Scheduler& scheduler() const { return scheduler_; }

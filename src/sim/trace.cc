@@ -2,18 +2,91 @@
 
 namespace bnm::sim {
 
+const TraceAttr* TraceRecord::attr(std::string_view key) const {
+  for (const TraceAttr& a : attrs) {
+    if (a.key == key) return &a;
+  }
+  return nullptr;
+}
+
+const TraceRecord& TraceView::operator[](std::size_t i) const {
+  return trace_->records()[idx_[i]];
+}
+
+bool TraceView::contains(std::string_view needle) const {
+  for (std::size_t i : idx_) {
+    if (trace_->records()[i].message.find(needle) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+const TraceRecord& TraceView::iterator::operator*() const {
+  return trace_->records()[*pos_];
+}
+
+TraceView::iterator TraceView::begin() const {
+  return iterator{trace_, idx_.data()};
+}
+
+TraceView::iterator TraceView::end() const {
+  return iterator{trace_, idx_.data() + idx_.size()};
+}
+
+void Trace::push(TraceRecord rec) {
+  if (sink_) sink_(rec);
+  std::size_t idx = records_.size();
+  by_component_[rec.component].push_back(idx);
+  for (const TraceAttr& a : rec.attrs) by_attr_key_[a.key].push_back(idx);
+  records_.push_back(std::move(rec));
+}
+
 void Trace::emit(TimePoint at, std::string component, std::string message) {
   if (!enabled_) return;
-  TraceRecord rec{at, std::move(component), std::move(message)};
-  if (sink_) sink_(rec);
-  records_.push_back(std::move(rec));
+  push(TraceRecord{at, std::move(component), std::move(message),
+                   TraceEventKind::kInstant, Duration::zero(), {}});
+}
+
+void Trace::emit_instant(TimePoint at, std::string component,
+                         std::string message, std::vector<TraceAttr> attrs) {
+  if (!enabled_) return;
+  push(TraceRecord{at, std::move(component), std::move(message),
+                   TraceEventKind::kInstant, Duration::zero(),
+                   std::move(attrs)});
+}
+
+void Trace::emit_span(TimePoint at, Duration duration, std::string component,
+                      std::string message, std::vector<TraceAttr> attrs) {
+  if (!enabled_) return;
+  push(TraceRecord{at, std::move(component), std::move(message),
+                   TraceEventKind::kSpan, duration, std::move(attrs)});
+}
+
+void Trace::clear() {
+  records_.clear();
+  by_component_.clear();
+  by_attr_key_.clear();
+}
+
+TraceView Trace::view_by_component(const std::string& component) const {
+  auto it = by_component_.find(component);
+  if (it == by_component_.end()) return TraceView{this, {}};
+  return TraceView{this, it->second};
+}
+
+TraceView Trace::view_by_attr(const std::string& key) const {
+  auto it = by_attr_key_.find(key);
+  if (it == by_attr_key_.end()) return TraceView{this, {}};
+  return TraceView{this, it->second};
 }
 
 std::vector<TraceRecord> Trace::by_component(const std::string& component) const {
   std::vector<TraceRecord> out;
-  for (const auto& r : records_) {
-    if (r.component == component) out.push_back(r);
-  }
+  auto it = by_component_.find(component);
+  if (it == by_component_.end()) return out;
+  out.reserve(it->second.size());
+  for (std::size_t i : it->second) out.push_back(records_[i]);
   return out;
 }
 

@@ -1,22 +1,89 @@
-// Lightweight structured trace log for the testbed.
+// Structured trace log for the testbed.
 //
-// Components emit (time, component, message) records; tests and diagnostic
-// tools inspect them, and examples can stream them to stderr. Tracing is
-// off by default so experiment hot paths pay one branch.
+// Components emit records carrying a simulated timestamp, a component
+// label, a message, an event kind (instant or span), an optional duration
+// (spans), and typed key/value attributes. Tests and diagnostic tools
+// inspect them in-process; obs::trace (src/obs/trace_export.h) exports a
+// whole trace to JSON-lines or Chrome trace_event format for Perfetto.
+// Tracing is off by default so experiment hot paths pay one branch.
+//
+// Event vocabulary and the export formats are documented in
+// docs/OBSERVABILITY.md.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
+#include <string_view>
+#include <unordered_map>
+#include <variant>
 #include <vector>
 
 #include "sim/time.h"
 
 namespace bnm::sim {
 
+enum class TraceEventKind : std::uint8_t {
+  kInstant,  ///< a point event ("packet dropped")
+  kSpan,     ///< a region with a duration ("scheduler dispatch", "link hop")
+};
+
+/// One typed key/value annotation on a record.
+struct TraceAttr {
+  std::string key;
+  std::variant<std::string, std::int64_t, double, bool> value;
+};
+
 struct TraceRecord {
   TimePoint at;
   std::string component;
   std::string message;
+  TraceEventKind kind = TraceEventKind::kInstant;
+  Duration duration = Duration::zero();  ///< spans only
+  std::vector<TraceAttr> attrs;
+
+  /// Attribute value by key, or nullptr.
+  const TraceAttr* attr(std::string_view key) const;
+};
+
+class Trace;
+
+/// Non-owning filtered view over a Trace: a list of record indexes produced
+/// by the trace's component/attribute indexes. Replaces the copy-returning
+/// Trace::by_component for new code — no records are copied, and membership
+/// checks use the index rather than a full scan. Invalidated by
+/// emit/clear on the underlying trace, like any iterator.
+class TraceView {
+ public:
+  std::size_t size() const { return idx_.size(); }
+  bool empty() const { return idx_.empty(); }
+  const TraceRecord& operator[](std::size_t i) const;
+  /// True if any record in the view's message contains `needle`.
+  bool contains(std::string_view needle) const;
+
+  class iterator {
+   public:
+    iterator(const Trace* t, const std::size_t* p) : trace_{t}, pos_{p} {}
+    const TraceRecord& operator*() const;
+    iterator& operator++() {
+      ++pos_;
+      return *this;
+    }
+    bool operator!=(const iterator& o) const { return pos_ != o.pos_; }
+
+   private:
+    const Trace* trace_;
+    const std::size_t* pos_;
+  };
+  iterator begin() const;
+  iterator end() const;
+
+ private:
+  friend class Trace;
+  TraceView(const Trace* trace, std::vector<std::size_t> idx)
+      : trace_{trace}, idx_{std::move(idx)} {}
+  const Trace* trace_;
+  std::vector<std::size_t> idx_;
 };
 
 /// Collects trace records; optionally mirrors them to a sink callback.
@@ -31,20 +98,43 @@ class Trace {
     sink_ = std::move(sink);
   }
 
+  /// Legacy entry point: an instant event with no attributes.
   void emit(TimePoint at, std::string component, std::string message);
 
-  const std::vector<TraceRecord>& records() const { return records_; }
-  void clear() { records_.clear(); }
+  /// A point event with attributes.
+  void emit_instant(TimePoint at, std::string component, std::string message,
+                    std::vector<TraceAttr> attrs = {});
 
-  /// Records whose component matches `component` exactly.
+  /// A region [at, at + duration) in simulated time, with attributes.
+  void emit_span(TimePoint at, Duration duration, std::string component,
+                 std::string message, std::vector<TraceAttr> attrs = {});
+
+  const std::vector<TraceRecord>& records() const { return records_; }
+  void clear();
+
+  /// Index-backed view of records whose component matches exactly. O(1)
+  /// lookup, no copies; invalidated by emit/clear.
+  TraceView view_by_component(const std::string& component) const;
+  /// Index-backed view of records carrying attribute `key` (any value).
+  TraceView view_by_attr(const std::string& key) const;
+
+  /// DEPRECATED: copies every matching record — kept for existing callers;
+  /// new code should use view_by_component(). Backed by the component
+  /// index, so only the matches are copied (no full scan).
   std::vector<TraceRecord> by_component(const std::string& component) const;
   /// True if any record's message contains `needle`.
   bool contains(const std::string& needle) const;
 
  private:
+  void push(TraceRecord rec);
+
   bool enabled_ = false;
   std::function<void(const TraceRecord&)> sink_;
   std::vector<TraceRecord> records_;
+  // Built as records are emitted (emission is already the slow, opt-in
+  // path); queries never scan the record list.
+  std::unordered_map<std::string, std::vector<std::size_t>> by_component_;
+  std::unordered_map<std::string, std::vector<std::size_t>> by_attr_key_;
 };
 
 }  // namespace bnm::sim

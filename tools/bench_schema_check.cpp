@@ -1,0 +1,335 @@
+// Validates emitted BENCH_*.json files against the schemas documented in
+// docs/BENCH_SCHEMAS.md. scripts/check.sh runs this after the benches:
+// unknown fields, missing required fields, and type mismatches all fail
+// the check, so the documented schema and the emitters cannot drift apart
+// silently.
+//
+//   bench_schema_check BENCH_perf_matrix.json BENCH_obs_overhead.json ...
+//
+// The schema each file is checked against is chosen by its basename.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace {
+
+using bnm::obs::json::Value;
+
+// A field type in the schema tree. kNumber accepts integers too (printf
+// emitters write "0" for a zero double); kInt does not accept doubles.
+enum class FieldType { kInt, kNumber, kBool, kString, kObject, kArray };
+
+struct Field {
+  const char* name;
+  FieldType type;
+  bool required = true;
+  std::vector<Field> children;  // kObject: members; kArray: element schema
+};
+
+bool type_matches(const Value& v, FieldType t) {
+  switch (t) {
+    case FieldType::kInt: return v.is_int();
+    case FieldType::kNumber: return v.is_number();
+    case FieldType::kBool: return v.is_bool();
+    case FieldType::kString: return v.is_string();
+    case FieldType::kObject: return v.is_object();
+    case FieldType::kArray: return v.is_array();
+  }
+  return false;
+}
+
+const char* type_name(FieldType t) {
+  switch (t) {
+    case FieldType::kInt: return "integer";
+    case FieldType::kNumber: return "number";
+    case FieldType::kBool: return "bool";
+    case FieldType::kString: return "string";
+    case FieldType::kObject: return "object";
+    case FieldType::kArray: return "array";
+  }
+  return "?";
+}
+
+int g_errors = 0;
+
+void error(const std::string& where, const std::string& what) {
+  std::fprintf(stderr, "schema: %s: %s\n", where.c_str(), what.c_str());
+  ++g_errors;
+}
+
+void check_object(const Value& v, const std::vector<Field>& fields,
+                  const std::string& where);
+
+void check_field(const Value& v, const Field& f, const std::string& where) {
+  if (!type_matches(v, f.type)) {
+    error(where, std::string{"expected "} + type_name(f.type));
+    return;
+  }
+  if (f.type == FieldType::kObject) {
+    check_object(v, f.children, where);
+  } else if (f.type == FieldType::kArray && !f.children.empty()) {
+    const Field& elem = f.children.front();
+    for (std::size_t i = 0; i < v.items().size(); ++i) {
+      check_field(v.items()[i], elem, where + "[" + std::to_string(i) + "]");
+    }
+  }
+}
+
+void check_object(const Value& v, const std::vector<Field>& fields,
+                  const std::string& where) {
+  for (const auto& [key, member] : v.members()) {
+    const Field* match = nullptr;
+    for (const Field& f : fields) {
+      if (key == f.name) {
+        match = &f;
+        break;
+      }
+    }
+    if (!match) {
+      error(where, "unknown field \"" + key + "\"");
+      continue;
+    }
+    check_field(member, *match, where + "." + key);
+  }
+  for (const Field& f : fields) {
+    if (f.required && !v.find(f.name)) {
+      error(where, std::string{"missing required field \""} + f.name + "\"");
+    }
+  }
+}
+
+// ---- Schemas (docs/BENCH_SCHEMAS.md is the prose counterpart) ----------
+
+std::vector<Field> perf_matrix_schema() {
+  return {
+      {"hardware_concurrency", FieldType::kInt, true, {}},
+      {"matrix",
+       FieldType::kObject,
+       true,
+       {
+           {"cells", FieldType::kInt, true, {}},
+           {"runs_per_cell", FieldType::kInt, true, {}},
+           {"jobs", FieldType::kInt, true, {}},
+           {"serial_ms", FieldType::kNumber, true, {}},
+           {"parallel_ms", FieldType::kNumber, true, {}},
+           {"speedup", FieldType::kNumber, true, {}},
+           {"parallel_meaningful", FieldType::kBool, true, {}},
+           {"parallel_note", FieldType::kString, false, {}},
+           {"identical", FieldType::kBool, true, {}},
+           {"arena",
+            FieldType::kObject,
+            true,
+            {
+                {"stats_compiled", FieldType::kBool, true, {}},
+                {"allocs_avoided", FieldType::kInt, true, {}},
+                {"bytes_served", FieldType::kInt, true, {}},
+                {"peak_arena_bytes", FieldType::kInt, true, {}},
+                {"off_serial_ms", FieldType::kNumber, true, {}},
+                {"identical_on_off", FieldType::kBool, true, {}},
+            }},
+       }},
+      {"capture_scan",
+       FieldType::kObject,
+       true,
+       {
+           {"records", FieldType::kInt, true, {}},
+           {"window_lookups", FieldType::kInt, true, {}},
+           {"linear_ms", FieldType::kNumber, true, {}},
+           {"indexed_ms", FieldType::kNumber, true, {}},
+           {"speedup", FieldType::kNumber, true, {}},
+       }},
+      {"scheduler",
+       FieldType::kObject,
+       true,
+       {
+           {"events", FieldType::kInt, true, {}},
+           {"schedule_ns_per_event", FieldType::kNumber, true, {}},
+           {"post_ns_per_event", FieldType::kNumber, true, {}},
+           {"pooled_control_blocks", FieldType::kInt, true, {}},
+       }},
+      {"profile",
+       FieldType::kArray,
+       false,
+       {
+           {"",
+            FieldType::kObject,
+            true,
+            {
+                {"site", FieldType::kString, true, {}},
+                {"calls", FieldType::kInt, true, {}},
+                {"total_ms", FieldType::kNumber, true, {}},
+                {"avg_us", FieldType::kNumber, true, {}},
+                {"max_us", FieldType::kNumber, true, {}},
+            }},
+       }},
+  };
+}
+
+std::vector<Field> copy_counts() {
+  return {
+      {"deep_copy_bytes", FieldType::kInt, true, {}},
+      {"aliased_bytes", FieldType::kInt, true, {}},
+      {"old_design_bytes", FieldType::kInt, true, {}},
+      {"buffers_allocated", FieldType::kInt, true, {}},
+      {"copy_reduction", FieldType::kNumber, true, {}},
+  };
+}
+
+std::vector<Field> payload_copy_schema() {
+  std::vector<Field> tcp_bulk = {
+      {"transfer_bytes", FieldType::kInt, true, {}},
+      {"echoed_bytes", FieldType::kInt, true, {}},
+  };
+  std::vector<Field> probe_matrix = {
+      {"cells", FieldType::kInt, true, {}},
+      {"runs_per_cell", FieldType::kInt, true, {}},
+  };
+  for (Field& f : copy_counts()) {
+    tcp_bulk.push_back(f);
+    probe_matrix.push_back(f);
+  }
+  return {
+      {"tcp_bulk", FieldType::kObject, true, std::move(tcp_bulk)},
+      {"probe_matrix", FieldType::kObject, true, std::move(probe_matrix)},
+      {"handoff",
+       FieldType::kObject,
+       true,
+       {
+           {"payload_bytes", FieldType::kInt, true, {}},
+           {"handoffs", FieldType::kInt, true, {}},
+           {"alias_ns_per_packet", FieldType::kNumber, true, {}},
+           {"deep_copy_ns_per_packet", FieldType::kNumber, true, {}},
+       }},
+  };
+}
+
+std::vector<Field> fault_overhead_schema() {
+  return {
+      {"pipeline",
+       FieldType::kObject,
+       true,
+       {
+           {"packets", FieldType::kInt, true, {}},
+           {"direct_ns_per_packet", FieldType::kNumber, true, {}},
+           {"disabled_ns_per_packet", FieldType::kNumber, true, {}},
+           {"active_ns_per_packet", FieldType::kNumber, true, {}},
+       }},
+      {"experiment",
+       FieldType::kObject,
+       true,
+       {
+           {"cells", FieldType::kInt, true, {}},
+           {"runs_per_cell", FieldType::kInt, true, {}},
+           {"best_of", FieldType::kInt, true, {}},
+           {"baseline_ms", FieldType::kNumber, true, {}},
+           {"disabled_ms", FieldType::kNumber, true, {}},
+           {"overhead_percent", FieldType::kNumber, true, {}},
+           {"identical", FieldType::kBool, true, {}},
+       }},
+  };
+}
+
+std::vector<Field> obs_overhead_schema() {
+  return {
+      {"micro",
+       FieldType::kObject,
+       true,
+       {
+           {"iters", FieldType::kInt, true, {}},
+           {"raw_add_ns", FieldType::kNumber, true, {}},
+           {"counter_add_ns", FieldType::kNumber, true, {}},
+           {"profscope_disabled_ns", FieldType::kNumber, true, {}},
+           {"profscope_enabled_ns", FieldType::kNumber, true, {}},
+           {"trace_emit_disabled_ns", FieldType::kNumber, true, {}},
+       }},
+      {"experiment",
+       FieldType::kObject,
+       true,
+       {
+           {"cells", FieldType::kInt, true, {}},
+           {"runs_per_cell", FieldType::kInt, true, {}},
+           {"best_of", FieldType::kInt, true, {}},
+           {"disabled_ms", FieldType::kNumber, true, {}},
+           {"enabled_ms", FieldType::kNumber, true, {}},
+           {"measured_overhead_percent", FieldType::kNumber, true, {}},
+           {"profiled_scope_entries", FieldType::kInt, true, {}},
+           {"est_disabled_overhead_percent", FieldType::kNumber, true, {}},
+           {"identical", FieldType::kBool, true, {}},
+       }},
+      {"registry",
+       FieldType::kObject,
+       true,
+       {
+           {"metrics", FieldType::kInt, true, {}},
+           {"snapshot_bytes", FieldType::kInt, true, {}},
+           {"snapshot_identical", FieldType::kBool, true, {}},
+       }},
+  };
+}
+
+const char* basename_of(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash ? slash + 1 : path;
+}
+
+int check_file(const char* path) {
+  const char* base = basename_of(path);
+  std::vector<Field> schema;
+  if (!std::strcmp(base, "BENCH_perf_matrix.json")) {
+    schema = perf_matrix_schema();
+  } else if (!std::strcmp(base, "BENCH_payload_copy.json")) {
+    schema = payload_copy_schema();
+  } else if (!std::strcmp(base, "BENCH_fault_overhead.json")) {
+    schema = fault_overhead_schema();
+  } else if (!std::strcmp(base, "BENCH_obs_overhead.json")) {
+    schema = obs_overhead_schema();
+  } else {
+    std::fprintf(stderr, "schema: no schema registered for %s\n", base);
+    return 1;
+  }
+
+  std::ifstream in{path};
+  if (!in) {
+    std::fprintf(stderr, "schema: cannot read %s\n", path);
+    return 1;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+
+  std::string parse_error;
+  auto doc = bnm::obs::json::parse(ss.str(), &parse_error);
+  if (!doc) {
+    std::fprintf(stderr, "schema: %s: parse failed: %s\n", path,
+                 parse_error.c_str());
+    return 1;
+  }
+  if (!doc->is_object()) {
+    std::fprintf(stderr, "schema: %s: top level is not an object\n", path);
+    return 1;
+  }
+
+  int before = g_errors;
+  check_object(*doc, schema, base);
+  if (g_errors == before) {
+    std::printf("schema: %s OK\n", base);
+    return 0;
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: bench_schema_check BENCH_*.json...\n");
+    return 2;
+  }
+  int rc = 0;
+  for (int i = 1; i < argc; ++i) rc |= check_file(argv[i]);
+  return rc;
+}

@@ -1,11 +1,15 @@
 // Performance harness for the experiment pipeline. Three sections:
 //
 //   1. Full Figure-3 matrix, serial (jobs=1) vs parallel (--jobs, default
-//      all cores), with a byte-identity check between the two result sets.
+//      all cores), with byte-identity checks between the result sets —
+//      including a pass on the binary-heap reference queue, which must
+//      match the calendar queue bit-for-bit across all 88 cells.
 //   2. Capture window extraction: linear scan (the old
 //      network_rtt_in_window behaviour) vs first_index_at_or_after.
 //   3. Scheduler event throughput: cancellable schedule_at path (pooled
-//      control blocks) vs fire-and-forget post_at path.
+//      control blocks) vs fire-and-forget post_at path, calendar-vs-heap
+//      and batched-vs-stepwise sub-benches, and the events/sec headline
+//      the Release kernel gate (scripts/check.sh) enforces a floor on.
 //
 // Emits BENCH_perf_matrix.json in the working directory so CI (or a human)
 // can track the numbers. The speedup section reports whatever the host
@@ -13,6 +17,7 @@
 // harness says so instead of failing.
 //
 //   $ perf_matrix [--runs=N] [--jobs=N]   (default 12 runs per cell)
+#include <algorithm>
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
@@ -23,6 +28,7 @@
 #include "obs/prof.h"
 #include "net/capture.h"
 #include "sim/arena.h"
+#include "sim/scheduler.h"
 #include "sim/simulation.h"
 
 using namespace bnm;
@@ -89,6 +95,10 @@ struct MatrixTimings {
   // bit-identical, and its wall clock shows what the arena buys.
   double arena_off_serial_ms = 0;
   bool arena_identical = true;
+  // Reference pass on the binary-heap queue: the calendar queue must be a
+  // pure speedup, invisible in every sample of every cell.
+  double heap_serial_ms = 0;
+  bool queue_identical = true;
   double speedup() const {
     return parallel_ms > 0 ? serial_ms / parallel_ms : 0.0;
   }
@@ -144,6 +154,17 @@ MatrixTimings bench_matrix(int runs, int jobs_flag) {
   t.arena_off_serial_ms = ms_between(a0, a1);
   std::printf("%8.1f ms\n", t.arena_off_serial_ms);
 
+  // Reference pass: every scheduler in the process runs the binary heap.
+  std::printf("  heap queue (jobs=1) .. ");
+  std::fflush(stdout);
+  sim::Scheduler::set_default_impl(sim::Scheduler::QueueImpl::kHeap);
+  const auto q0 = Clock::now();
+  const auto heap_ref = core::run_matrix(cells, 1);
+  const auto q1 = Clock::now();
+  sim::Scheduler::set_default_impl(sim::Scheduler::QueueImpl::kCalendar);
+  t.heap_serial_ms = ms_between(q0, q1);
+  std::printf("%8.1f ms\n", t.heap_serial_ms);
+
   for (std::size_t i = 0; i < cells.size(); ++i) {
     if (!identical(serial[i], parallel[i])) {
       t.identical = false;
@@ -157,9 +178,17 @@ MatrixTimings bench_matrix(int runs, int jobs_flag) {
                   i, serial[i].case_label.c_str(),
                   serial[i].method_name.c_str());
     }
+    if (!identical(serial[i], heap_ref[i])) {
+      t.queue_identical = false;
+      std::printf("  !! cell %zu (%s %s) differs between calendar and heap\n",
+                  i, serial[i].case_label.c_str(),
+                  serial[i].method_name.c_str());
+    }
   }
-  std::printf("  results byte-identical: %s (arena on/off: %s)\n",
-              t.identical ? "yes" : "NO", t.arena_identical ? "yes" : "NO");
+  std::printf(
+      "  results byte-identical: %s (arena on/off: %s, calendar/heap: %s)\n",
+      t.identical ? "yes" : "NO", t.arena_identical ? "yes" : "NO",
+      t.queue_identical ? "yes" : "NO");
   if (t.arena_stats_compiled) {
     std::printf("  arena: %" PRIu64 " allocs avoided, %" PRIu64
                 " bytes served, peak %" PRIu64 " bytes\n",
@@ -250,19 +279,51 @@ struct SchedulerTimings {
   double handle_ns_per_event = 0;
   double post_ns_per_event = 0;
   std::size_t pooled_blocks = 0;
+  // Calendar-vs-heap sub-bench: identical spread workload on both queues.
+  double calendar_ns_per_event = 0;
+  double heap_ns_per_event = 0;
+  // Batched-vs-stepwise sub-bench: same calendar queue, run() (whole-bucket
+  // batches) vs a step() loop (one event per queue touch).
+  double batched_ns_per_event = 0;
+  double stepwise_ns_per_event = 0;
+  double queue_speedup() const {
+    return calendar_ns_per_event > 0
+               ? heap_ns_per_event / calendar_ns_per_event
+               : 0.0;
+  }
+  double batch_speedup() const {
+    return batched_ns_per_event > 0
+               ? stepwise_ns_per_event / batched_ns_per_event
+               : 0.0;
+  }
+  /// Headline throughput: the cancellable schedule_after path (the one the
+  /// experiment pipeline leans on; 238.9 ns/event on the PR-5 heap).
+  double events_per_sec() const {
+    return handle_ns_per_event > 0 ? 1e9 / handle_ns_per_event : 0.0;
+  }
 };
 
 SchedulerTimings bench_scheduler() {
   SchedulerTimings t;
   constexpr std::size_t kEvents = 200000;
   constexpr std::size_t kBatch = 1000;  // queue depth per drain cycle
+  constexpr int kPasses = 3;            // best-of, to shrug off host jitter
   t.events = kEvents;
 
   volatile std::uint64_t sink = 0;
 
-  // Cancellable path: every event carries a control block; the pool should
-  // keep allocations to ~queue-depth after the first batch.
-  {
+  // Every section reports the minimum of kPasses passes: at ~100 ns/event a
+  // single pass is at the mercy of VM steal time, and the floor gate in
+  // scripts/check.sh needs the machine's speed, not the hypervisor's mood.
+  const auto best_of = [](auto&& pass) {
+    double best = pass();  // first pass doubles as warm-up
+    for (int i = 0; i < kPasses; ++i) best = std::min(best, pass());
+    return best;
+  };
+
+  // Cancellable path: every event carries a pooled control block; steady
+  // state is allocation-free (tests/test_kernel_alloc.cpp).
+  t.handle_ns_per_event = best_of([&] {
     sim::Scheduler sched;
     const auto h0 = Clock::now();
     for (std::size_t done = 0; done < kEvents; done += kBatch) {
@@ -273,12 +334,12 @@ SchedulerTimings bench_scheduler() {
       sched.run();
     }
     const auto h1 = Clock::now();
-    t.handle_ns_per_event = ms_between(h0, h1) * 1e6 / kEvents;
     t.pooled_blocks = sched.pooled_control_blocks();
-  }
+    return ms_between(h0, h1) * 1e6 / kEvents;
+  });
 
   // Fire-and-forget path: no control blocks at all.
-  {
+  t.post_ns_per_event = best_of([&] {
     sim::Scheduler sched;
     const auto p0 = Clock::now();
     for (std::size_t done = 0; done < kEvents; done += kBatch) {
@@ -289,14 +350,50 @@ SchedulerTimings bench_scheduler() {
       sched.run();
     }
     const auto p1 = Clock::now();
-    t.post_ns_per_event = ms_between(p0, p1) * 1e6 / kEvents;
-  }
+    return ms_between(p0, p1) * 1e6 / kEvents;
+  });
+
+  // Calendar vs heap, batched vs stepwise: the same spread workload (1000
+  // events across ~1 ms, i.e. ~16 calendar buckets per drain cycle) so the
+  // calendar actually pays its promotion/sort costs.
+  const auto drive = [&sink](sim::Scheduler::QueueImpl impl, bool batched) {
+    sim::Scheduler sched{impl};
+    const auto t0 = Clock::now();
+    for (std::size_t done = 0; done < kEvents; done += kBatch) {
+      for (std::size_t i = 0; i < kBatch; ++i) {
+        sched.post_after(sim::Duration::micros(static_cast<std::int64_t>(i)),
+                         [&sink] { sink = sink + 1; });
+      }
+      if (batched) {
+        sched.run();
+      } else {
+        while (sched.step()) {
+        }
+      }
+    }
+    return ms_between(t0, Clock::now()) * 1e6 / kEvents;
+  };
+  t.calendar_ns_per_event =
+      best_of([&] { return drive(sim::Scheduler::QueueImpl::kCalendar, true); });
+  t.heap_ns_per_event =
+      best_of([&] { return drive(sim::Scheduler::QueueImpl::kHeap, true); });
+  t.batched_ns_per_event = t.calendar_ns_per_event;
+  t.stepwise_ns_per_event = best_of(
+      [&] { return drive(sim::Scheduler::QueueImpl::kCalendar, false); });
 
   std::printf("scheduler: %zu events, batches of %zu\n", t.events, kBatch);
-  std::printf("  schedule_after     ... %8.1f ns/event  (%zu pooled blocks)\n",
-              t.handle_ns_per_event, t.pooled_blocks);
+  std::printf("  schedule_after     ... %8.1f ns/event  (%zu pooled blocks, "
+              "%.2fM events/s)\n",
+              t.handle_ns_per_event, t.pooled_blocks,
+              t.events_per_sec() / 1e6);
   std::printf("  post_after         ... %8.1f ns/event\n",
               t.post_ns_per_event);
+  std::printf("  calendar (batched) ... %8.1f ns/event\n",
+              t.calendar_ns_per_event);
+  std::printf("  heap reference     ... %8.1f ns/event   (calendar %.2fx)\n",
+              t.heap_ns_per_event, t.queue_speedup());
+  std::printf("  stepwise dispatch  ... %8.1f ns/event   (batched %.2fx)\n",
+              t.stepwise_ns_per_event, t.batch_speedup());
   return t;
 }
 
@@ -363,6 +460,11 @@ void write_json(const char* path, unsigned hw, const MatrixTimings& m,
   std::fprintf(f, "      \"off_serial_ms\": %.3f,\n", m.arena_off_serial_ms);
   std::fprintf(f, "      \"identical_on_off\": %s\n",
                m.arena_identical ? "true" : "false");
+  std::fprintf(f, "    },\n");
+  std::fprintf(f, "    \"queue\": {\n");
+  std::fprintf(f, "      \"heap_serial_ms\": %.3f,\n", m.heap_serial_ms);
+  std::fprintf(f, "      \"identical_calendar_heap\": %s\n",
+               m.queue_identical ? "true" : "false");
   std::fprintf(f, "    }\n");
   std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"capture_scan\": {\n");
@@ -377,6 +479,16 @@ void write_json(const char* path, unsigned hw, const MatrixTimings& m,
   std::fprintf(f, "    \"schedule_ns_per_event\": %.1f,\n",
                s.handle_ns_per_event);
   std::fprintf(f, "    \"post_ns_per_event\": %.1f,\n", s.post_ns_per_event);
+  std::fprintf(f, "    \"events_per_sec\": %.0f,\n", s.events_per_sec());
+  std::fprintf(f, "    \"calendar_ns_per_event\": %.1f,\n",
+               s.calendar_ns_per_event);
+  std::fprintf(f, "    \"heap_ns_per_event\": %.1f,\n", s.heap_ns_per_event);
+  std::fprintf(f, "    \"queue_speedup\": %.2f,\n", s.queue_speedup());
+  std::fprintf(f, "    \"batched_ns_per_event\": %.1f,\n",
+               s.batched_ns_per_event);
+  std::fprintf(f, "    \"stepwise_ns_per_event\": %.1f,\n",
+               s.stepwise_ns_per_event);
+  std::fprintf(f, "    \"batch_speedup\": %.2f,\n", s.batch_speedup());
   std::fprintf(f, "    \"pooled_control_blocks\": %zu\n", s.pooled_blocks);
   std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"profile\": [\n");
@@ -426,6 +538,11 @@ int main(int argc, char** argv) {
   }
   if (!m.arena_identical) {
     std::fprintf(stderr, "FAIL: arena-off results differ from arena-on\n");
+    return 1;
+  }
+  if (!m.queue_identical) {
+    std::fprintf(stderr,
+                 "FAIL: heap-queue results differ from calendar-queue\n");
     return 1;
   }
   if (!m.parallel_meaningful() || hw < 4) {

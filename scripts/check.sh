@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus an AddressSanitizer pass, a perf gate and the
-# observability gates (obs tests, obs_overhead A/B, bench-JSON schemas).
+# Tier-1 verification plus an AddressSanitizer pass, a perf gate, the
+# observability gates (obs tests, obs_overhead A/B, bench-JSON schemas) and
+# the Release kernel gate (calendar-vs-heap bit-identity across the full
+# matrix + a scheduler events/sec floor).
 #
 #   scripts/check.sh          # full: plain build + ctest, ASan build + ctest,
 #                             # then Release perf_matrix (arena A/B gate) and
@@ -51,6 +53,9 @@ ctest --test-dir build -L perf --output-on-failure
 step "obs: ctest (-L obs)"
 ctest --test-dir build -L obs --output-on-failure
 
+step "kernel: ctest (-L kernel)"
+ctest --test-dir build -L kernel --output-on-failure
+
 if [[ "$FAST" == 1 ]]; then
   echo
   echo "check.sh: tier-1 OK (ASan and perf passes skipped with --fast)"
@@ -62,7 +67,7 @@ step "asan: configure (BNM_SANITIZE=address)"
 cmake -B build-asan -S . $(gen_for build-asan) -DBNM_SANITIZE=address
 
 step "asan: build tests"
-cmake --build build-asan -j --target bnm_tests bnm_fault_tests bnm_perf_tests bnm_obs_tests
+cmake --build build-asan -j --target bnm_tests bnm_fault_tests bnm_perf_tests bnm_obs_tests bnm_kernel_tests
 
 step "asan: ctest"
 ctest --test-dir build-asan --output-on-failure
@@ -87,6 +92,30 @@ if ! grep -q '"identical": true' build-release/BENCH_perf_matrix.json; then
   echo "check.sh: FAIL — serial/parallel results are not identical" >&2
   exit 1
 fi
+
+step "kernel: Release gate (calendar/heap identity + throughput floor)"
+# The calendar queue must reproduce the binary-heap reference bit-for-bit
+# across the full 88-cell matrix, and the cancellable schedule_after path
+# must hold a Release-mode throughput floor (the PR-5 heap measured
+# ~4.2M events/s; the calendar queue should stay comfortably above 3x that
+# on any host this runs on).
+if ! grep -q '"identical_calendar_heap": true' build-release/BENCH_perf_matrix.json; then
+  echo "check.sh: FAIL — calendar-queue results differ from the heap reference" >&2
+  exit 1
+fi
+EV_FLOOR=12000000
+EV_PER_SEC=$(sed -n 's/.*"events_per_sec": *\([0-9][0-9.]*\).*/\1/p' \
+  build-release/BENCH_perf_matrix.json | head -n1)
+if [[ -z "$EV_PER_SEC" ]]; then
+  echo "check.sh: FAIL — events_per_sec missing from BENCH_perf_matrix.json" >&2
+  exit 1
+fi
+if ! awk -v v="$EV_PER_SEC" -v floor="$EV_FLOOR" \
+    'BEGIN { exit (v + 0 >= floor) ? 0 : 1 }'; then
+  echo "check.sh: FAIL — scheduler throughput ${EV_PER_SEC} ev/s below floor ${EV_FLOOR}" >&2
+  exit 1
+fi
+echo "kernel gate OK: ${EV_PER_SEC} events/s (floor ${EV_FLOOR}), calendar == heap"
 
 step "obs: bench/obs_overhead --runs=8 (overhead + determinism gates)"
 # obs_overhead exits non-zero itself when the disabled-path overhead

@@ -215,16 +215,17 @@ OverheadSeries Experiment::run() {
     // abandoned at the deadline, a straggler callback must land in heap
     // memory that outlives this loop iteration, not a dead stack frame.
     auto result = std::make_shared<std::optional<methods::MethodRunResult>>();
-    method->run(ctx, [result](methods::MethodRunResult r) {
+    auto done = std::make_shared<bool>(false);
+    method->run(ctx, [result, done](methods::MethodRunResult r) {
       *result = std::move(r);
+      *done = true;
     });
     // Drive the simulation until the method completes. A drained queue
     // with no result surfaces a deadlock; the deadline guards against
     // perpetual event sources (cross traffic) masking one.
     const sim::TimePoint deadline =
         testbed_->sim().now() + config_.sample_deadline;
-    while (!*result && testbed_->sim().now() <= deadline && sched.step()) {
-    }
+    sched.run_while(*done, deadline);
 
     if (!*result) {
       // Deadline expired (or the queue drained without completion): tear

@@ -30,9 +30,24 @@ class PacketSink {
   virtual void handle_packet(Packet packet) = 0;
 };
 
-class Link {
+/// Which end of a duplex link a component sits on.
+enum class LinkSide { kA, kB };
+
+/// Anything a host can transmit through: an in-domain Link or a
+/// cross-domain DomainLink. Hosts hold an Egress* so the same Host code
+/// works whether its peer lives in the same scheduler domain or not.
+class Egress {
  public:
-  enum class Side { kA, kB };
+  virtual ~Egress() = default;
+  /// `sink` receives packets arriving at `side`.
+  virtual void attach(LinkSide side, PacketSink* sink) = 0;
+  /// Enqueue a packet for transmission from `side` toward the other side.
+  virtual void transmit(LinkSide side, Packet packet) = 0;
+};
+
+class Link final : public Egress {
+ public:
+  using Side = LinkSide;  ///< compat alias; call sites say Link::Side::kA
 
   struct Config {
     double bandwidth_bps = 100e6;  ///< 100 Mbps Fast Ethernet (paper testbed)
@@ -47,12 +62,14 @@ class Link {
 
   Link(sim::Simulation& sim, Config config);
 
-  void attach(Side side, PacketSink* sink);
+  void attach(Side side, PacketSink* sink) override;
 
-  /// Enqueue a packet for transmission from `from` toward the other side.
-  void transmit(Side side, Packet packet);
+  void transmit(Side side, Packet packet) override;
 
   const Config& config() const { return config_; }
+  /// Propagation delay doubles as the conservative lookahead bound when the
+  /// link is the cut point of a domain partition.
+  sim::Duration lookahead() const { return config_.propagation; }
   std::uint64_t drops(Side side) const;
   std::uint64_t delivered(Side side) const;
 

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstring>
 #include <new>
 #include <type_traits>
 #include <utility>
@@ -64,38 +65,49 @@ class SmallCallback {
   struct Ops {
     void (*call)(void* buf);
     /// Move-construct into `dst` from `src` and destroy the source.
+    /// nullptr means "memcpy the whole buffer" — the fast path for
+    /// trivially-copyable callables (and the heap cell's pointer), which
+    /// queue moves hit constantly.
     void (*relocate)(void* dst, void* src) noexcept;
+    /// nullptr means trivially destructible: nothing to run.
     void (*destroy)(void* buf) noexcept;
     bool inline_storage;
   };
 
+  /// Inline storage is 8-aligned (pointers, the universal lambda capture);
+  /// over-aligned callables take the heap cell. Keeps the whole object —
+  /// and every queue Entry embedding it — 8 bytes denser than a
+  /// max_align_t buffer would.
+  static constexpr std::size_t kInlineAlign = alignof(void*);
+
   template <typename Fn>
   static constexpr bool fits_inline() {
-    return sizeof(Fn) <= kInlineBytes &&
-           alignof(Fn) <= alignof(std::max_align_t) &&
+    return sizeof(Fn) <= kInlineBytes && alignof(Fn) <= kInlineAlign &&
            std::is_nothrow_move_constructible_v<Fn>;
   }
 
   template <typename Fn>
   static constexpr Ops kInlineOps = {
       [](void* buf) { (*std::launder(reinterpret_cast<Fn*>(buf)))(); },
-      [](void* dst, void* src) noexcept {
-        Fn* s = std::launder(reinterpret_cast<Fn*>(src));
-        ::new (dst) Fn(std::move(*s));
-        s->~Fn();
-      },
-      [](void* buf) noexcept {
-        std::launder(reinterpret_cast<Fn*>(buf))->~Fn();
-      },
+      std::is_trivially_copyable_v<Fn>
+          ? nullptr
+          : +[](void* dst, void* src) noexcept {
+              Fn* s = std::launder(reinterpret_cast<Fn*>(src));
+              ::new (dst) Fn(std::move(*s));
+              s->~Fn();
+            },
+      std::is_trivially_destructible_v<Fn>
+          ? nullptr
+          : +[](void* buf) noexcept {
+              std::launder(reinterpret_cast<Fn*>(buf))->~Fn();
+            },
       /*inline_storage=*/true,
   };
 
   template <typename Fn>
   static constexpr Ops kHeapOps = {
       [](void* buf) { (**reinterpret_cast<Fn**>(buf))(); },
-      [](void* dst, void* src) noexcept {
-        *reinterpret_cast<void**>(dst) = *reinterpret_cast<void**>(src);
-      },
+      /*relocate=*/nullptr,  // memcpy moves the heap-cell pointer
       [](void* buf) noexcept { delete *reinterpret_cast<Fn**>(buf); },
       /*inline_storage=*/false,
   };
@@ -103,19 +115,23 @@ class SmallCallback {
   void move_from(SmallCallback& o) noexcept {
     ops_ = o.ops_;
     if (ops_ != nullptr) {
-      ops_->relocate(buf_, o.buf_);
+      if (ops_->relocate != nullptr) {
+        ops_->relocate(buf_, o.buf_);
+      } else {
+        std::memcpy(buf_, o.buf_, kInlineBytes);
+      }
       o.ops_ = nullptr;
     }
   }
 
   void reset() noexcept {
     if (ops_ != nullptr) {
-      ops_->destroy(buf_);
+      if (ops_->destroy != nullptr) ops_->destroy(buf_);
       ops_ = nullptr;
     }
   }
 
-  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  alignas(kInlineAlign) unsigned char buf_[kInlineBytes];
   const Ops* ops_ = nullptr;
 };
 

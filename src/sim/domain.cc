@@ -1,0 +1,226 @@
+#include "sim/domain.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "obs/metrics.h"
+#include "sim/arena.h"
+#include "sim/simulation.h"
+
+namespace bnm::sim {
+
+namespace {
+
+struct DomainMetrics {
+  obs::Counter rounds;
+  obs::Counter remote_events;
+  obs::Counter threaded_rounds;
+
+  static const DomainMetrics& get() {
+    static const DomainMetrics m{
+        obs::MetricsRegistry::instance().counter(
+            "domain.rounds", "rounds", "lookahead windows executed"),
+        obs::MetricsRegistry::instance().counter(
+            "domain.remote_events", "events",
+            "cross-domain mailbox messages delivered"),
+        obs::MetricsRegistry::instance().counter(
+            "domain.threaded_rounds", "rounds",
+            "lookahead windows driven by worker threads"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
+
+DomainScheduler::DomainScheduler(Mode mode) : mode_{mode} {}
+
+DomainScheduler::~DomainScheduler() {
+  if (!workers_.empty()) {
+    {
+      std::lock_guard<std::mutex> lock{mu_};
+      shutdown_ = true;
+    }
+    round_cv_.notify_all();
+    for (std::thread& w : workers_) w.join();
+  }
+}
+
+DomainScheduler::DomainId DomainScheduler::add_domain(Simulation& sim) {
+  assert(workers_.empty() && "add domains before the first threaded run");
+  domains_.push_back(&sim);
+  return domains_.size() - 1;
+}
+
+DomainScheduler::ChannelId DomainScheduler::add_channel(DomainId src,
+                                                        DomainId dst,
+                                                        Duration latency) {
+  assert(src < domains_.size() && dst < domains_.size());
+  assert(!latency.is_negative() && !latency.is_zero() &&
+         "cross-domain channels need positive lookahead");
+  channels_.push_back(Channel{src, dst, latency, {}});
+  return channels_.size() - 1;
+}
+
+Duration DomainScheduler::lookahead() const {
+  Duration min = Duration::max();
+  for (const Channel& ch : channels_) min = std::min(min, ch.latency);
+  return min;
+}
+
+void DomainScheduler::post_remote(ChannelId channel, Duration extra,
+                                  SmallCallback fn) {
+  assert(channel < channels_.size());
+  Channel& ch = channels_[channel];
+  const TimePoint at =
+      domains_[ch.src]->scheduler().now() + ch.latency + extra;
+  ch.box.push_back(Channel::Mail{at, std::move(fn)});
+}
+
+bool DomainScheduler::use_threads() const {
+  switch (mode_) {
+    case Mode::kSerial:
+      return false;
+    case Mode::kThreads:
+      return domains_.size() > 1;
+    case Mode::kAuto:
+      return domains_.size() > 1 &&
+             std::thread::hardware_concurrency() > 1 &&
+             !lookahead().is_zero();
+  }
+  return false;
+}
+
+void DomainScheduler::advance_serial(TimePoint target) {
+  for (Simulation* sim : domains_) {
+    // Route each domain's allocations through its own arena, exactly as
+    // the worker threads do.
+    ArenaScope scope{Arena::current() != nullptr ? nullptr : &sim->arena()};
+    sim->scheduler().run_until(target);
+  }
+}
+
+void DomainScheduler::advance_threaded(TimePoint target) {
+  start_workers();
+  {
+    std::lock_guard<std::mutex> lock{mu_};
+    round_target_ = target;
+    running_ = workers_.size();
+    ++round_id_;
+  }
+  round_cv_.notify_all();
+  std::unique_lock<std::mutex> lock{mu_};
+  done_cv_.wait(lock, [&] { return running_ == 0; });
+}
+
+void DomainScheduler::start_workers() {
+  if (!workers_.empty()) return;
+  workers_.reserve(domains_.size());
+  for (std::size_t i = 0; i < domains_.size(); ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+void DomainScheduler::worker_loop(std::size_t index) {
+  std::uint64_t seen_round = 0;
+  while (true) {
+    TimePoint target;
+    {
+      std::unique_lock<std::mutex> lock{mu_};
+      round_cv_.wait(lock,
+                     [&] { return shutdown_ || round_id_ != seen_round; });
+      if (shutdown_) return;
+      seen_round = round_id_;
+      target = round_target_;
+    }
+    {
+      Simulation* sim = domains_[index];
+      ArenaScope scope{&sim->arena()};
+      sim->scheduler().run_until(target);
+    }
+    {
+      std::lock_guard<std::mutex> lock{mu_};
+      --running_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void DomainScheduler::flush_mailboxes() {
+  // Channel-id order, FIFO within a channel: destination sequence numbers
+  // come out identical on every run, threaded or not.
+  std::uint64_t delivered = 0;
+  for (Channel& ch : channels_) {
+    if (ch.box.empty()) continue;
+    Scheduler& dst = domains_[ch.dst]->scheduler();
+    for (Channel::Mail& mail : ch.box) {
+      dst.post_at(mail.at, std::move(mail.fn));
+    }
+    delivered += ch.box.size();
+    ch.box.clear();
+  }
+  if (delivered != 0) {
+    stats_.remote_events += delivered;
+    DomainMetrics::get().remote_events.add(delivered);
+  }
+}
+
+void DomainScheduler::run_until(TimePoint deadline) {
+  if (domains_.empty()) return;
+  const Duration la = lookahead();
+  const bool threaded = use_threads();
+  parallel_active_ = threaded;
+  const auto& metrics = DomainMetrics::get();
+
+  while (true) {
+    // 1. Earliest pending event anywhere (mailboxes are always empty here:
+    //    they were flushed at the end of the previous round).
+    std::int64_t t_min = std::numeric_limits<std::int64_t>::max();
+    for (Simulation* sim : domains_) {
+      const auto next = sim->scheduler().next_event_time();
+      if (next) t_min = std::min(t_min, next->ns_since_epoch());
+    }
+    if (t_min == std::numeric_limits<std::int64_t>::max() ||
+        t_min > deadline.ns_since_epoch()) {
+      break;  // nothing left at or before the deadline
+    }
+
+    // 2. Window end (exclusive): t_min + lookahead, clamped to just past
+    //    the deadline. Saturating math — la may be Duration::max().
+    std::int64_t window_end;
+    if (la.ns() > std::numeric_limits<std::int64_t>::max() - t_min) {
+      window_end = std::numeric_limits<std::int64_t>::max();
+    } else {
+      window_end = t_min + la.ns();
+    }
+    if (deadline.ns_since_epoch() <
+        std::numeric_limits<std::int64_t>::max()) {
+      window_end = std::min(window_end, deadline.ns_since_epoch() + 1);
+    }
+    const TimePoint target = TimePoint::from_ns(window_end - 1);
+
+    // 3. Advance every domain through the window. Any remote message
+    //    produced inside it delivers at >= t_min + lookahead >= window_end,
+    //    strictly after the window — no domain can have needed it.
+    if (threaded) {
+      advance_threaded(target);
+      ++stats_.threaded_rounds;
+      metrics.threaded_rounds.add(1);
+    } else {
+      advance_serial(target);
+    }
+    ++stats_.rounds;
+    metrics.rounds.add(1);
+
+    // 4. Barrier: exchange cross-domain events.
+    flush_mailboxes();
+  }
+
+  // Pin every clock to the deadline (run_until semantics).
+  for (Simulation* sim : domains_) {
+    sim->scheduler().run_until(deadline);
+  }
+}
+
+}  // namespace bnm::sim

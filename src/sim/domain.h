@@ -1,0 +1,142 @@
+// Conservative parallel DES: lookahead-partitioned domains.
+//
+// A multi-host topology is split into *domains*, each owning a full
+// Simulation (scheduler, RNG, trace, arena). Domains only interact through
+// *channels* — directed mailboxes with a declared minimum latency, the
+// link-level lookahead (for a cross-domain link, its propagation delay).
+// Because any cross-domain effect is at least `lookahead` in the future,
+// every domain can safely advance through the window
+//
+//     [t_min, t_min + lookahead)
+//
+// where t_min is the earliest pending event across all domains, without
+// ever seeing an event out of order (INET/NS-style conservative null-free
+// synchronization with a global window). Rounds proceed:
+//
+//   1. t_min = min over domains of next_event_time()
+//   2. every domain runs run_until(t_min + L - 1ns)   [parallel or serial]
+//   3. mailboxes flush: each message becomes a post_at() in its
+//      destination domain (delivery >= t_min + L by construction)
+//
+// Determinism: domains share no mutable state, so each domain's execution
+// is a function of its own event stream; mailboxes flush in channel-id
+// order and FIFO within a channel, so destination sequence numbers are
+// assigned identically on every run — threaded or serial, any core count.
+// The serial driver runs the *same* windowed protocol one domain at a
+// time, which is what makes the parallel run bit-identical to it (and to
+// a monolithic single-Simulation run of the same topology, provided every
+// component draws its RNG stream by the same label — see
+// tests/test_kernel_domain.cpp).
+//
+// Fallback: with zero lookahead (no channels declare latency), one domain,
+// or a single-core host, run_until degrades to the serial driver — same
+// results, no threads.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/callback.h"
+#include "sim/time.h"
+
+namespace bnm::sim {
+
+class Simulation;
+
+class DomainScheduler {
+ public:
+  enum class Mode {
+    kAuto,     ///< threads when lookahead > 0 and hardware allows
+    kSerial,   ///< always the serial driver (same protocol, same results)
+    kThreads,  ///< force worker threads even on one core (for tests)
+  };
+
+  using DomainId = std::size_t;
+  using ChannelId = std::size_t;
+
+  explicit DomainScheduler(Mode mode = Mode::kAuto);
+  ~DomainScheduler();
+  DomainScheduler(const DomainScheduler&) = delete;
+  DomainScheduler& operator=(const DomainScheduler&) = delete;
+
+  /// Register a partition. The Simulation must outlive this object; add
+  /// all domains before the first run_until.
+  DomainId add_domain(Simulation& sim);
+
+  /// Declare a directed cross-domain path with minimum latency `latency`
+  /// (> 0: zero-lookahead channels would serialize every event and are
+  /// rejected). The smallest latency over all channels is the global
+  /// lookahead.
+  ChannelId add_channel(DomainId src, DomainId dst, Duration latency);
+
+  /// Minimum declared channel latency; Duration::max() with no channels
+  /// (fully independent domains).
+  Duration lookahead() const;
+
+  /// Post `fn` into the channel's destination domain, to fire at
+  /// src.now() + latency + extra. Must be called from code running inside
+  /// the source domain (its thread, during a window). The message sits in
+  /// the channel mailbox until the end-of-round flush.
+  void post_remote(ChannelId channel, Duration extra, SmallCallback fn);
+
+  /// Advance every domain to `deadline` (inclusive), windowed by the
+  /// lookahead. All events <= deadline fire; every domain's clock ends at
+  /// `deadline`.
+  void run_until(TimePoint deadline);
+
+  std::size_t domain_count() const { return domains_.size(); }
+  Simulation& domain(DomainId id) const { return *domains_[id]; }
+  /// True when the last run_until drove the domains with worker threads.
+  bool parallel_active() const { return parallel_active_; }
+
+  struct Stats {
+    std::uint64_t rounds = 0;         ///< lookahead windows executed
+    std::uint64_t remote_events = 0;  ///< mailbox messages delivered
+    std::uint64_t threaded_rounds = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Channel {
+    DomainId src;
+    DomainId dst;
+    Duration latency;
+    struct Mail {
+      TimePoint at;
+      SmallCallback fn;
+    };
+    /// Written only by the source domain's thread during a window, drained
+    /// only by the coordinator at the barrier.
+    std::vector<Mail> box;
+  };
+
+  bool use_threads() const;
+  void advance_serial(TimePoint target);
+  void advance_threaded(TimePoint target);
+  void flush_mailboxes();
+  void start_workers();
+  void worker_loop(std::size_t index);
+
+  Mode mode_;
+  std::vector<Simulation*> domains_;
+  std::vector<Channel> channels_;
+  Stats stats_;
+  bool parallel_active_ = false;
+
+  // Worker pool (lazily started; coordinator <-> workers hand off through
+  // one mutex + condvars, which also provides the happens-before edges for
+  // mailbox contents and scheduler state).
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable round_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t round_id_ = 0;       ///< bumped to release workers
+  std::size_t running_ = 0;          ///< workers still in the window
+  TimePoint round_target_;
+  bool shutdown_ = false;
+};
+
+}  // namespace bnm::sim

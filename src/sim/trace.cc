@@ -81,15 +81,6 @@ TraceView Trace::view_by_attr(const std::string& key) const {
   return TraceView{this, it->second};
 }
 
-std::vector<TraceRecord> Trace::by_component(const std::string& component) const {
-  std::vector<TraceRecord> out;
-  auto it = by_component_.find(component);
-  if (it == by_component_.end()) return out;
-  out.reserve(it->second.size());
-  for (std::size_t i : it->second) out.push_back(records_[i]);
-  return out;
-}
-
 bool Trace::contains(const std::string& needle) const {
   for (const auto& r : records_) {
     if (r.message.find(needle) != std::string::npos) return true;

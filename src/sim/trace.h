@@ -49,9 +49,8 @@ struct TraceRecord {
 class Trace;
 
 /// Non-owning filtered view over a Trace: a list of record indexes produced
-/// by the trace's component/attribute indexes. Replaces the copy-returning
-/// Trace::by_component for new code — no records are copied, and membership
-/// checks use the index rather than a full scan. Invalidated by
+/// by the trace's component/attribute indexes. No records are copied, and
+/// membership checks use the index rather than a full scan. Invalidated by
 /// emit/clear on the underlying trace, like any iterator.
 class TraceView {
  public:
@@ -118,10 +117,6 @@ class Trace {
   /// Index-backed view of records carrying attribute `key` (any value).
   TraceView view_by_attr(const std::string& key) const;
 
-  /// DEPRECATED: copies every matching record — kept for existing callers;
-  /// new code should use view_by_component(). Backed by the component
-  /// index, so only the matches are copied (no full scan).
-  std::vector<TraceRecord> by_component(const std::string& component) const;
   /// True if any record's message contains `needle`.
   bool contains(const std::string& needle) const;
 

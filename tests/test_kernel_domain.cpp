@@ -1,0 +1,239 @@
+// DomainScheduler coverage: windowed round protocol, serial/threaded
+// bit-identity, fallback behaviour, and the acceptance-gate test — a
+// two-host UDP topology cut along a DomainLink runs bit-identical to the
+// same topology as a monolithic single-Simulation serial run.
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/domain_link.h"
+#include "net/host.h"
+#include "net/link.h"
+#include "net/packet.h"
+#include "sim/domain.h"
+#include "sim/simulation.h"
+
+namespace {
+
+using bnm::sim::DomainScheduler;
+using bnm::sim::Duration;
+using bnm::sim::Simulation;
+using bnm::sim::TimePoint;
+
+TEST(DomainScheduler, SingleDomainRunsSeriallyAndPinsClock) {
+  Simulation sim{1};
+  DomainScheduler ds;
+  ds.add_domain(sim);
+  int ran = 0;
+  sim.scheduler().schedule_after(Duration::millis(1), [&] { ++ran; });
+  sim.scheduler().schedule_after(Duration::millis(2), [&] { ++ran; });
+  const TimePoint deadline = TimePoint::epoch() + Duration::millis(5);
+  ds.run_until(deadline);
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(sim.now(), deadline);
+  EXPECT_FALSE(ds.parallel_active());
+}
+
+TEST(DomainScheduler, LookaheadIsMinimumChannelLatency) {
+  Simulation a{1}, b{2};
+  DomainScheduler ds;
+  const auto da = ds.add_domain(a);
+  const auto db = ds.add_domain(b);
+  EXPECT_EQ(ds.lookahead(), Duration::max());  // no channels: independent
+  ds.add_channel(da, db, Duration::millis(3));
+  ds.add_channel(db, da, Duration::millis(1));
+  EXPECT_EQ(ds.lookahead(), Duration::millis(1));
+}
+
+// Ping-pong a token between two domains through post_remote and record
+// (domain, time) at every hop; the log must be identical however the
+// domains are driven.
+std::vector<std::pair<int, std::int64_t>> ping_pong(
+    DomainScheduler::Mode mode, std::uint64_t* rounds_out = nullptr) {
+  Simulation a{1}, b{2};
+  DomainScheduler ds{mode};
+  const auto da = ds.add_domain(a);
+  const auto db = ds.add_domain(b);
+  const auto ab = ds.add_channel(da, db, Duration::millis(1));
+  const auto ba = ds.add_channel(db, da, Duration::millis(1));
+
+  std::vector<std::pair<int, std::int64_t>> log;
+  std::function<void(int)> bounce_a;
+  std::function<void(int)> bounce_b = [&](int left) {
+    log.emplace_back(1, b.now().ns_since_epoch());
+    if (left > 0) {
+      ds.post_remote(ba, Duration::micros(10), [&, left] {
+        bounce_a(left - 1);
+      });
+    }
+  };
+  bounce_a = [&](int left) {
+    log.emplace_back(0, a.now().ns_since_epoch());
+    if (left > 0) {
+      ds.post_remote(ab, Duration::micros(10), [&, left] {
+        bounce_b(left - 1);
+      });
+    }
+  };
+  a.scheduler().post_after(Duration::micros(5), [&] { bounce_a(10); });
+  ds.run_until(TimePoint::epoch() + Duration::seconds(1));
+  if (rounds_out) *rounds_out = ds.stats().rounds;
+  EXPECT_EQ(ds.stats().remote_events, 10u);
+  return log;
+}
+
+TEST(DomainScheduler, PingPongSerialAndThreadedAreBitIdentical) {
+  std::uint64_t serial_rounds = 0;
+  const auto serial = ping_pong(DomainScheduler::Mode::kSerial, &serial_rounds);
+  const auto threaded = ping_pong(DomainScheduler::Mode::kThreads);
+  ASSERT_EQ(serial.size(), 11u);
+  EXPECT_EQ(serial, threaded);
+  EXPECT_GE(serial_rounds, 11u);  // at least one window per hop
+  // Hop timing: each leg adds 1ms latency + 10us slack.
+  EXPECT_EQ(serial[0], (std::pair<int, std::int64_t>{0, 5'000}));
+  EXPECT_EQ(serial[1], (std::pair<int, std::int64_t>{1, 1'015'000}));
+}
+
+TEST(DomainScheduler, ThreadedModeReportsParallelAndSerialDoesNot) {
+  {
+    Simulation a{1}, b{2};
+    DomainScheduler ds{DomainScheduler::Mode::kThreads};
+    ds.add_channel(ds.add_domain(a), ds.add_domain(b), Duration::millis(1));
+    a.scheduler().post_after(Duration::micros(1), [] {});
+    ds.run_until(TimePoint::epoch() + Duration::millis(1));
+    EXPECT_TRUE(ds.parallel_active());
+    EXPECT_GE(ds.stats().threaded_rounds, 1u);
+  }
+  {
+    Simulation a{1}, b{2};
+    DomainScheduler ds{DomainScheduler::Mode::kSerial};
+    ds.add_channel(ds.add_domain(a), ds.add_domain(b), Duration::millis(1));
+    a.scheduler().post_after(Duration::micros(1), [] {});
+    ds.run_until(TimePoint::epoch() + Duration::millis(1));
+    EXPECT_FALSE(ds.parallel_active());
+    EXPECT_EQ(ds.stats().threaded_rounds, 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance gate: two hosts exchanging UDP echo traffic, once as a
+// monolithic Simulation joined by a Link, once split into two domains
+// joined by a DomainLink with the same bandwidth/propagation. Every
+// delivery timestamp must match bit-for-bit, in serial and threaded mode.
+
+constexpr std::uint64_t kSeed = 42;
+constexpr int kProbes = 20;
+
+struct TopologyResult {
+  std::vector<std::int64_t> client_recv_ns;
+  std::uint64_t echoed = 0;
+};
+
+bnm::net::Host::Config client_config() {
+  bnm::net::Host::Config c;
+  c.name = "client";
+  c.ip = bnm::net::IpAddress{10, 0, 0, 1};
+  return c;
+}
+
+bnm::net::Host::Config server_config() {
+  bnm::net::Host::Config c;
+  c.name = "server";
+  c.ip = bnm::net::IpAddress{10, 0, 0, 2};
+  return c;
+}
+
+template <typename RunFn>
+TopologyResult exercise(Simulation& client_sim, bnm::net::Host& client,
+                        bnm::net::Host& server, RunFn run_all) {
+  TopologyResult out;
+  std::shared_ptr<bnm::net::UdpSocket> echo;
+  echo = server.udp_open(
+      9000, [&](bnm::net::Endpoint from, const bnm::net::Payload& p) {
+        echo->send_to(from, p);
+      });
+  std::shared_ptr<bnm::net::UdpSocket> probe;
+  probe = client.udp_open(
+      5000, [&](bnm::net::Endpoint, const bnm::net::Payload&) {
+        out.client_recv_ns.push_back(client_sim.now().ns_since_epoch());
+      });
+  const bnm::net::Endpoint server_ep{bnm::net::IpAddress{10, 0, 0, 2}, 9000};
+  for (int i = 0; i < kProbes; ++i) {
+    client_sim.scheduler().post_at(
+        TimePoint::epoch() + Duration::micros(137 * (i + 1)),
+        [&probe, server_ep, i] {
+          probe->send_to(server_ep,
+                         bnm::net::to_bytes("probe-" + std::to_string(i)));
+        });
+  }
+  run_all();
+  out.echoed = echo->datagrams_received();
+  return out;
+}
+
+TopologyResult run_monolithic() {
+  Simulation sim{kSeed};
+  bnm::net::Host client{sim, client_config()};
+  bnm::net::Host server{sim, server_config()};
+  bnm::net::Link::Config lc;
+  lc.propagation = Duration::micros(200);
+  lc.name = "wan";
+  bnm::net::Link link{sim, lc};
+  client.attach_link(&link, bnm::net::LinkSide::kA);
+  server.attach_link(&link, bnm::net::LinkSide::kB);
+  return exercise(sim, client, server, [&] {
+    sim.scheduler().run_until(TimePoint::epoch() + Duration::millis(100));
+  });
+}
+
+TopologyResult run_partitioned(DomainScheduler::Mode mode) {
+  // Same seed for both domains: each component forks its RNG stream by its
+  // own label, so "client"/"server" draw the same streams they drew inside
+  // the monolithic simulation.
+  Simulation client_sim{kSeed};
+  Simulation server_sim{kSeed};
+  DomainScheduler ds{mode};
+  const auto dc = ds.add_domain(client_sim);
+  const auto dsrv = ds.add_domain(server_sim);
+  bnm::net::DomainLink::Config lc;
+  lc.propagation = Duration::micros(200);
+  lc.name = "wan";
+  bnm::net::DomainLink link{ds, dc, dsrv, lc};
+  bnm::net::Host client{client_sim, client_config()};
+  bnm::net::Host server{server_sim, server_config()};
+  client.attach_link(&link, bnm::net::LinkSide::kA);
+  server.attach_link(&link, bnm::net::LinkSide::kB);
+  return exercise(client_sim, client, server, [&] {
+    ds.run_until(TimePoint::epoch() + Duration::millis(100));
+  });
+}
+
+TEST(DomainTopology, PartitionedRunsBitIdenticalToMonolithicSerial) {
+  const TopologyResult mono = run_monolithic();
+  ASSERT_EQ(mono.client_recv_ns.size(), static_cast<std::size_t>(kProbes));
+  EXPECT_EQ(mono.echoed, static_cast<std::uint64_t>(kProbes));
+
+  const TopologyResult serial = run_partitioned(DomainScheduler::Mode::kSerial);
+  EXPECT_EQ(serial.client_recv_ns, mono.client_recv_ns);
+  EXPECT_EQ(serial.echoed, mono.echoed);
+
+  const TopologyResult threaded =
+      run_partitioned(DomainScheduler::Mode::kThreads);
+  EXPECT_EQ(threaded.client_recv_ns, mono.client_recv_ns);
+  EXPECT_EQ(threaded.echoed, mono.echoed);
+}
+
+TEST(DomainTopology, AutoModeFallsBackCleanlyOnThisHardware) {
+  // kAuto must produce the same results whether or not it engaged threads;
+  // on a single-core host it falls back to the serial driver.
+  const TopologyResult mono = run_monolithic();
+  const TopologyResult auto_run = run_partitioned(DomainScheduler::Mode::kAuto);
+  EXPECT_EQ(auto_run.client_recv_ns, mono.client_recv_ns);
+}
+
+}  // namespace

@@ -326,10 +326,6 @@ TEST(Trace, ViewsAreIndexBackedAndCopyFree) {
   EXPECT_EQ(t.view_by_attr("packet_id").size(), 1u);
   EXPECT_EQ(t.view_by_attr("fault").size(), 1u);
 
-  // Deprecated copy-returning API still answers the same question.
-  const auto copies = t.by_component("scheduler");
-  ASSERT_EQ(copies.size(), 2u);
-  EXPECT_EQ(copies[1].message, "second scheduler event");
   EXPECT_TRUE(t.contains("hop pkt#1"));
   EXPECT_FALSE(t.contains("absent"));
 

@@ -44,7 +44,7 @@ TEST(Trace, ByComponentAndContains) {
   trace.emit({}, "tcp", "ESTABLISHED");
   trace.emit({}, "http", "200 OK");
   trace.emit({}, "tcp", "FIN_WAIT_1");
-  EXPECT_EQ(trace.by_component("tcp").size(), 2u);
+  EXPECT_EQ(trace.view_by_component("tcp").size(), 2u);
   EXPECT_TRUE(trace.contains("200 OK"));
   EXPECT_FALSE(trace.contains("404"));
   trace.clear();

@@ -132,6 +132,13 @@ std::vector<Field> perf_matrix_schema() {
                 {"off_serial_ms", FieldType::kNumber, true, {}},
                 {"identical_on_off", FieldType::kBool, true, {}},
             }},
+           {"queue",
+            FieldType::kObject,
+            true,
+            {
+                {"heap_serial_ms", FieldType::kNumber, true, {}},
+                {"identical_calendar_heap", FieldType::kBool, true, {}},
+            }},
        }},
       {"capture_scan",
        FieldType::kObject,
@@ -150,6 +157,13 @@ std::vector<Field> perf_matrix_schema() {
            {"events", FieldType::kInt, true, {}},
            {"schedule_ns_per_event", FieldType::kNumber, true, {}},
            {"post_ns_per_event", FieldType::kNumber, true, {}},
+           {"events_per_sec", FieldType::kNumber, true, {}},
+           {"calendar_ns_per_event", FieldType::kNumber, true, {}},
+           {"heap_ns_per_event", FieldType::kNumber, true, {}},
+           {"queue_speedup", FieldType::kNumber, true, {}},
+           {"batched_ns_per_event", FieldType::kNumber, true, {}},
+           {"stepwise_ns_per_event", FieldType::kNumber, true, {}},
+           {"batch_speedup", FieldType::kNumber, true, {}},
            {"pooled_control_blocks", FieldType::kInt, true, {}},
        }},
       {"profile",

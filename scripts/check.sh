@@ -56,6 +56,9 @@ ctest --test-dir build -L obs --output-on-failure
 step "kernel: ctest (-L kernel)"
 ctest --test-dir build -L kernel --output-on-failure
 
+step "resilience: ctest (-L resilience)"
+ctest --test-dir build -L resilience --output-on-failure
+
 if [[ "$FAST" == 1 ]]; then
   echo
   echo "check.sh: tier-1 OK (ASan and perf passes skipped with --fast)"
@@ -67,7 +70,7 @@ step "asan: configure (BNM_SANITIZE=address)"
 cmake -B build-asan -S . $(gen_for build-asan) -DBNM_SANITIZE=address
 
 step "asan: build tests"
-cmake --build build-asan -j --target bnm_tests bnm_fault_tests bnm_perf_tests bnm_obs_tests bnm_kernel_tests
+cmake --build build-asan -j --target bnm_tests bnm_fault_tests bnm_perf_tests bnm_obs_tests bnm_kernel_tests bnm_resilience_tests
 
 step "asan: ctest"
 ctest --test-dir build-asan --output-on-failure
@@ -77,7 +80,7 @@ step "perf: configure (Release)"
 cmake -B build-release -S . $(gen_for build-release) -DCMAKE_BUILD_TYPE=Release
 
 step "perf: build bench"
-cmake --build build-release -j --target perf_matrix obs_overhead bench_schema_check
+cmake --build build-release -j --target perf_matrix obs_overhead bench_schema_check chaos_matrix
 
 step "perf: bench/perf_matrix --runs=4 (arena A/B gate)"
 # perf_matrix itself exits non-zero when the arena-off reference pass is not
@@ -92,6 +95,27 @@ if ! grep -q '"identical": true' build-release/BENCH_perf_matrix.json; then
   echo "check.sh: FAIL — serial/parallel results are not identical" >&2
   exit 1
 fi
+
+step "resilience: checkpoint disabled-overhead gate (<1% or sub-ms noise)"
+# The crash-safe engine with every feature off must not tax healthy runs:
+# under 1% over legacy run_matrix, with a sub-millisecond absolute slack
+# because the full-matrix baseline is only ~30-60 ms and percentages of it
+# sit inside single-core VM jitter. perf_matrix already hard-fails when the
+# checked engine's results are not bit-identical to run_matrix's.
+CK_PCT=$(sed -n 's/.*"disabled_overhead_percent": *\(-\{0,1\}[0-9][0-9.]*\).*/\1/p' \
+  build-release/BENCH_perf_matrix.json | head -n1)
+CK_DELTA=$(sed -n 's/.*"disabled_delta_ms": *\(-\{0,1\}[0-9][0-9.]*\).*/\1/p' \
+  build-release/BENCH_perf_matrix.json | head -n1)
+if [[ -z "$CK_PCT" || -z "$CK_DELTA" ]]; then
+  echo "check.sh: FAIL — checkpoint overhead fields missing from BENCH_perf_matrix.json" >&2
+  exit 1
+fi
+if ! awk -v pct="$CK_PCT" -v delta="$CK_DELTA" \
+    'BEGIN { exit (pct + 0 < 1.0 || delta + 0 < 1.0) ? 0 : 1 }'; then
+  echo "check.sh: FAIL — disabled crash-safe engine costs ${CK_PCT}% (${CK_DELTA} ms) over run_matrix" >&2
+  exit 1
+fi
+echo "checkpoint overhead gate OK: disabled engine ${CK_PCT}% (${CK_DELTA} ms) vs run_matrix"
 
 step "kernel: Release gate (calendar/heap identity + throughput floor)"
 # The calendar queue must reproduce the binary-heap reference bit-for-bit
@@ -142,5 +166,41 @@ fi
 # shellcheck disable=SC2086
 ./build-release/tools/bench_schema_check $BENCH_JSON
 
+step "resilience: chaos gate (kill after K cells -> resume -> byte-identity)"
+# A run hard-killed mid-matrix (std::_Exit inside the progress callback,
+# i.e. after the checkpoint flush but before any cleanup) and resumed from
+# its checkpoint must produce a final report byte-identical to a clean
+# uninterrupted run's — with and without active fault plans.
+CHAOS=./build-release/tools/chaos_matrix
+CHAOS_DIR=build-release/chaos
+rm -rf "$CHAOS_DIR"
+mkdir -p "$CHAOS_DIR"
+chaos_cycle() {  # $1: extra flags ("" or --faults), $2: scenario tag
+  local flags=$1 tag=$2 rc=0
+  # shellcheck disable=SC2086
+  "$CHAOS" $flags --checkpoint="$CHAOS_DIR/CHECKPOINT_${tag}_clean.json" \
+    --report="$CHAOS_DIR/REPORT_matrix_${tag}_clean.json" >/dev/null
+  # shellcheck disable=SC2086
+  "$CHAOS" $flags --checkpoint="$CHAOS_DIR/CHECKPOINT_${tag}.json" \
+    --kill-after=3 >/dev/null || rc=$?
+  if [[ "$rc" != 42 ]]; then
+    echo "check.sh: FAIL — chaos kill ($tag) exited $rc, expected 42" >&2
+    exit 1
+  fi
+  # shellcheck disable=SC2086
+  "$CHAOS" $flags --checkpoint="$CHAOS_DIR/CHECKPOINT_${tag}.json" --resume \
+    --report="$CHAOS_DIR/REPORT_matrix_${tag}_resumed.json" >/dev/null
+  if ! cmp -s "$CHAOS_DIR/REPORT_matrix_${tag}_clean.json" \
+      "$CHAOS_DIR/REPORT_matrix_${tag}_resumed.json"; then
+    echo "check.sh: FAIL — resumed report ($tag) differs from the clean run" >&2
+    exit 1
+  fi
+  echo "chaos gate OK ($tag): killed after 3 cells, resumed byte-identical"
+}
+chaos_cycle ""       healthy
+chaos_cycle --faults faulty
+./build-release/tools/bench_schema_check \
+  "$CHAOS_DIR"/CHECKPOINT_*.json "$CHAOS_DIR"/REPORT_matrix_*.json
+
 echo
-echo "check.sh: tier-1 + ASan + perf + obs OK"
+echo "check.sh: tier-1 + ASan + perf + obs + resilience OK"

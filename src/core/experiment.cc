@@ -186,6 +186,21 @@ OverheadSeries Experiment::run() {
   // runs and is released when the experiment ends.
   std::vector<std::unique_ptr<browser::Browser>> graveyard;
 
+  // Watchdog accounting: every simulated event this cell fires (from run()
+  // entry on) counts against the budget, so runaway event loops anywhere in
+  // the repetition protocol — not just the probe drive — are bounded.
+  const std::uint64_t budget =
+      watchdog_ != nullptr ? watchdog_->event_budget : 0;
+  const std::uint64_t budget_start = sched.executed_events();
+  const auto abort_cell = [&](methods::MeasurementMethod& m, const char* where,
+                              int at_run) {
+    m.cancel();  // tear the in-flight probe down so nothing calls back later
+    throw CellAbortError{
+        where, std::string{where} + " tripped at repetition " +
+                   std::to_string(at_run) + "/" +
+                   std::to_string(config_.runs)};
+  };
+
   const ExperimentMetrics& metrics = ExperimentMetrics::get();
   for (int run = 0; run < config_.runs; ++run) {
     BNM_PROF_SCOPE("experiment.repetition");
@@ -222,10 +237,32 @@ OverheadSeries Experiment::run() {
     });
     // Drive the simulation until the method completes. A drained queue
     // with no result surfaces a deadlock; the deadline guards against
-    // perpetual event sources (cross traffic) masking one.
+    // perpetual event sources (cross traffic) masking one. With a watchdog
+    // attached, the drive additionally honours the runner's wall-clock
+    // abort flag and the cell's remaining simulated-event budget.
     const sim::TimePoint deadline =
         testbed_->sim().now() + config_.sample_deadline;
-    sched.run_while(*done, deadline);
+    sim::Scheduler::RunLimits limits;
+    const sim::Scheduler::RunLimits* limits_ptr = nullptr;
+    if (watchdog_ != nullptr) {
+      limits.abort = &watchdog_->wall_expired;
+      if (budget != 0) {
+        const std::uint64_t used = sched.executed_events() - budget_start;
+        if (used >= budget) abort_cell(*method, "watchdog.event_budget", run);
+        limits.max_events = budget - used;
+      }
+      limits_ptr = &limits;
+    }
+    sched.run_while(*done, deadline, limits_ptr);
+    if (watchdog_ != nullptr) {
+      if (watchdog_->wall_expired.load(std::memory_order_acquire)) {
+        abort_cell(*method, "watchdog.wall_clock", run);
+      }
+      if (budget != 0 && !*done &&
+          sched.executed_events() - budget_start >= budget) {
+        abort_cell(*method, "watchdog.event_budget", run);
+      }
+    }
 
     if (!*result) {
       // Deadline expired (or the queue drained without completion): tear
@@ -317,6 +354,13 @@ OverheadSeries Experiment::run() {
 
 OverheadSeries run_experiment(ExperimentConfig config) {
   Experiment e{std::move(config)};
+  return e.run();
+}
+
+OverheadSeries run_experiment_watched(ExperimentConfig config,
+                                      CellWatchdog* watchdog) {
+  Experiment e{std::move(config)};
+  e.set_watchdog(watchdog);
   return e.run();
 }
 

@@ -11,8 +11,10 @@
 // the probe port within the measurement window).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -108,6 +110,33 @@ struct OverheadSeries {
   stats::ConfidenceInterval d2_ci() const { return stats::mean_ci(d2()); }
 };
 
+/// Run-level watchdog context for one cell attempt, shared between the
+/// matrix runner (which owns it, and whose watchdog thread sets
+/// `wall_expired` when the cell's real-time deadline passes) and the
+/// Experiment running on a worker (which polls the flag between simulated
+/// events and charges every fired event against `event_budget`). A cell
+/// with no watchdog attached behaves exactly as before — the flag is never
+/// loaded on that path.
+struct CellWatchdog {
+  std::atomic<bool> wall_expired{false};
+  std::uint64_t event_budget = 0;  ///< total simulated events (0 = unlimited)
+};
+
+/// Thrown by Experiment::run when its watchdog trips. The run is cancelled
+/// cleanly first (method cancel + browser teardown via RAII); the matrix
+/// runner catches this, retries the cell with backoff, and quarantines it
+/// with a structured CellError after the attempt limit.
+class CellAbortError : public std::runtime_error {
+ public:
+  CellAbortError(std::string where, const std::string& what)
+      : std::runtime_error{what}, where_{std::move(where)} {}
+  /// Which guard fired: "watchdog.wall_clock" or "watchdog.event_budget".
+  const std::string& where() const { return where_; }
+
+ private:
+  std::string where_;
+};
+
 class Experiment {
  public:
   explicit Experiment(ExperimentConfig config);
@@ -115,6 +144,11 @@ class Experiment {
   /// Run all repetitions to completion (drains the simulation between
   /// runs) and return the collected series.
   OverheadSeries run();
+
+  /// Attach a runner-owned watchdog before run(). When its wall-clock flag
+  /// is set or the event budget runs dry mid-repetition, the active method
+  /// is cancelled and run() throws CellAbortError.
+  void set_watchdog(CellWatchdog* watchdog) { watchdog_ = watchdog; }
 
   /// Testbed access after run() - e.g. to dump the capture to a pcap file.
   Testbed& testbed() { return *testbed_; }
@@ -130,9 +164,15 @@ class Experiment {
 
   ExperimentConfig config_;
   std::unique_ptr<Testbed> testbed_;
+  CellWatchdog* watchdog_ = nullptr;
 };
 
 /// Convenience: run one case end to end.
 OverheadSeries run_experiment(ExperimentConfig config);
+
+/// run_experiment with a watchdog attached — the default cell runner of the
+/// resilient matrix engine (parallel_runner.h). `watchdog` may be nullptr.
+OverheadSeries run_experiment_watched(ExperimentConfig config,
+                                      CellWatchdog* watchdog);
 
 }  // namespace bnm::core

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "obs/metrics.h"
@@ -78,11 +80,59 @@ bool FaultPlan::empty() const {
          blackholes.empty() && flaps.empty() && drop_data_segments.empty();
 }
 
+namespace {
+
+void check_probability(const std::string& plan, const char* knob, double p) {
+  if (!(p >= 0.0 && p <= 1.0)) {  // !(..) also rejects NaN
+    throw std::invalid_argument{"FaultPlan '" + plan + "': " + knob + " = " +
+                                std::to_string(p) +
+                                " is outside [0, 1]"};
+  }
+}
+
+void check_windows(const std::string& plan, const char* knob,
+                   const std::vector<TimeWindow>& windows) {
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    if (windows[i].end < windows[i].begin) {
+      throw std::invalid_argument{
+          "FaultPlan '" + plan + "': " + knob + "[" + std::to_string(i) +
+          "] is inverted (" + windows[i].begin.to_string() + " > " +
+          windows[i].end.to_string() + ")"};
+    }
+  }
+}
+
+}  // namespace
+
+void FaultPlan::validate() const {
+  check_probability(name, "loss_probability", loss_probability);
+  check_probability(name, "corrupt_probability", corrupt_probability);
+  check_probability(name, "duplicate_probability", duplicate_probability);
+  if (bursty_loss) {
+    check_probability(name, "bursty_loss.p_good_to_bad",
+                      bursty_loss->p_good_to_bad);
+    check_probability(name, "bursty_loss.p_bad_to_good",
+                      bursty_loss->p_bad_to_good);
+    check_probability(name, "bursty_loss.loss_good", bursty_loss->loss_good);
+    check_probability(name, "bursty_loss.loss_bad", bursty_loss->loss_bad);
+  }
+  check_windows(name, "blackholes", blackholes);
+  check_windows(name, "flaps", flaps);
+  for (std::size_t i = 0; i < drop_data_segments.size(); ++i) {
+    if (drop_data_segments[i] == 0) {
+      throw std::invalid_argument{
+          "FaultPlan '" + name + "': drop_data_segments[" +
+          std::to_string(i) + "] is 0 (ordinals are 1-based)"};
+    }
+  }
+}
+
 FaultInjector::FaultInjector(sim::Simulation& sim, FaultPlan plan)
     : sim_{sim},
       plan_{std::move(plan)},
       rng_{sim.rng_for(plan_.name)},
       active_{!plan_.empty()} {
+  plan_.validate();
   if (plan_.bursty_loss) {
     loss_ = LossProcess::bursty(*plan_.bursty_loss);
   } else {

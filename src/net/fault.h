@@ -100,6 +100,14 @@ struct FaultPlan {
   FaultPlan& drop_nth_data_segment(std::uint64_t n);
 
   bool empty() const;
+
+  /// Reject ill-formed plans with a descriptive std::invalid_argument
+  /// naming the offending knob: probabilities must lie in [0, 1] (including
+  /// the Gilbert-Elliott fields), window begins must not exceed their ends,
+  /// and scripted drop ordinals are 1-based. Called on FaultInjector
+  /// construction, so a bad plan fails fast at wiring time instead of
+  /// silently skewing a campaign's loss rates.
+  void validate() const;
 };
 
 /// Pipeline stage executing a FaultPlan. Insert it anywhere a PacketSink is

@@ -304,7 +304,11 @@ class Parser {
       errno = 0;
       char* end = nullptr;
       long long v = std::strtoll(token.c_str(), &end, 10);
-      if (errno == 0 && end && *end == '\0') {
+      // "-0" must stay a double: collapsing it to integer 0 would drop the
+      // sign and break byte-exact parse->dump round trips (the matrix
+      // checkpoint's resume bit-identity contract depends on them).
+      if (errno == 0 && end && *end == '\0' &&
+          !(v == 0 && token[0] == '-')) {
         out = Value::integer(v);
         return true;
       }

@@ -361,12 +361,27 @@ void Scheduler::run_until(TimePoint deadline) {
   if (now_ < deadline) now_ = deadline;
 }
 
-std::size_t Scheduler::run_while(const bool& stop, TimePoint not_after) {
+std::size_t Scheduler::run_while(const bool& stop, TimePoint not_after,
+                                 const RunLimits* limits) {
   std::size_t fired = 0;
-  while (!stop) {
-    if (now_ > not_after) break;
-    if (!step()) break;
-    ++fired;
+  if (limits == nullptr) {
+    // Default path: byte-for-byte the historical loop, no atomic loads.
+    while (!stop) {
+      if (now_ > not_after) break;
+      if (!step()) break;
+      ++fired;
+    }
+  } else {
+    while (!stop) {
+      if (now_ > not_after) break;
+      if (limits->max_events != 0 && fired >= limits->max_events) break;
+      if (limits->abort != nullptr &&
+          limits->abort->load(std::memory_order_acquire)) {
+        break;
+      }
+      if (!step()) break;
+      ++fired;
+    }
   }
   if (fired != 0) SchedulerMetrics::get().events.add(fired);
   return fired;

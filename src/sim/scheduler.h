@@ -36,6 +36,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -247,11 +248,26 @@ class Scheduler {
   /// Run until the queue drains or simulated time would exceed `deadline`.
   /// Events past the deadline stay queued.
   void run_until(TimePoint deadline);
+  /// Cooperative limits for a run_while drive. Both knobs are optional and
+  /// owned by the caller (the matrix runner's per-cell watchdog): `abort` is
+  /// set from another thread when the cell's wall-clock deadline expires,
+  /// `max_events` caps how many events this call may fire (a simulated-event
+  /// budget against runaway event loops). Passing nullptr to run_while keeps
+  /// the historical zero-overhead loop — no atomic loads on the default path.
+  struct RunLimits {
+    const std::atomic<bool>* abort = nullptr;
+    std::uint64_t max_events = 0;  ///< 0 = unlimited
+  };
+
   /// Drive events one at a time while `stop` is false and now() has not
   /// passed `not_after` — the experiment completion loop, with the checks
   /// evaluated before each event exactly like the historical
   /// `while (!done && now() <= deadline && step())`. Returns events fired.
-  std::size_t run_while(const bool& stop, TimePoint not_after);
+  /// With `limits`, the loop additionally stops when the abort flag is set
+  /// or the event budget for this call is exhausted (the caller inspects
+  /// its watchdog/budget state to tell those apart from completion).
+  std::size_t run_while(const bool& stop, TimePoint not_after,
+                        const RunLimits* limits = nullptr);
 
   /// Earliest pending event's time (dead entries count — conservative), or
   /// nullopt when empty. May promote a bucket internally; the observable

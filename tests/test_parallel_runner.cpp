@@ -3,6 +3,7 @@
 // a throwing cell never wedges the pool.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <stdexcept>
 #include <vector>
@@ -148,19 +149,34 @@ TEST(ParallelRunner, ResolveJobsClampsToCellsAndFloorsAtOne) {
   EXPECT_GE(resolve_jobs(-5, 10), 1);
 }
 
-TEST(ThreadPool, SurvivesThrowingTasksAndCountsThem) {
+TEST(ThreadPool, SurvivesThrowingTasksAndRecordsThem) {
   ThreadPool pool{4};
   std::atomic<int> ok{0};
   for (int i = 0; i < 40; ++i) {
     if (i % 4 == 0) {
-      pool.submit([] { throw std::runtime_error("task failure"); });
+      pool.submit([i] {
+        throw std::runtime_error("task failure #" + std::to_string(i));
+      });
     } else {
       pool.submit([&ok] { ++ok; });
     }
   }
   pool.wait_idle();
   EXPECT_EQ(ok.load(), 30);
-  EXPECT_EQ(pool.tasks_failed(), 10u);
+
+  // Failures are structured: submission ordinal + message, not just a count.
+  std::vector<TaskFailure> failures = pool.failures();
+  ASSERT_EQ(failures.size(), 10u);
+  std::vector<std::size_t> failed_ids;
+  for (const TaskFailure& f : failures) {
+    failed_ids.push_back(f.task_id);
+    EXPECT_EQ(f.what, "task failure #" + std::to_string(f.task_id));
+    EXPECT_EQ(f.task_id % 4, 0u);
+  }
+  std::sort(failed_ids.begin(), failed_ids.end());
+  for (std::size_t k = 0; k < failed_ids.size(); ++k) {
+    EXPECT_EQ(failed_ids[k], k * 4);
+  }
 
   // The pool still serves new work after the failures.
   pool.submit([&ok] { ++ok; });
@@ -171,7 +187,7 @@ TEST(ThreadPool, SurvivesThrowingTasksAndCountsThem) {
 TEST(ThreadPool, WaitIdleOnFreshPoolReturnsImmediately) {
   ThreadPool pool{2};
   pool.wait_idle();
-  EXPECT_EQ(pool.tasks_failed(), 0u);
+  EXPECT_TRUE(pool.failures().empty());
   EXPECT_EQ(pool.jobs(), 2);
 }
 

@@ -140,6 +140,18 @@ std::vector<Field> perf_matrix_schema() {
                 {"identical_calendar_heap", FieldType::kBool, true, {}},
             }},
        }},
+      {"checkpoint",
+       FieldType::kObject,
+       true,
+       {
+           {"baseline_ms", FieldType::kNumber, true, {}},
+           {"disabled_ms", FieldType::kNumber, true, {}},
+           {"enabled_ms", FieldType::kNumber, true, {}},
+           {"disabled_overhead_percent", FieldType::kNumber, true, {}},
+           {"disabled_delta_ms", FieldType::kNumber, true, {}},
+           {"enabled_overhead_percent", FieldType::kNumber, true, {}},
+           {"identical", FieldType::kBool, true, {}},
+       }},
       {"capture_scan",
        FieldType::kObject,
        true,
@@ -286,6 +298,63 @@ std::vector<Field> obs_overhead_schema() {
   };
 }
 
+// Shared record schema for checkpoint and matrix-report files: one entry
+// per cell, keyed by the FNV-1a config hash, carrying a full OverheadSeries.
+std::vector<Field> cell_record() {
+  return {
+      {"cell", FieldType::kInt, true, {}},
+      {"config_hash", FieldType::kString, true, {}},
+      {"series",
+       FieldType::kObject,
+       true,
+       {
+           {"case_label", FieldType::kString, true, {}},
+           {"method_name", FieldType::kString, true, {}},
+           {"failures", FieldType::kInt, true, {}},
+           {"first_error", FieldType::kString, true, {}},
+           {"accounting",
+            FieldType::kObject,
+            true,
+            {
+                {"timeouts", FieldType::kInt, true, {}},
+                {"transport_errors", FieldType::kInt, true, {}},
+                {"degraded", FieldType::kInt, true, {}},
+                {"http_retries", FieldType::kInt, true, {}},
+                {"http_timeouts", FieldType::kInt, true, {}},
+            }},
+           {"samples",
+            FieldType::kArray,
+            true,
+            {
+                {"",
+                 FieldType::kArray,
+                 true,
+                 {
+                     {"", FieldType::kNumber, true, {}},
+                 }},
+            }},
+       }},
+  };
+}
+
+std::vector<Field> checkpoint_schema(const char* records_key) {
+  return {
+      {"format", FieldType::kString, true, {}},
+      {"version", FieldType::kInt, true, {}},
+      {"cells", FieldType::kInt, true, {}},
+      {records_key,
+       FieldType::kArray,
+       true,
+       {
+           {"", FieldType::kObject, true, cell_record()},
+       }},
+  };
+}
+
+bool has_prefix(const char* s, const char* prefix) {
+  return std::strncmp(s, prefix, std::strlen(prefix)) == 0;
+}
+
 const char* basename_of(const char* path) {
   const char* slash = std::strrchr(path, '/');
   return slash ? slash + 1 : path;
@@ -302,6 +371,10 @@ int check_file(const char* path) {
     schema = fault_overhead_schema();
   } else if (!std::strcmp(base, "BENCH_obs_overhead.json")) {
     schema = obs_overhead_schema();
+  } else if (has_prefix(base, "CHECKPOINT")) {
+    schema = checkpoint_schema("records");
+  } else if (has_prefix(base, "REPORT_matrix")) {
+    schema = checkpoint_schema("results");
   } else {
     std::fprintf(stderr, "schema: no schema registered for %s\n", base);
     return 1;

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 verification plus an AddressSanitizer pass, a perf gate, the
-# observability gates (obs tests, obs_overhead A/B, bench-JSON schemas) and
+# observability gates (obs tests, obs_overhead A/B, bench-JSON schemas),
 # the Release kernel gate (calendar-vs-heap bit-identity across the full
-# matrix + a scheduler events/sec floor).
+# matrix + a scheduler events/sec floor) and the campaign gates (100k-client
+# Release throughput floor, O(shards) aggregation memory, shard-count and
+# kill/resume report byte-identity).
 #
 #   scripts/check.sh          # full: plain build + ctest, ASan build + ctest,
 #                             # then Release perf_matrix (arena A/B gate) and
@@ -59,6 +61,9 @@ ctest --test-dir build -L kernel --output-on-failure
 step "resilience: ctest (-L resilience)"
 ctest --test-dir build -L resilience --output-on-failure
 
+step "campaign: ctest (-L campaign)"
+ctest --test-dir build -L campaign --output-on-failure
+
 if [[ "$FAST" == 1 ]]; then
   echo
   echo "check.sh: tier-1 OK (ASan and perf passes skipped with --fast)"
@@ -70,7 +75,7 @@ step "asan: configure (BNM_SANITIZE=address)"
 cmake -B build-asan -S . $(gen_for build-asan) -DBNM_SANITIZE=address
 
 step "asan: build tests"
-cmake --build build-asan -j --target bnm_tests bnm_fault_tests bnm_perf_tests bnm_obs_tests bnm_kernel_tests bnm_resilience_tests
+cmake --build build-asan -j --target bnm_tests bnm_fault_tests bnm_perf_tests bnm_obs_tests bnm_kernel_tests bnm_resilience_tests bnm_campaign_tests
 
 step "asan: ctest"
 ctest --test-dir build-asan --output-on-failure
@@ -80,7 +85,7 @@ step "perf: configure (Release)"
 cmake -B build-release -S . $(gen_for build-release) -DCMAKE_BUILD_TYPE=Release
 
 step "perf: build bench"
-cmake --build build-release -j --target perf_matrix obs_overhead bench_schema_check chaos_matrix
+cmake --build build-release -j --target perf_matrix obs_overhead bench_schema_check chaos_matrix campaign_scale campaign
 
 step "perf: bench/perf_matrix --runs=4 (arena A/B gate)"
 # perf_matrix itself exits non-zero when the arena-off reference pass is not
@@ -155,6 +160,38 @@ if ! grep -q '"snapshot_identical": true' build-release/BENCH_obs_overhead.json;
   exit 1
 fi
 
+step "campaign: bench/campaign_scale --clients=100000 (scale + memory gates)"
+# The campaign engine must push a 100k-client population through the full
+# simulator at a Release throughput floor, aggregate in O(shards) memory
+# (doubling the population must not grow the aggregation state by a byte),
+# and produce a byte-identical report whether it runs as 1 shard serially
+# or as 8 shards. campaign_scale exits non-zero itself on an identity or
+# shape failure; the greps double-check the emitted JSON.
+(cd build-release && ./bench/campaign_scale --clients=100000 --runs=1)
+if ! grep -q '"identical_shards": true' build-release/BENCH_campaign_scale.json; then
+  echo "check.sh: FAIL — campaign reports differ across shard counts" >&2
+  exit 1
+fi
+if ! grep -q '"independent_of_clients": true' build-release/BENCH_campaign_scale.json; then
+  echo "check.sh: FAIL — campaign aggregation memory grows with client count" >&2
+  exit 1
+fi
+# Floor far below the ~21k clients/s this box measures in Release, but far
+# above anything a per-client-accumulation regression would leave standing.
+CPS_FLOOR=5000
+CPS=$(sed -n 's/.*"clients_per_sec": *\([0-9][0-9.]*\).*/\1/p' \
+  build-release/BENCH_campaign_scale.json | head -n1)
+if [[ -z "$CPS" ]]; then
+  echo "check.sh: FAIL — clients_per_sec missing from BENCH_campaign_scale.json" >&2
+  exit 1
+fi
+if ! awk -v v="$CPS" -v floor="$CPS_FLOOR" \
+    'BEGIN { exit (v + 0 >= floor) ? 0 : 1 }'; then
+  echo "check.sh: FAIL — campaign throughput ${CPS} clients/s below floor ${CPS_FLOOR}" >&2
+  exit 1
+fi
+echo "campaign scale gate OK: ${CPS} clients/s (floor ${CPS_FLOOR}), O(shards) memory"
+
 step "obs: validate BENCH_*.json against docs/BENCH_SCHEMAS.md"
 # Every bench JSON present in the release tree must match its documented
 # schema exactly (unknown or missing fields fail).
@@ -202,5 +239,36 @@ chaos_cycle --faults faulty
 ./build-release/tools/bench_schema_check \
   "$CHAOS_DIR"/CHECKPOINT_*.json "$CHAOS_DIR"/REPORT_matrix_*.json
 
+step "campaign: chaos gate (kill after K shards -> resume -> byte-identity)"
+# Same discipline for the campaign engine: a run hard-killed mid-campaign
+# (std::_Exit inside the progress callback, after the shard's checkpoint
+# flush) and resumed must write a report byte-identical to a clean run's.
+CAMPAIGN=./build-release/tools/campaign
+CAMP_DIR=build-release/campaign_chaos
+rm -rf "$CAMP_DIR"
+mkdir -p "$CAMP_DIR"
+CAMP_FLAGS=(--clients=2000 --shards=8 --runs=1 --jobs=1 --quiet)
+"$CAMPAIGN" "${CAMP_FLAGS[@]}" \
+  --report="$CAMP_DIR/REPORT_campaign_clean.json" 2>/dev/null
+camp_rc=0
+"$CAMPAIGN" "${CAMP_FLAGS[@]}" \
+  --checkpoint="$CAMP_DIR/CHECKPOINT_campaign.json" \
+  --kill-after=3 2>/dev/null || camp_rc=$?
+if [[ "$camp_rc" != 42 ]]; then
+  echo "check.sh: FAIL — campaign kill exited $camp_rc, expected 42" >&2
+  exit 1
+fi
+"$CAMPAIGN" "${CAMP_FLAGS[@]}" \
+  --checkpoint="$CAMP_DIR/CHECKPOINT_campaign.json" --resume \
+  --report="$CAMP_DIR/REPORT_campaign_resumed.json" 2>/dev/null
+if ! cmp -s "$CAMP_DIR/REPORT_campaign_clean.json" \
+    "$CAMP_DIR/REPORT_campaign_resumed.json"; then
+  echo "check.sh: FAIL — resumed campaign report differs from the clean run" >&2
+  exit 1
+fi
+echo "campaign chaos gate OK: killed after 3 shards, resumed byte-identical"
+./build-release/tools/bench_schema_check \
+  "$CAMP_DIR"/CHECKPOINT_campaign.json "$CAMP_DIR"/REPORT_campaign_*.json
+
 echo
-echo "check.sh: tier-1 + ASan + perf + obs + resilience OK"
+echo "check.sh: tier-1 + ASan + perf + obs + resilience + campaign OK"

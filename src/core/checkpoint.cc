@@ -234,6 +234,14 @@ const obs::Counter& bytes_written_counter() {
 
 }  // namespace
 
+bool write_file_atomic(const std::string& path, const std::string& contents) {
+  return write_atomically(path, contents);
+}
+
+std::optional<std::string> read_file_contents(const std::string& path) {
+  return read_file(path);
+}
+
 std::uint64_t cell_config_hash(const ExperimentConfig& config) {
   Fnv h;
   h.u64(static_cast<std::uint64_t>(config.browser));

@@ -46,6 +46,16 @@ inline constexpr int kCheckpointVersion = 1;
 /// profile identity is the caller's responsibility when overriding it.
 std::uint64_t cell_config_hash(const ExperimentConfig& config);
 
+/// Write `contents` to `path` via the atomic temp-file + rename(2) protocol
+/// every persistence path in this module uses. Shared with the campaign
+/// layer (core/campaign.h), whose checkpoints carry shard aggregates rather
+/// than cell series. Returns false (old file intact) on I/O failure.
+bool write_file_atomic(const std::string& path, const std::string& contents);
+
+/// Slurp a file; nullopt when it cannot be read. The forgiving-reader
+/// counterpart of write_file_atomic for resume paths.
+std::optional<std::string> read_file_contents(const std::string& path);
+
 /// cell_config_hash as fixed-width lowercase hex (the on-disk key).
 std::string cell_config_hash_hex(const ExperimentConfig& config);
 

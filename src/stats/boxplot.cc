@@ -46,9 +46,7 @@ BoxStats box_stats(std::vector<double> xs) {
   b.n = xs.size();
   // Three selections on one scratch buffer instead of a full sort: the box
   // needs only Q1/median/Q3, and the whisker scan below is order-free.
-  b.q1 = quantile_select(xs, 0.25);
-  b.median = quantile_select(xs, 0.5);
-  b.q3 = quantile_select(xs, 0.75);
+  quartiles_select(xs, &b.q1, &b.median, &b.q3);
 
   scan_whiskers(b, xs.begin(), xs.end());
   std::sort(b.outliers_lo.begin(), b.outliers_lo.end());

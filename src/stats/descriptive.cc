@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 #include <numeric>
 
 namespace bnm::stats {
@@ -23,18 +24,22 @@ double variance(const std::vector<double>& xs) {
 
 double stddev(const std::vector<double>& xs) { return std::sqrt(variance(xs)); }
 
+namespace {
+double empty_sentinel() { return std::numeric_limits<double>::quiet_NaN(); }
+}  // namespace
+
 double min(const std::vector<double>& xs) {
-  assert(!xs.empty());
+  if (xs.empty()) return empty_sentinel();
   return *std::min_element(xs.begin(), xs.end());
 }
 
 double max(const std::vector<double>& xs) {
-  assert(!xs.empty());
+  if (xs.empty()) return empty_sentinel();
   return *std::max_element(xs.begin(), xs.end());
 }
 
 double quantile_sorted(const std::vector<double>& sorted, double q) {
-  assert(!sorted.empty());
+  if (sorted.empty()) return empty_sentinel();
   assert(q >= 0.0 && q <= 1.0);
   if (sorted.size() == 1) return sorted.front();
   const double pos = q * static_cast<double>(sorted.size() - 1);
@@ -45,7 +50,7 @@ double quantile_sorted(const std::vector<double>& sorted, double q) {
 }
 
 double quantile_select(std::vector<double>& xs, double q) {
-  assert(!xs.empty());
+  if (xs.empty()) return empty_sentinel();
   assert(q >= 0.0 && q <= 1.0);
   if (xs.size() == 1) return xs.front();
   const double pos = q * static_cast<double>(xs.size() - 1);
@@ -84,19 +89,37 @@ double iqr(const std::vector<double>& xs) {
   return q3 - q1;
 }
 
-Summary summarize(std::vector<double> xs) {
+void quartiles_select(std::vector<double>& xs, double* q1, double* median,
+                      double* q3) {
+  *q1 = quantile_select(xs, 0.25);
+  *median = quantile_select(xs, 0.5);
+  *q3 = quantile_select(xs, 0.75);
+}
+
+Summary summarize_select(std::vector<double>& xs) {
   Summary s;
   if (xs.empty()) return s;
-  std::sort(xs.begin(), xs.end());
   s.n = xs.size();
-  s.min = xs.front();
-  s.max = xs.back();
-  s.q1 = quantile_sorted(xs, 0.25);
-  s.median = quantile_sorted(xs, 0.5);
-  s.q3 = quantile_sorted(xs, 0.75);
-  s.mean = mean(xs);
-  s.stddev = stddev(xs);
+  quartiles_select(xs, &s.q1, &s.median, &s.q3);
+  // One linear pass for the order-free moments and extremes (the quartile
+  // selections above left xs partially reordered, which is fine here).
+  double lo = xs.front(), hi = xs.front(), acc = 0.0;
+  for (double x : xs) {
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+    acc += x;
+  }
+  s.min = lo;
+  s.max = hi;
+  s.mean = acc / static_cast<double>(s.n);
+  if (s.n > 1) {
+    double dev = 0.0;
+    for (double x : xs) dev += (x - s.mean) * (x - s.mean);
+    s.stddev = std::sqrt(dev / static_cast<double>(s.n - 1));
+  }
   return s;
 }
+
+Summary summarize(std::vector<double> xs) { return summarize_select(xs); }
 
 }  // namespace bnm::stats

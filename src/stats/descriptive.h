@@ -14,19 +14,28 @@ double mean(const std::vector<double>& xs);
 /// Sample variance (n-1 denominator). Returns 0 for n < 2.
 double variance(const std::vector<double>& xs);
 double stddev(const std::vector<double>& xs);
+/// Empty input returns quiet NaN (a defined sentinel in every build mode —
+/// the old assert-only guard compiled out in Release and read past the end).
 double min(const std::vector<double>& xs);
 double max(const std::vector<double>& xs);
 
 /// Linear-interpolation quantile (type 7, the R/NumPy default).
-/// `q` in [0, 1]. Input need not be sorted. Undefined for empty input.
+/// `q` in [0, 1]. Input need not be sorted. Empty input returns quiet NaN.
 /// Selection-based (std::nth_element): O(n), no full sort.
 double quantile(std::vector<double> xs, double q);
 /// Quantile of an already ascending-sorted vector (no copy).
+/// Empty input returns quiet NaN.
 double quantile_sorted(const std::vector<double>& sorted, double q);
 /// In-place selection quantile over a scratch buffer the caller owns;
 /// partially reorders `xs`. Lets one buffer serve several quantiles
-/// without a copy per call (boxplot, iqr).
+/// without a copy per call (boxplot, iqr). Empty input returns quiet NaN.
 double quantile_select(std::vector<double>& xs, double q);
+
+/// Q1/median/Q3 with three selections over one caller-owned scratch buffer
+/// (partially reorders `xs`; no sort, no copy). The shared quartile path of
+/// summarize() and box_stats(). Empty input sets all three to quiet NaN.
+void quartiles_select(std::vector<double>& xs, double* q1, double* median,
+                      double* q3);
 
 double median(const std::vector<double>& xs);
 
@@ -36,12 +45,17 @@ double mad(const std::vector<double>& xs);
 /// Interquartile range (Q3 - Q1).
 double iqr(const std::vector<double>& xs);
 
-/// Five-number summary + mean in one pass over a sorted copy.
+/// Five-number summary + mean. Computed by selection (no full sort):
+/// three nth_element quartiles plus one linear min/max/mean/variance pass.
 struct Summary {
   std::size_t n = 0;
   double min = 0, q1 = 0, median = 0, q3 = 0, max = 0;
   double mean = 0, stddev = 0;
 };
+/// In-place over a caller-owned scratch buffer (partially reorders `xs`);
+/// large per-shard summaries stop paying an O(n log n) sort per call.
+Summary summarize_select(std::vector<double>& xs);
+/// Convenience copy-in wrapper around summarize_select.
 Summary summarize(std::vector<double> xs);
 
 }  // namespace bnm::stats

@@ -1,0 +1,34 @@
+#include "stats/moving_min.h"
+
+#include <limits>
+
+namespace bnm::stats {
+
+MovingMin::MovingMin(std::size_t window) : window_{window ? window : 1} {}
+
+double MovingMin::push(double value) {
+  const std::uint64_t index = pushes_++;
+  // Evict entries that fell out of the window.
+  while (!deque_.empty() && deque_.front().index + window_ <= index) {
+    deque_.pop_front();
+  }
+  // Pop dominated entries: anything >= value can never be the minimum
+  // again while `value` is in the window.
+  while (!deque_.empty() && deque_.back().value >= value) {
+    deque_.pop_back();
+  }
+  deque_.push_back(Entry{index, value});
+  return deque_.front().value;
+}
+
+double MovingMin::min() const {
+  if (deque_.empty()) return std::numeric_limits<double>::quiet_NaN();
+  return deque_.front().value;
+}
+
+void MovingMin::reset() {
+  deque_.clear();
+  pushes_ = 0;
+}
+
+}  // namespace bnm::stats

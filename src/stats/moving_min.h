@@ -1,0 +1,51 @@
+// Sliding-window minimum tracker (à la pollere/DlyLoc's movingmin.hpp).
+//
+// Delay-measurement pipelines use the minimum of recent RTT samples as the
+// propagation-delay baseline: queueing and scheduling noise only ever add
+// delay, so min-filtering recovers the floor. The campaign layer
+// (core/campaign.h) runs one MovingMin per client over its per-run network
+// RTTs and aggregates `sample - window_min` ("RTT inflation") into a
+// campaign-wide sketch — the same front-door move continuous host-stack
+// latency monitors make.
+//
+// Implementation: the classic monotonic deque. Each push evicts entries
+// older than the window and pops dominated entries from the back, so min()
+// is O(1) and push() is amortized O(1) with at most `window` entries live.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+
+namespace bnm::stats {
+
+class MovingMin {
+ public:
+  /// `window` = number of most recent push() calls the minimum covers
+  /// (>= 1; 0 is clamped to 1).
+  explicit MovingMin(std::size_t window = 16);
+
+  /// Add a sample and return the window minimum including it.
+  double push(double value);
+
+  /// Minimum over the last `window` samples; NaN before the first push.
+  double min() const;
+
+  bool empty() const { return pushes_ == 0; }
+  std::size_t window() const { return window_; }
+  std::uint64_t pushes() const { return pushes_; }
+
+  void reset();
+
+ private:
+  struct Entry {
+    std::uint64_t index;
+    double value;
+  };
+
+  std::size_t window_;
+  std::uint64_t pushes_ = 0;
+  std::deque<Entry> deque_;  ///< values ascending front-to-back
+};
+
+}  // namespace bnm::stats

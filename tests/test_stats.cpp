@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -76,6 +77,53 @@ TEST(Descriptive, SummaryConsistent) {
 TEST(Descriptive, SummaryEmpty) {
   const Summary s = summarize({});
   EXPECT_EQ(s.n, 0u);
+}
+
+// Empty input must return the NaN sentinel in every build mode — the old
+// assert-only guards compiled out in Release and read past the end.
+TEST(Descriptive, EmptyInputsReturnNaN) {
+  std::vector<double> empty;
+  EXPECT_TRUE(std::isnan(min(empty)));
+  EXPECT_TRUE(std::isnan(max(empty)));
+  EXPECT_TRUE(std::isnan(quantile(empty, 0.5)));
+  EXPECT_TRUE(std::isnan(quantile_sorted(empty, 0.5)));
+  EXPECT_TRUE(std::isnan(quantile_select(empty, 0.5)));
+  double q1 = 0, med = 0, q3 = 0;
+  quartiles_select(empty, &q1, &med, &q3);
+  EXPECT_TRUE(std::isnan(q1));
+  EXPECT_TRUE(std::isnan(med));
+  EXPECT_TRUE(std::isnan(q3));
+}
+
+TEST(Descriptive, QuantileSelectMatchesSorted) {
+  sim::Rng rng{99};
+  std::vector<double> xs;
+  for (int i = 0; i < 257; ++i) xs.push_back(rng.lognormal_med(10, 0.8));
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  for (double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    std::vector<double> scratch = xs;  // select partially reorders
+    EXPECT_DOUBLE_EQ(quantile_select(scratch, q), quantile_sorted(sorted, q))
+        << "q=" << q;
+  }
+}
+
+TEST(Descriptive, SummarizeSelectMatchesSortBased) {
+  sim::Rng rng{7};
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(rng.normal(50, 12));
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> scratch = xs;
+  const Summary s = summarize_select(scratch);
+  EXPECT_EQ(s.n, xs.size());
+  EXPECT_DOUBLE_EQ(s.min, sorted.front());
+  EXPECT_DOUBLE_EQ(s.max, sorted.back());
+  EXPECT_DOUBLE_EQ(s.q1, quantile_sorted(sorted, 0.25));
+  EXPECT_DOUBLE_EQ(s.median, quantile_sorted(sorted, 0.5));
+  EXPECT_DOUBLE_EQ(s.q3, quantile_sorted(sorted, 0.75));
+  EXPECT_NEAR(s.mean, mean(xs), 1e-9);
+  EXPECT_NEAR(s.stddev, stddev(xs), 1e-9);
 }
 
 // Property: for any sample, min <= q1 <= median <= q3 <= max, and the

@@ -351,6 +351,232 @@ std::vector<Field> checkpoint_schema(const char* records_key) {
   };
 }
 
+// ---- Campaign schemas --------------------------------------------------
+
+// Derived-quantile summary of one sketch as campaign reports emit it
+// (count plus finite min/max/mean and fixed percentiles, zeros when empty).
+std::vector<Field> sketch_summary() {
+  return {
+      {"count", FieldType::kInt, true, {}},
+      {"min_ms", FieldType::kNumber, true, {}},
+      {"max_ms", FieldType::kNumber, true, {}},
+      {"mean_ms", FieldType::kNumber, true, {}},
+      {"p25_ms", FieldType::kNumber, true, {}},
+      {"p50_ms", FieldType::kNumber, true, {}},
+      {"p75_ms", FieldType::kNumber, true, {}},
+      {"p90_ms", FieldType::kNumber, true, {}},
+      {"p99_ms", FieldType::kNumber, true, {}},
+  };
+}
+
+// Full mergeable sketch state (stats::QuantileSketch::to_json) as campaign
+// checkpoints persist it: grid, exact counters, sparse [index, count] pairs.
+std::vector<Field> sketch_state() {
+  return {
+      {"lo", FieldType::kNumber, true, {}},
+      {"hi", FieldType::kNumber, true, {}},
+      {"cells", FieldType::kInt, true, {}},
+      {"count", FieldType::kInt, true, {}},
+      {"min", FieldType::kNumber, true, {}},
+      {"max", FieldType::kNumber, true, {}},
+      {"sum_ns", FieldType::kInt, true, {}},
+      {"buckets",
+       FieldType::kArray,
+       true,
+       {
+           {"",
+            FieldType::kArray,
+            true,
+            {
+                {"", FieldType::kInt, true, {}},
+            }},
+       }},
+  };
+}
+
+// Resilience counters shared by the aggregate and report per-method rows.
+void push_method_counters(std::vector<Field>* fields) {
+  for (const char* name : {"clients", "samples", "timeouts",
+                           "transport_errors", "degraded", "http_retries",
+                           "http_timeouts"}) {
+    fields->push_back({name, FieldType::kInt, true, {}});
+  }
+}
+
+// One shard's CampaignAggregate (checkpoint "state" member).
+std::vector<Field> campaign_aggregate() {
+  std::vector<Field> method{};
+  push_method_counters(&method);
+  method.push_back({"d1", FieldType::kObject, true, sketch_state()});
+  method.push_back({"d2", FieldType::kObject, true, sketch_state()});
+  method.push_back({"overhead_us",
+                    FieldType::kArray,
+                    true,
+                    {
+                        {"", FieldType::kInt, true, {}},
+                    }});
+  return {
+      {"clients", FieldType::kInt, true, {}},
+      {"samples", FieldType::kInt, true, {}},
+      {"failed_clients", FieldType::kInt, true, {}},
+      {"methods",
+       FieldType::kArray,
+       true,
+       {
+           {"", FieldType::kObject, true, std::move(method)},
+       }},
+      {"profiles",
+       FieldType::kArray,
+       true,
+       {
+           {"",
+            FieldType::kObject,
+            true,
+            {
+                {"clients", FieldType::kInt, true, {}},
+                {"samples", FieldType::kInt, true, {}},
+                {"d", FieldType::kObject, true, sketch_state()},
+            }},
+       }},
+      {"net_rtt", FieldType::kObject, true, sketch_state()},
+      {"rtt_inflation", FieldType::kObject, true, sketch_state()},
+  };
+}
+
+std::vector<Field> campaign_checkpoint_schema() {
+  return {
+      {"format", FieldType::kString, true, {}},
+      {"version", FieldType::kInt, true, {}},
+      {"spec_hash", FieldType::kString, true, {}},
+      {"clients", FieldType::kInt, true, {}},
+      {"shards", FieldType::kInt, true, {}},
+      {"records",
+       FieldType::kArray,
+       true,
+       {
+           {"",
+            FieldType::kObject,
+            true,
+            {
+                {"shard", FieldType::kInt, true, {}},
+                {"state", FieldType::kObject, true, campaign_aggregate()},
+            }},
+       }},
+  };
+}
+
+std::vector<Field> campaign_report_schema() {
+  std::vector<Field> method{{"kind", FieldType::kString, true, {}}};
+  push_method_counters(&method);
+  method.push_back({"d1", FieldType::kObject, true, sketch_summary()});
+  method.push_back({"d2", FieldType::kObject, true, sketch_summary()});
+  method.push_back({"overhead_us",
+                    FieldType::kObject,
+                    true,
+                    {
+                        {"bounds_us",
+                         FieldType::kArray,
+                         true,
+                         {
+                             {"", FieldType::kInt, true, {}},
+                         }},
+                        {"buckets",
+                         FieldType::kArray,
+                         true,
+                         {
+                             {"", FieldType::kInt, true, {}},
+                         }},
+                    }});
+  return {
+      {"format", FieldType::kString, true, {}},
+      {"version", FieldType::kInt, true, {}},
+      {"spec_hash", FieldType::kString, true, {}},
+      {"spec",
+       FieldType::kObject,
+       true,
+       {
+           {"seed", FieldType::kInt, true, {}},
+           {"clients", FieldType::kInt, true, {}},
+           {"runs_per_client", FieldType::kInt, true, {}},
+           {"min_rtt_window", FieldType::kInt, true, {}},
+           {"rtt_median_ms", FieldType::kNumber, true, {}},
+           {"lossy_fraction", FieldType::kNumber, true, {}},
+           {"loss_probability", FieldType::kNumber, true, {}},
+       }},
+      {"totals",
+       FieldType::kObject,
+       true,
+       {
+           {"clients", FieldType::kInt, true, {}},
+           {"samples", FieldType::kInt, true, {}},
+           {"failed_clients", FieldType::kInt, true, {}},
+       }},
+      {"methods",
+       FieldType::kArray,
+       true,
+       {
+           {"", FieldType::kObject, true, std::move(method)},
+       }},
+      {"profiles",
+       FieldType::kArray,
+       true,
+       {
+           {"",
+            FieldType::kObject,
+            true,
+            {
+                {"case", FieldType::kString, true, {}},
+                {"clients", FieldType::kInt, true, {}},
+                {"samples", FieldType::kInt, true, {}},
+                {"d", FieldType::kObject, true, sketch_summary()},
+            }},
+       }},
+      {"net_rtt", FieldType::kObject, true, sketch_summary()},
+      {"rtt_inflation", FieldType::kObject, true, sketch_summary()},
+  };
+}
+
+std::vector<Field> campaign_scale_schema() {
+  return {
+      {"clients", FieldType::kInt, true, {}},
+      {"runs_per_client", FieldType::kInt, true, {}},
+      {"shards", FieldType::kInt, true, {}},
+      {"jobs", FieldType::kInt, true, {}},
+      {"wall_ms", FieldType::kNumber, true, {}},
+      {"clients_per_sec", FieldType::kNumber, true, {}},
+      {"samples", FieldType::kInt, true, {}},
+      {"failed_clients", FieldType::kInt, true, {}},
+      {"identity",
+       FieldType::kObject,
+       true,
+       {
+           {"clients", FieldType::kInt, true, {}},
+           {"report_bytes", FieldType::kInt, true, {}},
+           {"identical_shards", FieldType::kBool, true, {}},
+       }},
+      {"memory",
+       FieldType::kObject,
+       true,
+       {
+           {"aggregate_bytes", FieldType::kInt, true, {}},
+           {"independent_of_clients", FieldType::kBool, true, {}},
+           {"peak_rss_kb", FieldType::kInt, true, {}},
+           {"per_shards",
+            FieldType::kArray,
+            true,
+            {
+                {"",
+                 FieldType::kObject,
+                 true,
+                 {
+                     {"shards", FieldType::kInt, true, {}},
+                     {"aggregation_bytes", FieldType::kInt, true, {}},
+                 }},
+            }},
+       }},
+  };
+}
+
 bool has_prefix(const char* s, const char* prefix) {
   return std::strncmp(s, prefix, std::strlen(prefix)) == 0;
 }
@@ -371,6 +597,13 @@ int check_file(const char* path) {
     schema = fault_overhead_schema();
   } else if (!std::strcmp(base, "BENCH_obs_overhead.json")) {
     schema = obs_overhead_schema();
+  } else if (!std::strcmp(base, "BENCH_campaign_scale.json")) {
+    schema = campaign_scale_schema();
+  } else if (has_prefix(base, "REPORT_campaign")) {
+    schema = campaign_report_schema();
+  } else if (has_prefix(base, "CHECKPOINT_campaign")) {
+    // Must precede the bare CHECKPOINT prefix (matrix checkpoints).
+    schema = campaign_checkpoint_schema();
   } else if (has_prefix(base, "CHECKPOINT")) {
     schema = checkpoint_schema("records");
   } else if (has_prefix(base, "REPORT_matrix")) {

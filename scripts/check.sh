@@ -2,9 +2,10 @@
 # Tier-1 verification plus an AddressSanitizer pass, a perf gate, the
 # observability gates (obs tests, obs_overhead A/B, bench-JSON schemas),
 # the Release kernel gate (calendar-vs-heap bit-identity across the full
-# matrix + a scheduler events/sec floor) and the campaign gates (100k-client
+# matrix + a scheduler events/sec floor), the campaign gates (100k-client
 # Release throughput floor, O(shards) aggregation memory, shard-count and
-# kill/resume report byte-identity).
+# kill/resume report byte-identity) and the passive gates (TSval-matcher
+# packets/sec floor + offline-pcap report byte-identity vs the live tap).
 #
 #   scripts/check.sh          # full: plain build + ctest, ASan build + ctest,
 #                             # then Release perf_matrix (arena A/B gate) and
@@ -64,6 +65,9 @@ ctest --test-dir build -L resilience --output-on-failure
 step "campaign: ctest (-L campaign)"
 ctest --test-dir build -L campaign --output-on-failure
 
+step "passive: ctest (-L passive)"
+ctest --test-dir build -L passive --output-on-failure
+
 if [[ "$FAST" == 1 ]]; then
   echo
   echo "check.sh: tier-1 OK (ASan and perf passes skipped with --fast)"
@@ -75,7 +79,7 @@ step "asan: configure (BNM_SANITIZE=address)"
 cmake -B build-asan -S . $(gen_for build-asan) -DBNM_SANITIZE=address
 
 step "asan: build tests"
-cmake --build build-asan -j --target bnm_tests bnm_fault_tests bnm_perf_tests bnm_obs_tests bnm_kernel_tests bnm_resilience_tests bnm_campaign_tests
+cmake --build build-asan -j --target bnm_tests bnm_fault_tests bnm_perf_tests bnm_obs_tests bnm_kernel_tests bnm_resilience_tests bnm_campaign_tests bnm_passive_tests
 
 step "asan: ctest"
 ctest --test-dir build-asan --output-on-failure
@@ -85,7 +89,7 @@ step "perf: configure (Release)"
 cmake -B build-release -S . $(gen_for build-release) -DCMAKE_BUILD_TYPE=Release
 
 step "perf: build bench"
-cmake --build build-release -j --target perf_matrix obs_overhead bench_schema_check chaos_matrix campaign_scale campaign
+cmake --build build-release -j --target perf_matrix obs_overhead bench_schema_check chaos_matrix campaign_scale campaign passive_scale passive_pcap
 
 step "perf: bench/perf_matrix --runs=4 (arena A/B gate)"
 # perf_matrix itself exits non-zero when the arena-off reference pass is not
@@ -192,6 +196,54 @@ if ! awk -v v="$CPS" -v floor="$CPS_FLOOR" \
 fi
 echo "campaign scale gate OK: ${CPS} clients/s (floor ${CPS_FLOOR}), O(shards) memory"
 
+step "passive: bench/passive_scale (matcher throughput floor)"
+# The TSval matcher must sustain a Release throughput floor on a synthetic
+# trunk capture (64 flows x 8k packets). passive_scale exits non-zero
+# itself when two replays of the stream serialize different reports.
+(cd build-release && ./bench/passive_scale)
+if ! grep -q '"identical_reports": true' build-release/BENCH_passive_scale.json; then
+  echo "check.sh: FAIL — passive reports differ across replays" >&2
+  exit 1
+fi
+# Floor far below the millions of packets/s a hash-map matcher manages in
+# Release, but far above anything a per-packet-allocation regression or an
+# accidental O(flows) scan would leave standing.
+PPS_FLOOR=200000
+PPS=$(sed -n 's/.*"packets_per_sec": *\([0-9][0-9.]*\).*/\1/p' \
+  build-release/BENCH_passive_scale.json | head -n1)
+if [[ -z "$PPS" ]]; then
+  echo "check.sh: FAIL — packets_per_sec missing from BENCH_passive_scale.json" >&2
+  exit 1
+fi
+if ! awk -v v="$PPS" -v floor="$PPS_FLOOR" \
+    'BEGIN { exit (v + 0 >= floor) ? 0 : 1 }'; then
+  echo "check.sh: FAIL — passive matcher ${PPS} packets/s below floor ${PPS_FLOOR}" >&2
+  exit 1
+fi
+echo "passive scale gate OK: ${PPS} packets/s (floor ${PPS_FLOOR})"
+
+step "passive: pcap round-trip gate (offline report == live tap report)"
+# A faulted run's client tap written to a classic pcap file, re-read
+# offline and fed to a fresh estimator must reproduce the live tap's
+# report byte for byte. passive_pcap exits non-zero itself on a mismatch
+# (or when the faults failed to exercise the Karn-suppression path); the
+# cmp double-checks the emitted files.
+PASSIVE_DIR=build-release/passive_roundtrip
+rm -rf "$PASSIVE_DIR"
+mkdir -p "$PASSIVE_DIR"
+./build-release/tools/passive_pcap \
+  --pcap="$PASSIVE_DIR/capture.pcap" \
+  --live-report="$PASSIVE_DIR/REPORT_passive_live.json" \
+  --offline-report="$PASSIVE_DIR/REPORT_passive_offline.json"
+if ! cmp -s "$PASSIVE_DIR/REPORT_passive_live.json" \
+    "$PASSIVE_DIR/REPORT_passive_offline.json"; then
+  echo "check.sh: FAIL — offline pcap report differs from the live tap" >&2
+  exit 1
+fi
+echo "passive pcap gate OK: offline report byte-identical to the live tap"
+./build-release/tools/bench_schema_check \
+  "$PASSIVE_DIR"/REPORT_passive_*.json
+
 step "obs: validate BENCH_*.json against docs/BENCH_SCHEMAS.md"
 # Every bench JSON present in the release tree must match its documented
 # schema exactly (unknown or missing fields fail).
@@ -271,4 +323,4 @@ echo "campaign chaos gate OK: killed after 3 shards, resumed byte-identical"
   "$CAMP_DIR"/CHECKPOINT_campaign.json "$CAMP_DIR"/REPORT_campaign_*.json
 
 echo
-echo "check.sh: tier-1 + ASan + perf + obs + resilience + campaign OK"
+echo "check.sh: tier-1 + ASan + perf + obs + resilience + campaign + passive OK"

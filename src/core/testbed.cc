@@ -26,7 +26,10 @@ Testbed::Testbed(Config config) : config_{config}, sim_{config.seed} {
   net::Host::Config sc;
   sc.name = "server";
   sc.ip = kServerIp;
-  sc.capture.enabled = false;  // the paper captures on the client
+  // The paper captures on the client; far-end passive taps opt in.
+  sc.capture.enabled = config_.capture_at_server;
+  sc.capture.timestamp_jitter = config_.capture_jitter;
+  sc.capture.name = "server/pcap";
   net::DelayEmulator::Config nm;
   nm.delay = config_.server_delay;
   nm.jitter = config_.server_jitter;

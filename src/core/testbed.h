@@ -31,6 +31,10 @@ class Testbed {
     sim::Duration link_propagation = sim::Duration::micros(5);
     /// Client capture timestamping error (software capture, <= ~0.3 ms).
     sim::Duration capture_jitter = sim::Duration::micros(50);
+    /// Also arm the server NIC's capture tap (same jitter). Off by default —
+    /// the paper captures on the client — but the passive estimator can sit
+    /// at either end, so far-end scenarios switch this on.
+    bool capture_at_server = false;
     browser::OsId client_os = browser::OsId::kWindows7;
     net::Port http_port = 80;
     net::Port tcp_echo_port = 9000;

@@ -16,8 +16,11 @@ std::string TcpFlags::to_string() const {
 }
 
 std::size_t Packet::ip_size() const {
-  const std::size_t transport =
+  std::size_t transport =
       protocol == Protocol::kTcp ? kTcpHeaderBytes : kUdpHeaderBytes;
+  if (protocol == Protocol::kTcp && ts.present) {
+    transport += kTcpTimestampOptionBytes;
+  }
   return kIpHeaderBytes + transport + payload.size();
 }
 
@@ -32,6 +35,12 @@ std::string Packet::to_string() const {
                   static_cast<unsigned long long>(id), src.to_string().c_str(),
                   dst.to_string().c_str(), flags.to_string().c_str(), seq, ack,
                   payload.size());
+    if (ts.present) {
+      char tsbuf[48];
+      std::snprintf(tsbuf, sizeof tsbuf, " TS val=%u ecr=%u", ts.tsval,
+                    ts.tsecr);
+      return std::string(buf) + tsbuf + (corrupted ? " CORRUPT" : "");
+    }
   } else {
     std::snprintf(buf, sizeof buf, "#%llu %s > %s UDP len=%zu",
                   static_cast<unsigned long long>(id), src.to_string().c_str(),

@@ -35,11 +35,25 @@ struct TcpFlags {
 };
 
 /// Wire-size constants (bytes) used for serialization-delay math and pcap
-/// synthesis. No options are modelled.
+/// synthesis. The only TCP option modelled is the RFC 7323 timestamp option
+/// (NOP, NOP, kind=8, len=10 — 12 bytes after padding), present when a
+/// connection negotiates `TcpConfig::timestamps`.
 inline constexpr std::size_t kIpHeaderBytes = 20;
 inline constexpr std::size_t kTcpHeaderBytes = 20;
+inline constexpr std::size_t kTcpTimestampOptionBytes = 12;
 inline constexpr std::size_t kUdpHeaderBytes = 8;
 inline constexpr std::size_t kEthernetOverheadBytes = 38;  // hdr+FCS+preamble+IFG
+
+/// RFC 7323 TCP timestamp option. `tsval` is the sender's timestamp clock at
+/// transmit time; `tsecr` echoes the peer's most recent in-window TSval (valid
+/// only on segments with the ACK bit, and zero on an initial SYN).
+struct TcpTimestampOption {
+  bool present = false;
+  std::uint32_t tsval = 0;
+  std::uint32_t tsecr = 0;
+
+  bool operator==(const TcpTimestampOption&) const = default;
+};
 
 struct Packet {
   std::uint64_t id = 0;  ///< globally unique per simulation, for tracing
@@ -52,6 +66,7 @@ struct Packet {
   std::uint32_t seq = 0;
   std::uint32_t ack = 0;
   std::uint16_t window = 65535;
+  TcpTimestampOption ts;
 
   Payload payload;
 

@@ -65,6 +65,24 @@ std::optional<Packet> PcapReader::parse_frame(const Payload& frame) {
     pkt.flags.psh = flags & 0x08;
     pkt.flags.ack = flags & 0x10;
     pkt.window = u16be(t + 14);
+    // Walk the option bytes for the RFC 7323 timestamp (kind 8, len 10).
+    for (std::size_t o = kTcpHeaderBytes; o < data_offset;) {
+      const unsigned char kind = t[o];
+      if (kind == 0) break;  // end of option list
+      if (kind == 1) {       // NOP pad
+        ++o;
+        continue;
+      }
+      if (o + 1 >= data_offset) break;
+      const std::size_t len = t[o + 1];
+      if (len < 2 || o + len > data_offset) break;  // malformed: stop
+      if (kind == 8 && len == 10) {
+        pkt.ts.present = true;
+        pkt.ts.tsval = u32be(t + o + 2);
+        pkt.ts.tsecr = u32be(t + o + 6);
+      }
+      o += len;
+    }
     pkt.payload = frame.subview(ihl + data_offset, remaining - data_offset);
   } else if (proto == 17) {
     pkt.protocol = Protocol::kUdp;

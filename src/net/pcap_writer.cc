@@ -57,9 +57,11 @@ std::vector<std::uint8_t> PcapWriter::synthesize_frame(
   f.reserve(kIpHeaderBytes + kTcpHeaderBytes + packet.payload.size());
 
   const bool tcp = packet.protocol == Protocol::kTcp;
+  const bool has_ts = tcp && packet.ts.present;
+  const std::size_t tcp_header =
+      kTcpHeaderBytes + (has_ts ? kTcpTimestampOptionBytes : 0);
   const std::size_t total =
-      kIpHeaderBytes + (tcp ? kTcpHeaderBytes : kUdpHeaderBytes) +
-      wire_payload_len;
+      kIpHeaderBytes + (tcp ? tcp_header : kUdpHeaderBytes) + wire_payload_len;
 
   // --- IPv4 header (20 bytes, no options) ---
   f.push_back(0x45);  // version 4, IHL 5
@@ -77,12 +79,12 @@ std::vector<std::uint8_t> PcapWriter::synthesize_frame(
   f[11] = static_cast<std::uint8_t>(csum & 0xff);
 
   if (tcp) {
-    // --- TCP header (20 bytes, no options) ---
+    // --- TCP header (20 bytes, + 12 option bytes when timestamps ride) ---
     put_u16be(f, packet.src.port);
     put_u16be(f, packet.dst.port);
     put_u32be(f, packet.seq);
     put_u32be(f, packet.ack);
-    f.push_back(0x50);  // data offset 5
+    f.push_back(static_cast<std::uint8_t>((tcp_header / 4) << 4));
     std::uint8_t flags = 0;
     if (packet.flags.fin) flags |= 0x01;
     if (packet.flags.syn) flags |= 0x02;
@@ -93,6 +95,15 @@ std::vector<std::uint8_t> PcapWriter::synthesize_frame(
     put_u16be(f, packet.window);
     put_u16be(f, 0);  // checksum (offloaded)
     put_u16be(f, 0);  // urgent pointer
+    if (has_ts) {
+      // RFC 7323 recommended layout: NOP, NOP, kind=8, len=10, TSval, TSecr.
+      f.push_back(1);
+      f.push_back(1);
+      f.push_back(8);
+      f.push_back(10);
+      put_u32be(f, packet.ts.tsval);
+      put_u32be(f, packet.ts.tsecr);
+    }
   } else {
     // --- UDP header (8 bytes) ---
     put_u16be(f, packet.src.port);

@@ -52,6 +52,35 @@ TcpConnection::TcpConnection(Host& host, FourTuple tuple, TcpConfig config,
   ssthresh_ = static_cast<double>(config_.send_window);
 }
 
+std::uint32_t TcpConnection::tsval_now() const {
+  const std::int64_t granule =
+      std::max<std::int64_t>(config_.ts_granule.ns(), 1);
+  const std::int64_t ticks = host_.sim().now().ns_since_epoch() / granule;
+  return config_.ts_offset + static_cast<std::uint32_t>(ticks);
+}
+
+void TcpConnection::stamp_timestamps(Packet& pkt) const {
+  if (!ts_ok_) return;
+  pkt.ts.present = true;
+  pkt.ts.tsval = tsval_now();
+  pkt.ts.tsecr = ts_recent_valid_ ? ts_recent_ : 0;
+}
+
+void TcpConnection::note_ts_recent(const Packet& seg) {
+  if (!ts_ok_ || !seg.ts.present) return;
+  // Update only when the segment sits at (or left of) the last ACK we sent:
+  // a burst received before a cumulative ACK leaves TS.Recent at the burst's
+  // *first* segment, so the delayed ACK's TSecr times the full round trip
+  // including the delayed-ACK wait — exactly RFC 7323 §4.3.
+  if (!seq_leq(seg.seq, last_ack_sent_)) return;
+  if (ts_recent_valid_ &&
+      static_cast<std::int32_t>(seg.ts.tsval - ts_recent_) < 0) {
+    return;  // older timestamp (e.g. a reordered segment): keep TS.Recent
+  }
+  ts_recent_ = seg.ts.tsval;
+  ts_recent_valid_ = true;
+}
+
 std::size_t TcpConnection::effective_window() const {
   if (!config_.congestion_control) return config_.send_window;
   return std::min(config_.send_window,
@@ -77,6 +106,11 @@ void TcpConnection::start_active_open() {
   syn.dst = tuple_.remote;
   syn.flags.syn = true;
   syn.seq = iss_;
+  if (config_.timestamps) {
+    // Offer RFC 7323 timestamps; TSecr is zero until the peer accepts.
+    syn.ts.present = true;
+    syn.ts.tsval = tsval_now();
+  }
   snd_nxt_ = iss_ + 1;
   rtx_queue_.push_back(Unacked{iss_, syn});
   ++segments_sent_;
@@ -158,6 +192,8 @@ void TcpConnection::transmit_segment(Payload chunk, bool fin) {
   seg.flags.fin = fin;
   seg.seq = snd_nxt_;
   seg.ack = rcv_nxt_;
+  stamp_timestamps(seg);
+  last_ack_sent_ = rcv_nxt_;
   seg.payload = std::move(chunk);
   snd_nxt_ += static_cast<std::uint32_t>(seg.payload.size()) + (fin ? 1 : 0);
   // The outgoing data/FIN acknowledges everything received so far, so any
@@ -177,6 +213,8 @@ void TcpConnection::send_control(TcpFlags flags, std::uint32_t seq) {
   pkt.flags = flags;
   pkt.seq = seq;
   pkt.ack = flags.ack ? rcv_nxt_ : 0;
+  stamp_timestamps(pkt);  // delayed ACKs reach here at fire time: fresh TSval
+  if (flags.ack) last_ack_sent_ = rcv_nxt_;
   ++segments_sent_;
   host_.send_packet(std::move(pkt));
 }
@@ -225,6 +263,8 @@ void TcpConnection::abort() {
 void TcpConnection::on_segment(const Packet& seg) {
   assert(seg.protocol == Protocol::kTcp);
 
+  note_ts_recent(seg);  // no-op until timestamps negotiate
+
   if (seg.flags.rst) {
     if (state_ == State::kClosed) return;
     cancel_rto();
@@ -244,6 +284,12 @@ void TcpConnection::on_segment(const Packet& seg) {
       if (seg.flags.syn && seg.flags.ack && seg.ack == iss_ + 1) {
         irs_ = seg.seq;
         rcv_nxt_ = seg.seq + 1;
+        if (config_.timestamps && seg.ts.present) {
+          // Peer echoed our offer on the SYN-ACK: timestamps are on.
+          ts_ok_ = true;
+          ts_recent_ = seg.ts.tsval;
+          ts_recent_valid_ = true;
+        }
         handle_ack(seg.ack);
         enter(State::kEstablished);
         send_ack_now();
@@ -260,6 +306,12 @@ void TcpConnection::on_segment(const Packet& seg) {
           irs_ = seg.seq;
           rcv_nxt_ = seg.seq + 1;
           snd_nxt_ = iss_ + 1;
+          if (config_.timestamps && seg.ts.present) {
+            // Accept the peer's RFC 7323 offer; the SYN-ACK echoes its TSval.
+            ts_ok_ = true;
+            ts_recent_ = seg.ts.tsval;
+            ts_recent_valid_ = true;
+          }
           Packet synack;
           synack.protocol = Protocol::kTcp;
           synack.src = tuple_.local;
@@ -268,6 +320,8 @@ void TcpConnection::on_segment(const Packet& seg) {
           synack.flags.ack = true;
           synack.seq = iss_;
           synack.ack = rcv_nxt_;
+          stamp_timestamps(synack);
+          last_ack_sent_ = rcv_nxt_;
           rtx_queue_.push_back(Unacked{iss_, synack});
           ++segments_sent_;
           host_.send_packet(std::move(synack));
@@ -475,6 +529,13 @@ void TcpConnection::retransmit_first_unacked(const char* reason) {
   if (rtx_queue_.empty()) return;
   Packet again = rtx_queue_.front().packet;
   if (again.flags.ack) again.ack = rcv_nxt_;  // refresh cumulative ACK
+  if (again.ts.present) {
+    // RFC 7323: retransmissions carry the *current* clock, which is what
+    // lets a timestamp-aware observer (or RTTM) disambiguate the echo —
+    // and what a Karn-conservative passive estimator must still discard.
+    again.ts.tsval = tsval_now();
+    if (ts_ok_ && ts_recent_valid_) again.ts.tsecr = ts_recent_;
+  }
   ++retransmissions_;
   if (host_.sim().trace().enabled()) {
     host_.sim().trace().emit(host_.sim().now(), "tcp/" + tuple_.to_string(),

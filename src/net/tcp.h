@@ -60,6 +60,18 @@ struct TcpConfig {
   bool congestion_control = false;
   std::size_t initial_cwnd_segments = 10;  ///< IW10, era-appropriate
   sim::Duration time_wait = sim::Duration::millis(1);
+  /// RFC 7323 timestamp option (TSval/TSecr). Off by default: the option adds
+  /// 12 bytes to every segment, which shifts serialization delay and would
+  /// perturb every calibrated deterministic result; passive-estimation
+  /// scenarios opt in. Negotiated on SYN/SYN-ACK — both ends must enable it.
+  bool timestamps = false;
+  /// Tick of the timestamp clock (Linux-like 1 ms per TSval increment).
+  sim::Duration ts_granule = sim::Duration::millis(1);
+  /// Added to the tick count when stamping TSval; lets tests start the clock
+  /// near 2^32 to exercise wraparound. Defaults to 1 so the simulation epoch
+  /// never emits TSval 0 — a zero would be indistinguishable from the
+  /// TSecr "no echo yet" sentinel when the peer echoes it back.
+  std::uint32_t ts_offset = 1;
 };
 
 class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
@@ -117,6 +129,10 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
   /// window when congestion control is on).
   std::size_t effective_window() const;
   double cwnd_bytes() const { return cwnd_; }
+  /// True once RFC 7323 timestamps were negotiated on this connection.
+  bool timestamps_negotiated() const { return ts_ok_; }
+  /// TS.Recent: the peer TSval that our next ACK will echo.
+  std::uint32_t ts_recent() const { return ts_recent_; }
 
   // --- Host-internal entry points (not for applications) ---
   void start_active_open();
@@ -139,6 +155,14 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
   void cancel_rto();
   void on_rto_fire();
   void deregister();
+  /// Current TSval: simulated time quantized to ts_granule, plus ts_offset.
+  std::uint32_t tsval_now() const;
+  /// Attach the timestamp option to an outgoing segment (ts_ok_ only).
+  void stamp_timestamps(Packet& pkt) const;
+  /// RFC 7323 §4.3: TS.Recent tracks the TSval of the segment occupying the
+  /// left edge of the receive window, so cumulative/delayed ACKs echo the
+  /// *earliest* unacknowledged segment's clock.
+  void note_ts_recent(const Packet& seg);
 
   Host& host_;
   FourTuple tuple_;
@@ -179,6 +203,12 @@ class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
       reassembly_;
   sim::EventHandle delack_timer_;
   bool fin_received_ = false;
+
+  // RFC 7323 timestamp state.
+  bool ts_ok_ = false;                  ///< negotiated on SYN/SYN-ACK
+  bool ts_recent_valid_ = false;
+  std::uint32_t ts_recent_ = 0;         ///< TSval our ACKs echo
+  std::uint32_t last_ack_sent_ = 0;     ///< Last.ACK.sent (left window edge)
 
   std::uint64_t segments_sent_ = 0;
   std::uint64_t retransmissions_ = 0;

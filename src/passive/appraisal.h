@@ -1,0 +1,94 @@
+// Appraising the passive estimator the way the paper appraises browser
+// methods: run traffic through a testbed, measure with the method under
+// test, and compare against capture ground truth.
+//
+// The twist is that the "method" here injects nothing. Background HTTP
+// (and optionally WebSocket) traffic flows client -> server with RFC 7323
+// timestamps negotiated; a PassiveRttEstimator watches the tap at the
+// chosen capture point and its TSval-echo samples are appraised against
+// two ground truths, both taken from the capture's jitter-free true_time
+// column:
+//
+//   * pair error  — the same two packets (anchor, echo) timed on the true
+//     clock. Isolates the estimator's observation-path error: capture
+//     jitter + microsecond quantization. This is the analogue of the
+//     paper's Eq. (1) Δd, and the acceptance bound (median |error| ≤ one
+//     TSval tick on loss-free testbeds) applies to it.
+//   * exchange error — the request/response transaction nearest the
+//     sample's anchor. Folds in echo-path effects (delayed ACKs, server
+//     think time), the gap a deployed pping-style monitor actually has to
+//     live with.
+//
+// Errors split d1 (first sample per flow: handshake/fresh-connection
+// territory) vs d2 (steady state), mirroring the paper's d1/d2 panels, and
+// flow into the existing boxplot + quantile-sketch pipelines.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/testbed.h"
+#include "passive/rtt_estimator.h"
+#include "report/boxplot_render.h"
+#include "stats/boxplot.h"
+#include "stats/quantile_sketch.h"
+
+namespace bnm::passive {
+
+/// Where the estimator's tap sits. The paper's WinDump placement (client
+/// NIC) is the default; the server NIC sees the same flows with the roles
+/// of the two ground-truth directions swapped.
+enum class CapturePoint { kClient, kServer };
+
+const char* to_string(CapturePoint p);
+
+struct PassiveScenario {
+  std::string label = "fixed";
+  /// Testbed knobs (netem jitter, loss, faults, cross traffic...). The
+  /// runner forces tcp.timestamps on — there is nothing to observe without
+  /// the option on the wire.
+  core::Testbed::Config testbed;
+  CapturePoint capture_point = CapturePoint::kClient;
+  int http_exchanges = 40;            ///< keep-alive GETs of /passive
+  std::size_t response_bytes = 600;   ///< /passive body size
+  sim::Duration think_gap = sim::Duration::millis(20);
+  int ws_messages = 10;               ///< background WS echo volley (0 = off)
+};
+
+struct PassiveAppraisalResult {
+  std::string label;
+  CapturePoint capture_point = CapturePoint::kClient;
+  PassiveCounters counters;
+  std::size_t http_responses = 0;  ///< exchanges that actually completed
+  std::size_t ws_echoes = 0;
+
+  /// Pair error (sample RTT minus true packet-pair RTT, ms), split d1/d2.
+  std::vector<double> pair_err_d1_ms;
+  std::vector<double> pair_err_d2_ms;
+  /// Exchange error (sample RTT minus nearest true request/response RTT,
+  /// ms) for client-originated samples toward the HTTP port.
+  std::vector<double> exchange_err_ms;
+  /// |pair error| folded into the mergeable sketch pipeline (ms grid).
+  stats::QuantileSketch abs_pair_err_ms;
+  /// Canonical estimator report — the byte-identity artifact the offline
+  /// pcap gate compares against.
+  std::string report_json;
+
+  stats::BoxStats d1_box() const;
+  stats::BoxStats d2_box() const;
+  /// Median |pair error| in ms across all samples (the acceptance metric).
+  double median_abs_pair_err_ms() const;
+
+  PassiveAppraisalResult();
+};
+
+/// Run one scenario end to end: testbed + traffic + tap + estimator +
+/// ground-truth comparison. Deterministic in the scenario (seeded).
+PassiveAppraisalResult run_passive_appraisal(const PassiveScenario& scenario);
+
+/// Figure-3-style panel: one "<label> (point) d1" / "... d2" row pair per
+/// result, on a shared ms scale.
+std::string render_passive_boxplots(
+    const std::vector<PassiveAppraisalResult>& results);
+
+}  // namespace bnm::passive

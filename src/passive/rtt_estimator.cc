@@ -1,0 +1,299 @@
+#include "passive/rtt_estimator.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "stats/descriptive.h"
+
+namespace bnm::passive {
+
+namespace {
+
+// Sequence-space comparison (RFC 793 modular arithmetic), same discipline
+// as net/tcp.cc.
+bool seq_leq(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b) <= 0;
+}
+bool seq_lt(std::uint32_t a, std::uint32_t b) {
+  return static_cast<std::int32_t>(a - b) < 0;
+}
+
+// Sweep cadence for anchor eviction: amortized, content-deterministic.
+constexpr std::uint64_t kEvictEvery = 4096;
+
+const obs::Counter& m_packets() {
+  static const obs::Counter c = obs::MetricsRegistry::instance().counter(
+      "passive.packets_scanned", "packets", "observations fed to the matcher");
+  return c;
+}
+const obs::Counter& m_ts_packets() {
+  static const obs::Counter c = obs::MetricsRegistry::instance().counter(
+      "passive.ts_packets", "packets", "observations carrying RFC 7323 TS");
+  return c;
+}
+const obs::Counter& m_anchors() {
+  static const obs::Counter c = obs::MetricsRegistry::instance().counter(
+      "passive.anchors", "anchors", "TSval anchors stored (first sight)");
+  return c;
+}
+const obs::Counter& m_dup_tsvals() {
+  static const obs::Counter c = obs::MetricsRegistry::instance().counter(
+      "passive.duplicate_tsvals", "packets",
+      "repeat TSvals at coarse clock granularity (not re-anchored)");
+  return c;
+}
+const obs::Counter& m_retx_poisoned() {
+  static const obs::Counter c = obs::MetricsRegistry::instance().counter(
+      "passive.retransmit_poisoned", "anchors",
+      "anchors poisoned by the Karn's-rule analogue");
+  return c;
+}
+const obs::Counter& m_suppressed() {
+  static const obs::Counter c = obs::MetricsRegistry::instance().counter(
+      "passive.suppressed_samples", "samples",
+      "echoes of poisoned anchors (discarded, never emitted)");
+  return c;
+}
+const obs::Counter& m_samples() {
+  static const obs::Counter c = obs::MetricsRegistry::instance().counter(
+      "passive.samples", "samples", "RTT samples emitted");
+  return c;
+}
+const obs::Counter& m_unmatched() {
+  static const obs::Counter c = obs::MetricsRegistry::instance().counter(
+      "passive.unmatched_echoes", "packets",
+      "TSecr with no stored anchor (unidirectional visibility / evicted)");
+  return c;
+}
+const obs::Counter& m_evicted() {
+  static const obs::Counter c = obs::MetricsRegistry::instance().counter(
+      "passive.evicted_anchors", "anchors",
+      "anchors aged out of the matching window");
+  return c;
+}
+const obs::Counter& m_half_flows() {
+  static const obs::Counter c = obs::MetricsRegistry::instance().counter(
+      "passive.half_flows", "flows", "directional (src,dst) pairs observed");
+  return c;
+}
+
+}  // namespace
+
+void PassiveRttEstimator::observe(const net::Packet& pkt, sim::TimePoint at,
+                                  std::size_t wire_payload_len) {
+  observe_at(pkt, at, wire_payload_len, next_index_);
+  ++next_index_;
+}
+
+void PassiveRttEstimator::observe_at(const net::Packet& pkt, sim::TimePoint at,
+                                     std::size_t wire_payload_len,
+                                     std::size_t index) {
+  ++counters_.packets;
+  const sim::TimePoint t = at.quantized_floor(config_.timestamp_quantum);
+  if (counters_.packets % kEvictEvery == 0) maybe_evict(t);
+  if (pkt.protocol != net::Protocol::kTcp || !pkt.ts.present) return;
+  ++counters_.ts_packets;
+
+  // --- forward half-flow: anchor this packet's TSval ---
+  auto [fit, fresh_flow] = flows_.try_emplace(HalfFlowKey{pkt.src, pkt.dst});
+  HalfFlow& fw = fit->second;
+  if (fresh_flow) ++counters_.half_flows;
+
+  // Karn's-rule analogue: a segment whose sequence space was already covered
+  // (RTO/fast retransmit, zero-window probe poking an acked byte) cannot be
+  // attributed a unique send time, so its TSval must never anchor a sample.
+  bool retransmit = false;
+  const std::uint32_t occupies =
+      static_cast<std::uint32_t>(wire_payload_len) +
+      (pkt.flags.syn ? 1 : 0) + (pkt.flags.fin ? 1 : 0);
+  if (occupies > 0) {
+    const std::uint32_t end = pkt.seq + occupies;
+    if (fw.seen_seq && seq_leq(end, fw.max_seq_end)) {
+      retransmit = true;
+    } else {
+      fw.max_seq_end =
+          fw.seen_seq && seq_lt(end, fw.max_seq_end) ? fw.max_seq_end : end;
+      fw.seen_seq = true;
+    }
+  }
+
+  auto [ait, fresh_anchor] = fw.anchors.try_emplace(
+      pkt.ts.tsval, Anchor{t, index, /*matched=*/false, retransmit});
+  if (fresh_anchor) {
+    ++counters_.anchors;
+    if (retransmit) ++counters_.retransmit_poisoned;
+  } else if (retransmit && !ait->second.poisoned) {
+    // A coarse clock let the retransmit reuse the original's TSval: the
+    // original anchor is now ambiguous too.
+    ait->second.poisoned = true;
+    ++counters_.retransmit_poisoned;
+  } else if (!retransmit) {
+    ++counters_.duplicate_tsvals;  // first sight keeps the anchor
+  }
+
+  // --- reverse half-flow: match this packet's TSecr against an anchor ---
+  // TSecr is only meaningful on ACK segments, and zero means "never seen a
+  // timestamp from you" (an initial SYN).
+  if (!pkt.flags.ack || pkt.ts.tsecr == 0) return;
+  const auto rit = flows_.find(HalfFlowKey{pkt.dst, pkt.src});
+  if (rit == flows_.end()) {
+    ++counters_.unmatched_echoes;
+    return;
+  }
+  HalfFlow& rv = rit->second;
+  const auto eit = rv.anchors.find(pkt.ts.tsecr);
+  if (eit == rv.anchors.end()) {
+    ++counters_.unmatched_echoes;
+    return;
+  }
+  Anchor& anchor = eit->second;
+  if (anchor.matched) return;  // cumulative ACKs repeat TSecr: one sample only
+  anchor.matched = true;
+  if (anchor.poisoned) {
+    ++counters_.suppressed_samples;
+    return;
+  }
+  PassiveSample s;
+  s.from = pkt.dst;
+  s.to = pkt.src;
+  s.anchor_at = anchor.at;
+  s.echo_at = t;
+  s.rtt = t - anchor.at;
+  s.tsval = pkt.ts.tsecr;
+  s.anchor_index = anchor.index;
+  s.echo_index = index;
+  s.first_on_flow = !rv.sampled;
+  rv.sampled = true;
+  samples_.push_back(s);
+  ++counters_.samples;
+}
+
+void PassiveRttEstimator::maybe_evict(sim::TimePoint now) {
+  const sim::TimePoint cutoff = now - config_.anchor_window;
+  for (auto& [key, flow] : flows_) {
+    for (auto it = flow.anchors.begin(); it != flow.anchors.end();) {
+      if (it->second.at.ns_since_epoch() < cutoff.ns_since_epoch()) {
+        it = flow.anchors.erase(it);
+        ++counters_.evicted;
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void PassiveRttEstimator::consume(const net::PacketCapture& capture) {
+  for (std::size_t i = 0; i < capture.size(); ++i) {
+    const sim::TimePoint at =
+        config_.use_true_time ? capture.true_time(i) : capture.timestamp(i);
+    const net::Packet& pkt = capture.packet(i);
+    observe_at(pkt, at,
+               std::max(capture.wire_payload_len(i), pkt.payload.size()),
+               next_index_);
+    ++next_index_;
+  }
+  publish_metrics();
+}
+
+void PassiveRttEstimator::consume(const std::vector<net::PcapRecord>& records) {
+  for (const net::PcapRecord& rec : records) {
+    observe_at(rec.packet, rec.timestamp, rec.packet.payload.size(),
+               next_index_);
+    ++next_index_;
+  }
+  publish_metrics();
+}
+
+void PassiveRttEstimator::publish_metrics() {
+  m_packets().add(counters_.packets - published_.packets);
+  m_ts_packets().add(counters_.ts_packets - published_.ts_packets);
+  m_anchors().add(counters_.anchors - published_.anchors);
+  m_dup_tsvals().add(counters_.duplicate_tsvals - published_.duplicate_tsvals);
+  m_retx_poisoned().add(counters_.retransmit_poisoned -
+                        published_.retransmit_poisoned);
+  m_suppressed().add(counters_.suppressed_samples -
+                     published_.suppressed_samples);
+  m_samples().add(counters_.samples - published_.samples);
+  m_unmatched().add(counters_.unmatched_echoes - published_.unmatched_echoes);
+  m_evicted().add(counters_.evicted - published_.evicted);
+  m_half_flows().add(counters_.half_flows - published_.half_flows);
+  published_ = counters_;
+}
+
+std::string PassiveRttEstimator::report_json(const std::string& label) const {
+  using obs::json::Value;
+  Value root = Value::object();
+  root.add("schema", Value::string("bnm.passive.report.v1"));
+  root.add("label", Value::string(label));
+  root.add("quantum_ns",
+           Value::integer(config_.timestamp_quantum.ns()));
+
+  Value counters = Value::object();
+  counters.add("packets", Value::integer(
+                              static_cast<std::int64_t>(counters_.packets)));
+  counters.add("ts_packets",
+               Value::integer(static_cast<std::int64_t>(counters_.ts_packets)));
+  counters.add("anchors",
+               Value::integer(static_cast<std::int64_t>(counters_.anchors)));
+  counters.add("duplicate_tsvals",
+               Value::integer(static_cast<std::int64_t>(
+                   counters_.duplicate_tsvals)));
+  counters.add("retransmit_poisoned",
+               Value::integer(static_cast<std::int64_t>(
+                   counters_.retransmit_poisoned)));
+  counters.add("suppressed_samples",
+               Value::integer(static_cast<std::int64_t>(
+                   counters_.suppressed_samples)));
+  counters.add("samples",
+               Value::integer(static_cast<std::int64_t>(counters_.samples)));
+  counters.add("unmatched_echoes",
+               Value::integer(static_cast<std::int64_t>(
+                   counters_.unmatched_echoes)));
+  counters.add("evicted",
+               Value::integer(static_cast<std::int64_t>(counters_.evicted)));
+  counters.add("half_flows",
+               Value::integer(static_cast<std::int64_t>(counters_.half_flows)));
+  root.add("counters", std::move(counters));
+
+  // Per-flow summaries, keyed and ordered by "from > to" label so the
+  // serialization never depends on hash-map iteration order.
+  std::map<std::string, std::vector<double>> per_flow;
+  for (const PassiveSample& s : samples_) {
+    per_flow[s.from.to_string() + " > " + s.to.to_string()].push_back(
+        static_cast<double>(s.rtt.ns()));
+  }
+  Value flows = Value::array();
+  for (auto& [flow_label, rtts] : per_flow) {
+    std::sort(rtts.begin(), rtts.end());
+    Value f = Value::object();
+    f.add("flow", Value::string(flow_label));
+    f.add("samples", Value::integer(static_cast<std::int64_t>(rtts.size())));
+    f.add("min_rtt_ns",
+          Value::integer(static_cast<std::int64_t>(rtts.front())));
+    f.add("median_rtt_ns",
+          Value::integer(static_cast<std::int64_t>(
+              stats::quantile_sorted(rtts, 0.5))));
+    f.add("max_rtt_ns", Value::integer(static_cast<std::int64_t>(rtts.back())));
+    flows.push(std::move(f));
+  }
+  root.add("flows", std::move(flows));
+
+  Value samples = Value::array();
+  for (const PassiveSample& s : samples_) {
+    Value v = Value::object();
+    v.add("from", Value::string(s.from.to_string()));
+    v.add("to", Value::string(s.to.to_string()));
+    v.add("anchor_ns", Value::integer(s.anchor_at.ns_since_epoch()));
+    v.add("rtt_ns", Value::integer(s.rtt.ns()));
+    v.add("tsval", Value::integer(static_cast<std::int64_t>(s.tsval)));
+    v.add("first", Value::boolean(s.first_on_flow));
+    samples.push(std::move(v));
+  }
+  root.add("samples", std::move(samples));
+  return root.dump();
+}
+
+}  // namespace bnm::passive

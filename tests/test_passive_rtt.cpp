@@ -1,0 +1,525 @@
+// Passive RTT estimation: RFC 7323 timestamp plumbing in the simulated TCP
+// stack, the TSval<->TSecr matcher's edge cases (delayed/cumulative ACK
+// echo, Karn's-rule retransmission discard, TSval wraparound, zero-window
+// probes, coarse-clock duplicates, unidirectional visibility), pcap
+// round-tripping of the option bytes, and the end-to-end appraisal
+// acceptance bound (median |error| <= one TSval tick, loss-free).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "net_fixture.h"
+#include "net/pcap_reader.h"
+#include "net/pcap_writer.h"
+#include "passive/appraisal.h"
+#include "passive/rtt_estimator.h"
+
+namespace bnm::passive {
+namespace {
+
+using test::TwoHostFixture;
+
+// ---------------------------------------------------------------------------
+// Packet-level plumbing
+// ---------------------------------------------------------------------------
+
+TEST(PassivePacket, TimestampOptionGrowsWireSize) {
+  net::Packet ack;
+  ack.protocol = net::Protocol::kTcp;
+  ack.flags.ack = true;
+  EXPECT_EQ(ack.ip_size(), net::kIpHeaderBytes + net::kTcpHeaderBytes);
+  ack.ts.present = true;
+  EXPECT_EQ(ack.ip_size(), net::kIpHeaderBytes + net::kTcpHeaderBytes +
+                               net::kTcpTimestampOptionBytes);
+  // UDP is unaffected by the TCP-only field.
+  net::Packet udp;
+  udp.protocol = net::Protocol::kUdp;
+  udp.ts.present = true;
+  EXPECT_EQ(udp.ip_size(), net::kIpHeaderBytes + net::kUdpHeaderBytes);
+}
+
+TEST(PassivePacket, PcapRoundTripsTimestampOption) {
+  net::Packet pkt;
+  pkt.protocol = net::Protocol::kTcp;
+  pkt.src = {net::IpAddress{10, 0, 0, 1}, 1234};
+  pkt.dst = {net::IpAddress{10, 0, 0, 2}, 80};
+  pkt.flags.ack = true;
+  pkt.flags.psh = true;
+  pkt.seq = 777;
+  pkt.ack = 888;
+  pkt.ts.present = true;
+  pkt.ts.tsval = 0xDEADBEEF;
+  pkt.ts.tsecr = 0x01020304;
+  pkt.payload = net::Payload{std::vector<std::uint8_t>(33, 0x5a)};
+
+  const auto frame = net::PcapWriter::synthesize_frame(pkt);
+  // Data offset must be 8 words: 20 header + 12 option bytes.
+  EXPECT_EQ(frame[net::kIpHeaderBytes + 12] >> 4, 8);
+  const auto parsed = net::PcapReader::parse_frame(net::Payload{frame});
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->ts.present);
+  EXPECT_EQ(parsed->ts.tsval, 0xDEADBEEFu);
+  EXPECT_EQ(parsed->ts.tsecr, 0x01020304u);
+  EXPECT_EQ(parsed->seq, 777u);
+  EXPECT_EQ(parsed->payload.size(), 33u);
+
+  // Without the option nothing changed on the wire.
+  pkt.ts = {};
+  const auto bare = net::PcapWriter::synthesize_frame(pkt);
+  EXPECT_EQ(bare[net::kIpHeaderBytes + 12] >> 4, 5);
+  const auto parsed_bare = net::PcapReader::parse_frame(net::Payload{bare});
+  ASSERT_TRUE(parsed_bare.has_value());
+  EXPECT_FALSE(parsed_bare->ts.present);
+}
+
+// ---------------------------------------------------------------------------
+// TCP-stack negotiation and echo rules
+// ---------------------------------------------------------------------------
+
+class PassiveTcpTest : public TwoHostFixture {
+ protected:
+  void SetUp() override {
+    tcp_config.timestamps = true;
+    configure();
+    build();
+  }
+  virtual void configure() {}
+
+  void listen_sink(net::Port port = 9000) {
+    server->tcp_listen(port, [this](std::shared_ptr<net::TcpConnection> conn) {
+      accepted.push_back(conn);
+      conn->set_callbacks({});
+    });
+  }
+  std::vector<std::shared_ptr<net::TcpConnection>> accepted;
+};
+
+TEST_F(PassiveTcpTest, NegotiatedOnSynAndStampedOnEverySegment) {
+  listen_sink();
+  auto conn = client->tcp_connect(server_ep(9000), {});
+  run_all();
+  ASSERT_TRUE(conn->timestamps_negotiated());
+  const auto& cap = client->capture();
+  ASSERT_GE(cap.size(), 3u);
+  EXPECT_TRUE(cap.packet(0).flags.syn);
+  EXPECT_TRUE(cap.packet(0).ts.present);
+  EXPECT_EQ(cap.packet(0).ts.tsecr, 0u);  // nothing to echo on the SYN
+  EXPECT_TRUE(cap.packet(1).flags.syn);
+  EXPECT_TRUE(cap.packet(1).flags.ack);
+  EXPECT_TRUE(cap.packet(1).ts.present);
+  EXPECT_EQ(cap.packet(1).ts.tsecr, cap.packet(0).ts.tsval);
+  for (std::size_t i = 0; i < cap.size(); ++i) {
+    EXPECT_TRUE(cap.packet(i).ts.present) << "row " << i;
+  }
+}
+
+TEST_F(PassiveTcpTest, OffByDefaultLeavesTheWireUntouched) {
+  // A separate stack with the default config must never emit the option.
+  sim::Simulation sim2{11};
+  net::Host::Config cc;
+  cc.name = "c2";
+  cc.ip = net::IpAddress{10, 0, 1, 1};
+  net::Host::Config sc;
+  sc.name = "s2";
+  sc.ip = net::IpAddress{10, 0, 1, 2};
+  net::Host c2{sim2, cc}, s2{sim2, sc};
+  net::Link::Config lc;
+  lc.bandwidth_bps = 100e6;
+  lc.propagation = sim::Duration::micros(5);
+  net::Link l1{sim2, lc}, l2{sim2, lc};
+  net::SwitchFabric fab{sim2};
+  c2.attach_link(&l1, net::Link::Side::kA);
+  fab.learn(c2.ip(), fab.add_port(&l1, net::Link::Side::kB));
+  s2.attach_link(&l2, net::Link::Side::kB);
+  fab.learn(s2.ip(), fab.add_port(&l2, net::Link::Side::kA));
+  s2.tcp_listen(9000, [](std::shared_ptr<net::TcpConnection> conn) {
+    conn->set_callbacks({});
+  });
+  auto conn = c2.tcp_connect({s2.ip(), 9000}, {});
+  sim2.scheduler().run();
+  EXPECT_FALSE(conn->timestamps_negotiated());
+  const auto& cap = c2.capture();
+  ASSERT_GE(cap.size(), 3u);
+  for (std::size_t i = 0; i < cap.size(); ++i) {
+    EXPECT_FALSE(cap.packet(i).ts.present) << "row " << i;
+  }
+}
+
+class PassiveAsymmetricTest : public PassiveTcpTest {
+ protected:
+  void configure() override {}  // client offers...
+};
+
+TEST_F(PassiveAsymmetricTest, PeerWithoutTimestampsDeclinesTheOffer) {
+  // Server host with timestamps off: SYN carries the offer, the SYN-ACK
+  // does not echo it, and the connection runs bare.
+  net::Host::Config sc;
+  sc.name = "server-nots";
+  sc.ip = net::IpAddress{10, 0, 0, 9};
+  sc.tcp.timestamps = false;
+  net::Host plain{*sim, sc};
+  net::Link::Config lc;
+  lc.bandwidth_bps = 100e6;
+  lc.propagation = sim::Duration::micros(5);
+  net::Link l3{*sim, lc};
+  plain.attach_link(&l3, net::Link::Side::kB);
+  fabric->learn(plain.ip(), fabric->add_port(&l3, net::Link::Side::kA));
+  plain.tcp_listen(9000, [](std::shared_ptr<net::TcpConnection> conn) {
+    conn->set_callbacks({});
+  });
+  bool connected = false;
+  net::TcpCallbacks cbs;
+  cbs.on_connect = [&] { connected = true; };
+  auto conn = client->tcp_connect({plain.ip(), 9000}, std::move(cbs));
+  run_all();
+  EXPECT_TRUE(connected);
+  EXPECT_FALSE(conn->timestamps_negotiated());
+  const auto& cap = client->capture();
+  ASSERT_GE(cap.size(), 3u);
+  EXPECT_TRUE(cap.packet(0).ts.present);    // the offer
+  EXPECT_FALSE(cap.packet(1).ts.present);   // declined
+  EXPECT_FALSE(cap.packet(2).ts.present);   // and never used again
+}
+
+class PassiveDelackTest : public PassiveTcpTest {
+ protected:
+  void configure() override {
+    tcp_config.ts_granule = sim::Duration::millis(1);
+    tcp_config.delayed_ack = sim::Duration::millis(5);
+  }
+};
+
+TEST_F(PassiveDelackTest, CumulativeDelayedAckEchoesEarliestSegment) {
+  listen_sink();
+  std::shared_ptr<net::TcpConnection> conn;
+  net::TcpCallbacks cbs;
+  cbs.on_connect = [&] {
+    // First segment 10 ms in, so its TSval tick is past the handshake's
+    // (the SYN anchors the shared tick-0 TSval otherwise); the second one
+    // 2 ms later gets a fresh TSval, still before the 5 ms delayed-ACK
+    // timer fires.
+    sim->scheduler().schedule_after(sim::Duration::millis(10), [&] {
+      conn->send(std::string(100, 'a'));
+    });
+    sim->scheduler().schedule_after(sim::Duration::millis(12), [&] {
+      conn->send(std::string(100, 'b'));
+    });
+  };
+  conn = client->tcp_connect(server_ep(9000), std::move(cbs));
+  run_all();
+
+  const auto& cap = client->capture();
+  // Find the two data segments and the cumulative ACK that covers both.
+  const net::Packet* seg1 = nullptr;
+  const net::Packet* seg2 = nullptr;
+  const net::Packet* cum_ack = nullptr;
+  for (std::size_t i = 0; i < cap.size(); ++i) {
+    const net::Packet& p = cap.packet(i);
+    if (cap.direction(i) == net::CaptureDirection::kOutbound &&
+        p.carries_data()) {
+      (seg1 ? seg2 : seg1) = &p;
+    }
+    if (cap.direction(i) == net::CaptureDirection::kInbound &&
+        p.is_pure_ack() && seg2 && p.ack == seg2->seq + 100) {
+      cum_ack = &p;
+    }
+  }
+  ASSERT_TRUE(seg1 && seg2 && cum_ack);
+  ASSERT_NE(seg1->ts.tsval, seg2->ts.tsval);  // 2 ms apart at 1 ms granule
+  // RFC 7323 4.3: TS.Recent stays at the segment occupying the left window
+  // edge, so the cumulative ACK times the *first* segment (incl. the wait).
+  EXPECT_EQ(cum_ack->ts.tsecr, seg1->ts.tsval);
+
+  // The passive matcher therefore anchors the sample at segment 1 and its
+  // RTT contains the delayed-ACK wait.
+  PassiveRttEstimator::Config ec;
+  ec.use_true_time = true;
+  PassiveRttEstimator est{ec};
+  est.consume(cap);
+  const auto& samples = est.samples();
+  bool found = false;
+  for (const auto& s : samples) {
+    if (s.tsval != seg1->ts.tsval) continue;
+    found = true;
+    EXPECT_GE(s.rtt.ns(), sim::Duration::millis(5).ns());
+    EXPECT_LT(s.rtt.ns(), sim::Duration::millis(9).ns());
+  }
+  EXPECT_TRUE(found);
+}
+
+class PassiveWrapTest : public PassiveTcpTest {
+ protected:
+  void configure() override {
+    tcp_config.ts_granule = sim::Duration::millis(1);
+    // ~100 ticks of headroom: the TSval clock wraps 2^32 mid-run.
+    tcp_config.ts_offset = 0xFFFFFFFFu - 100u;
+  }
+};
+
+TEST_F(PassiveWrapTest, TsvalWraparoundKeepsMatchingAndEchoing) {
+  // Echo server; five request/response exchanges spread over ~500 ms so
+  // TSvals cross the 2^32 boundary.
+  server->tcp_listen(9000, [](std::shared_ptr<net::TcpConnection> conn) {
+    net::TcpCallbacks cbs;
+    auto weak = std::weak_ptr<net::TcpConnection>(conn);
+    cbs.on_data = [weak](const net::Payload& d) {
+      if (auto c = weak.lock()) c->send(d);
+    };
+    conn->set_callbacks(std::move(cbs));
+  });
+  std::shared_ptr<net::TcpConnection> conn;
+  int received = 0;
+  net::TcpCallbacks cbs;
+  cbs.on_data = [&](const net::Payload&) { ++received; };
+  cbs.on_connect = [&] {
+    for (int i = 0; i < 5; ++i) {
+      sim->scheduler().schedule_after(sim::Duration::millis(100 * (i + 1)),
+                                      [&] { conn->send(std::string(64, 'w')); });
+    }
+  };
+  conn = client->tcp_connect(server_ep(9000), std::move(cbs));
+  run_all();
+  EXPECT_EQ(received, 5);
+
+  const auto& cap = client->capture();
+  bool wrapped_low = false, high = false;
+  for (std::size_t i = 0; i < cap.size(); ++i) {
+    const auto& ts = cap.packet(i).ts;
+    if (!ts.present) continue;
+    if (ts.tsval < 0x1000u) wrapped_low = true;
+    if (ts.tsval > 0xFFFFFF00u) high = true;
+  }
+  EXPECT_TRUE(high);
+  EXPECT_TRUE(wrapped_low);  // the clock really crossed 2^32
+
+  PassiveRttEstimator::Config ec;
+  ec.use_true_time = true;
+  PassiveRttEstimator est{ec};
+  est.consume(cap);
+  EXPECT_GE(est.counters().samples, 5u);
+  for (const auto& s : est.samples()) {
+    EXPECT_GE(s.rtt.ns(), 0);
+    EXPECT_LT(s.rtt.ns(), sim::Duration::seconds(1).ns());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Matcher edge cases (synthetic observations, no simulator)
+// ---------------------------------------------------------------------------
+
+net::Packet mk_packet(net::Endpoint src, net::Endpoint dst, std::uint32_t seq,
+                      std::size_t len, std::uint32_t ack, std::uint32_t tsval,
+                      std::uint32_t tsecr) {
+  net::Packet p;
+  p.protocol = net::Protocol::kTcp;
+  p.src = src;
+  p.dst = dst;
+  p.seq = seq;
+  p.ack = ack;
+  p.flags.ack = ack != 0;
+  p.flags.psh = len > 0;
+  p.ts.present = true;
+  p.ts.tsval = tsval;
+  p.ts.tsecr = tsecr;
+  if (len > 0) p.payload = net::Payload{std::vector<std::uint8_t>(len, 0x61)};
+  return p;
+}
+
+const net::Endpoint kA{net::IpAddress{10, 0, 0, 1}, 40000};
+const net::Endpoint kB{net::IpAddress{10, 0, 0, 2}, 80};
+
+sim::TimePoint at_ms(std::int64_t ms) {
+  return sim::TimePoint::from_ns(ms * 1'000'000);
+}
+
+TEST(PassiveMatcher, RetransmissionPoisonsItsAnchorKarnStyle) {
+  PassiveRttEstimator est;
+  // Original data segment (tsval 100), retransmitted 200 ms later with a
+  // fresh clock (tsval 300): the retransmission covers already-sent
+  // sequence space, so its anchor must never yield a sample.
+  est.observe(mk_packet(kA, kB, 1000, 100, 1, 100, 50), at_ms(0));
+  est.observe(mk_packet(kA, kB, 1000, 100, 1, 300, 50), at_ms(200));
+  EXPECT_EQ(est.counters().retransmit_poisoned, 1u);
+  // Echo of the retransmission's TSval: suppressed, not sampled.
+  est.observe(mk_packet(kB, kA, 1, 0, 1100, 301, 300), at_ms(250));
+  EXPECT_EQ(est.counters().samples, 0u);
+  EXPECT_EQ(est.counters().suppressed_samples, 1u);
+  // An echo naming the *original* TSval is unambiguous (only the original
+  // carried it) and still yields a sample.
+  est.observe(mk_packet(kB, kA, 1, 0, 1100, 302, 100), at_ms(260));
+  ASSERT_EQ(est.counters().samples, 1u);
+  EXPECT_EQ(est.samples()[0].rtt.ns(), sim::Duration::millis(260).ns());
+}
+
+TEST(PassiveMatcher, CoarseClockRetransmitPoisonsTheOriginalToo) {
+  PassiveRttEstimator est;
+  // Retransmission reuses the original's TSval (coarse clock): the shared
+  // anchor becomes ambiguous and is poisoned.
+  est.observe(mk_packet(kA, kB, 1000, 100, 1, 100, 50), at_ms(0));
+  est.observe(mk_packet(kA, kB, 1000, 100, 1, 100, 50), at_ms(5));
+  EXPECT_EQ(est.counters().retransmit_poisoned, 1u);
+  est.observe(mk_packet(kB, kA, 1, 0, 1100, 301, 100), at_ms(30));
+  EXPECT_EQ(est.counters().samples, 0u);
+  EXPECT_EQ(est.counters().suppressed_samples, 1u);
+}
+
+TEST(PassiveMatcher, ZeroWindowProbeDoesNotAnchorASample) {
+  PassiveRttEstimator est;
+  // Normal exchange establishes the sequence high-water mark.
+  est.observe(mk_packet(kA, kB, 1000, 100, 1, 10, 5), at_ms(0));
+  est.observe(mk_packet(kB, kA, 1, 0, 1100, 6, 10), at_ms(40));
+  ASSERT_EQ(est.counters().samples, 1u);
+  // Zero-window probe: one already-acked byte re-poked with a fresh TSval.
+  // (The probe's own TSecr does echo the reverse flow's last anchor — an
+  // idle-period echo whose sample is inflated by the quiet time; that is a
+  // documented passive-RTT artifact, not the probe anchoring anything.)
+  est.observe(mk_packet(kA, kB, 1099, 1, 1, 500, 6), at_ms(1000));
+  EXPECT_EQ(est.counters().retransmit_poisoned, 1u);
+  const std::uint64_t before = est.counters().samples;
+  // The probe ACK echoes the probe's TSval: no sample may come of it.
+  est.observe(mk_packet(kB, kA, 1, 0, 1100, 7, 500), at_ms(1040));
+  EXPECT_EQ(est.counters().samples, before);
+  EXPECT_EQ(est.counters().suppressed_samples, 1u);
+}
+
+TEST(PassiveMatcher, DuplicateTsvalsAnchorFirstSeenOnly) {
+  PassiveRttEstimator est;
+  // Three segments inside one clock tick share TSval 7; the echo matches
+  // the first occurrence, so the RTT spans from the first segment.
+  est.observe(mk_packet(kA, kB, 1000, 100, 1, 7, 3), at_ms(0));
+  est.observe(mk_packet(kA, kB, 1100, 100, 1, 7, 3), at_ms(1));
+  est.observe(mk_packet(kA, kB, 1200, 100, 1, 7, 3), at_ms(2));
+  EXPECT_EQ(est.counters().duplicate_tsvals, 2u);
+  est.observe(mk_packet(kB, kA, 3, 0, 1300, 4, 7), at_ms(50));
+  ASSERT_EQ(est.counters().samples, 1u);
+  EXPECT_EQ(est.samples()[0].rtt.ns(), sim::Duration::millis(50).ns());
+  // A repeated cumulative ACK with the same TSecr adds no second sample.
+  est.observe(mk_packet(kB, kA, 3, 0, 1300, 5, 7), at_ms(60));
+  EXPECT_EQ(est.counters().samples, 1u);
+}
+
+TEST(PassiveMatcher, UnidirectionalVisibilityDegradesToZeroSamples) {
+  PassiveRttEstimator est;
+  // Only the reverse direction is visible (a tap behind an asymmetric
+  // route): every echo misses its anchor, no sample is fabricated.
+  est.observe(mk_packet(kB, kA, 1, 0, 1100, 6, 10), at_ms(40));
+  est.observe(mk_packet(kB, kA, 1, 0, 1200, 7, 11), at_ms(80));
+  EXPECT_EQ(est.counters().samples, 0u);
+  EXPECT_EQ(est.counters().unmatched_echoes, 2u);
+  EXPECT_EQ(est.counters().half_flows, 1u);
+}
+
+TEST(PassiveMatcher, WrapAdjacentTsvalsMatchByEquality) {
+  PassiveRttEstimator est;
+  // The clock wraps 2^32: ...0xFFFFFFFF, 0, 1... Matching is by equality,
+  // so wrap-adjacent ticks pair up fine — except tick 0 itself, which
+  // collides with the TSecr "no echo" sentinel and is a deliberate
+  // one-tick blind spot (no sample, but also nothing wrong recorded).
+  est.observe(mk_packet(kA, kB, 1000, 100, 0, 0xFFFFFFFFu, 0), at_ms(0));
+  est.observe(mk_packet(kA, kB, 1100, 100, 0, 0u, 0), at_ms(1));
+  est.observe(mk_packet(kA, kB, 1200, 100, 0, 1u, 0), at_ms(2));
+  est.observe(mk_packet(kB, kA, 1, 0, 1300, 9, 0xFFFFFFFFu), at_ms(30));
+  est.observe(mk_packet(kB, kA, 1, 0, 1300, 10, 0u), at_ms(31));
+  est.observe(mk_packet(kB, kA, 1, 0, 1300, 11, 1u), at_ms(32));
+  EXPECT_EQ(est.counters().samples, 2u);
+  EXPECT_EQ(est.counters().unmatched_echoes, 0u);
+  EXPECT_EQ(est.samples()[0].rtt.ns(), sim::Duration::millis(30).ns());
+  EXPECT_EQ(est.samples()[1].rtt.ns(), sim::Duration::millis(30).ns());
+}
+
+// ---------------------------------------------------------------------------
+// Live tap vs offline pcap: byte-identical reports
+// ---------------------------------------------------------------------------
+
+TEST_F(PassiveTcpTest, OfflinePcapReportMatchesLiveTapByteForByte) {
+  server->tcp_listen(9000, [](std::shared_ptr<net::TcpConnection> conn) {
+    net::TcpCallbacks cbs;
+    auto weak = std::weak_ptr<net::TcpConnection>(conn);
+    cbs.on_data = [weak](const net::Payload& d) {
+      if (auto c = weak.lock()) c->send(d);
+    };
+    conn->set_callbacks(std::move(cbs));
+  });
+  std::shared_ptr<net::TcpConnection> conn;
+  net::TcpCallbacks cbs;
+  cbs.on_connect = [&] {
+    for (int i = 0; i < 4; ++i) {
+      sim->scheduler().schedule_after(sim::Duration::millis(10 * (i + 1)),
+                                      [&] { conn->send(std::string(200, 'x')); });
+    }
+  };
+  conn = client->tcp_connect(server_ep(9000), std::move(cbs));
+  run_all();
+
+  const auto& cap = client->capture();
+  PassiveRttEstimator live;
+  live.consume(cap);
+  EXPECT_GE(live.counters().samples, 4u);
+
+  std::stringstream pcap;
+  net::PcapWriter::write(cap, pcap);
+  const auto parsed = net::PcapReader::read(pcap);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.records.size(), cap.size());
+  PassiveRttEstimator offline;
+  offline.consume(parsed.records);
+
+  EXPECT_EQ(live.report_json("roundtrip"), offline.report_json("roundtrip"));
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end appraisal against capture ground truth
+// ---------------------------------------------------------------------------
+
+TEST(PassiveAppraisal, LossFreeMedianErrorWithinOneTick) {
+  PassiveScenario sc;
+  sc.label = "fixed";
+  sc.http_exchanges = 12;
+  sc.ws_messages = 4;
+  sc.think_gap = sim::Duration::millis(10);
+  const PassiveAppraisalResult r = run_passive_appraisal(sc);
+  EXPECT_EQ(r.http_responses, 12u);
+  EXPECT_EQ(r.ws_echoes, 4u);
+  EXPECT_GE(r.counters.samples, 10u);
+  EXPECT_FALSE(r.pair_err_d1_ms.empty());
+  EXPECT_FALSE(r.pair_err_d2_ms.empty());
+  EXPECT_FALSE(r.exchange_err_ms.empty());
+  EXPECT_FALSE(r.report_json.empty());
+  // Acceptance: median |pair error| <= one TSval tick (1 ms). In practice
+  // it is bounded by capture jitter (50 us) + quantization (1 us).
+  EXPECT_LE(r.median_abs_pair_err_ms(), 1.0);
+  EXPECT_LE(r.abs_pair_err_ms.quantile(0.5), 1.0);
+  // The exchange-level check is looser (delayed ACKs ride along) but the
+  // passive samples still track real transactions on a quiet testbed.
+  for (double e : r.exchange_err_ms) EXPECT_LT(std::fabs(e), 10.0);
+}
+
+TEST(PassiveAppraisal, ServerTapSeesTheSameFlows) {
+  PassiveScenario sc;
+  sc.label = "far-end";
+  sc.capture_point = CapturePoint::kServer;
+  sc.http_exchanges = 6;
+  sc.ws_messages = 0;
+  const PassiveAppraisalResult r = run_passive_appraisal(sc);
+  EXPECT_GE(r.counters.samples, 5u);
+  EXPECT_LE(r.median_abs_pair_err_ms(), 1.0);
+  EXPECT_FALSE(render_passive_boxplots({r}).empty());
+}
+
+TEST(PassiveAppraisal, JitteredScenarioStillMeetsTheBound) {
+  PassiveScenario sc;
+  sc.label = "netem-jitter";
+  sc.testbed.server_jitter = sim::Duration::millis(3);
+  sc.http_exchanges = 8;
+  sc.ws_messages = 0;
+  const PassiveAppraisalResult r = run_passive_appraisal(sc);
+  EXPECT_GE(r.counters.samples, 6u);
+  // Path jitter moves the true RTT, not the estimator's error against the
+  // same packet pair: the bound holds on impaired-but-loss-free paths too.
+  EXPECT_LE(r.median_abs_pair_err_ms(), 1.0);
+}
+
+}  // namespace
+}  // namespace bnm::passive

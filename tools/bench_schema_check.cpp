@@ -577,6 +577,76 @@ std::vector<Field> campaign_scale_schema() {
   };
 }
 
+std::vector<Field> passive_scale_schema() {
+  return {
+      {"packets", FieldType::kInt, true, {}},
+      {"flows", FieldType::kInt, true, {}},
+      {"wall_ms", FieldType::kNumber, true, {}},
+      {"packets_per_sec", FieldType::kNumber, true, {}},
+      {"samples", FieldType::kInt, true, {}},
+      {"duplicate_tsvals", FieldType::kInt, true, {}},
+      {"sample_yield", FieldType::kNumber, true, {}},
+      {"report_bytes", FieldType::kInt, true, {}},
+      {"identical_reports", FieldType::kBool, true, {}},
+  };
+}
+
+// PassiveRttEstimator::report_json ("bnm.passive.report.v1"): counters,
+// per-flow summaries ordered by flow label, and the raw sample list.
+std::vector<Field> passive_report_schema() {
+  return {
+      {"schema", FieldType::kString, true, {}},
+      {"label", FieldType::kString, true, {}},
+      {"quantum_ns", FieldType::kInt, true, {}},
+      {"counters",
+       FieldType::kObject,
+       true,
+       {
+           {"packets", FieldType::kInt, true, {}},
+           {"ts_packets", FieldType::kInt, true, {}},
+           {"anchors", FieldType::kInt, true, {}},
+           {"duplicate_tsvals", FieldType::kInt, true, {}},
+           {"retransmit_poisoned", FieldType::kInt, true, {}},
+           {"suppressed_samples", FieldType::kInt, true, {}},
+           {"samples", FieldType::kInt, true, {}},
+           {"unmatched_echoes", FieldType::kInt, true, {}},
+           {"evicted", FieldType::kInt, true, {}},
+           {"half_flows", FieldType::kInt, true, {}},
+       }},
+      {"flows",
+       FieldType::kArray,
+       true,
+       {
+           {"",
+            FieldType::kObject,
+            true,
+            {
+                {"flow", FieldType::kString, true, {}},
+                {"samples", FieldType::kInt, true, {}},
+                {"min_rtt_ns", FieldType::kInt, true, {}},
+                {"median_rtt_ns", FieldType::kInt, true, {}},
+                {"max_rtt_ns", FieldType::kInt, true, {}},
+            }},
+       }},
+      {"samples",
+       FieldType::kArray,
+       true,
+       {
+           {"",
+            FieldType::kObject,
+            true,
+            {
+                {"from", FieldType::kString, true, {}},
+                {"to", FieldType::kString, true, {}},
+                {"anchor_ns", FieldType::kInt, true, {}},
+                {"rtt_ns", FieldType::kInt, true, {}},
+                {"tsval", FieldType::kInt, true, {}},
+                {"first", FieldType::kBool, true, {}},
+            }},
+       }},
+  };
+}
+
 bool has_prefix(const char* s, const char* prefix) {
   return std::strncmp(s, prefix, std::strlen(prefix)) == 0;
 }
@@ -599,6 +669,10 @@ int check_file(const char* path) {
     schema = obs_overhead_schema();
   } else if (!std::strcmp(base, "BENCH_campaign_scale.json")) {
     schema = campaign_scale_schema();
+  } else if (!std::strcmp(base, "BENCH_passive_scale.json")) {
+    schema = passive_scale_schema();
+  } else if (has_prefix(base, "REPORT_passive")) {
+    schema = passive_report_schema();
   } else if (has_prefix(base, "REPORT_campaign")) {
     schema = campaign_report_schema();
   } else if (has_prefix(base, "CHECKPOINT_campaign")) {
